@@ -1,0 +1,175 @@
+//! Area model of the NoC interconnect (routing elements only, as in Table I
+//! of the paper, which excludes PE and incoming-message memories).
+
+use crate::technology::UnitAreas;
+use crate::AreaMm2;
+
+/// Everything the NoC area depends on.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NocAreaInputs {
+    /// Number of router nodes `P`.
+    pub nodes: usize,
+    /// Crossbar size `F = D + 1`.
+    pub crossbar_size: usize,
+    /// Input FIFO depth (from the simulated maximum occupancy, plus margin).
+    pub fifo_depth: usize,
+    /// Payload width in bits (extrinsic values carried by one message).
+    pub payload_bits: u32,
+    /// Header width in bits (0 for the AP architecture, `log2(P)` for PP).
+    pub header_bits: u32,
+    /// Entries of the per-node location memory (`t'` sequences): the number
+    /// of messages this node receives per message-passing phase.
+    pub location_entries: usize,
+    /// Width of one location-memory entry in bits.
+    pub location_bits: u32,
+    /// Entries of the per-node routing memory (AP architecture: one routing
+    /// decision per forwarded message per supported code; 0 for PP).
+    pub routing_entries: usize,
+    /// Width of one routing-memory entry in bits (`log2(F)`).
+    pub routing_bits: u32,
+    /// Number of supported code configurations whose routing/location
+    /// sequences must be stored simultaneously.
+    pub stored_codes: usize,
+}
+
+impl NocAreaInputs {
+    /// Width of one FIFO word (payload plus header).
+    pub fn flit_bits(&self) -> u32 {
+        self.payload_bits + self.header_bits
+    }
+}
+
+/// The NoC area model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NocAreaModel {
+    units: UnitAreas,
+}
+
+/// Fixed random-logic budget of one routing element (arbitration, FIFO
+/// pointers, configuration), in equivalent gates.
+const NODE_CONTROL_GATES: f64 = 900.0;
+
+impl NocAreaModel {
+    /// Creates a model with the given unit areas.
+    pub fn new(units: UnitAreas) -> Self {
+        NocAreaModel { units }
+    }
+
+    /// The unit areas in use.
+    pub fn units(&self) -> &UnitAreas {
+        &self.units
+    }
+
+    /// Area of one routing element.
+    pub fn node_area(&self, inputs: &NocAreaInputs) -> AreaMm2 {
+        let u = &self.units;
+        let f = inputs.crossbar_size as f64;
+        let flit = inputs.flit_bits() as f64;
+
+        // F input FIFOs of `fifo_depth` flits (flip-flop based).
+        let fifos = f * inputs.fifo_depth as f64 * flit * u.flipflop_um2;
+        // F output registers of one flit each.
+        let out_regs = f * flit * u.flipflop_um2;
+        // F x F crossbar, `flit` bits wide.
+        let crossbar = f * f * flit * u.crossbar_bit_um2;
+        // Location memory (t' sequences) for every supported code.
+        let location = inputs.location_entries as f64
+            * inputs.location_bits as f64
+            * inputs.stored_codes as f64
+            * u.sram_bit_um2;
+        // Routing memory (AP only).
+        let routing = inputs.routing_entries as f64
+            * inputs.routing_bits as f64
+            * inputs.stored_codes as f64
+            * u.sram_bit_um2;
+        // Control logic.
+        let control = NODE_CONTROL_GATES * u.gate_um2;
+
+        AreaMm2::from_um2(fifos + out_regs + crossbar + location + routing + control)
+    }
+
+    /// Area of the whole NoC (all routing elements).
+    pub fn noc_area(&self, inputs: &NocAreaInputs) -> AreaMm2 {
+        AreaMm2::new(self.node_area(inputs).mm2() * inputs.nodes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like_inputs(fifo_depth: usize, header_bits: u32) -> NocAreaInputs {
+        // P = 22, D = 3 generalized Kautz; one WiMAX LDPC mapping stored.
+        NocAreaInputs {
+            nodes: 22,
+            crossbar_size: 4,
+            fifo_depth,
+            payload_bits: 14,
+            header_bits,
+            location_entries: 340,
+            location_bits: 9,
+            routing_entries: 0,
+            routing_bits: 2,
+            stored_codes: 1,
+        }
+    }
+
+    #[test]
+    fn flit_width_includes_header() {
+        let i = paper_like_inputs(4, 5);
+        assert_eq!(i.flit_bits(), 19);
+    }
+
+    #[test]
+    fn noc_area_is_in_the_papers_ballpark() {
+        // The paper's P = 22 NoC occupies 0.34-0.63 mm2 depending on the
+        // routing algorithm / architecture (Table II) and 0.61 mm2 in the
+        // complete decoder breakdown (Table III).
+        let model = NocAreaModel::default();
+        let area = model.noc_area(&paper_like_inputs(6, 5)).mm2();
+        assert!(area > 0.15 && area < 1.2, "NoC area {area} mm2");
+    }
+
+    #[test]
+    fn deeper_fifos_cost_more_area() {
+        let model = NocAreaModel::default();
+        let shallow = model.noc_area(&paper_like_inputs(2, 5)).mm2();
+        let deep = model.noc_area(&paper_like_inputs(16, 5)).mm2();
+        assert!(deep > shallow * 1.5, "deep {deep} shallow {shallow}");
+    }
+
+    #[test]
+    fn ap_headerless_flits_save_fifo_area() {
+        let model = NocAreaModel::default();
+        let pp = model.noc_area(&paper_like_inputs(8, 5)).mm2();
+        let ap = model.noc_area(&paper_like_inputs(8, 0)).mm2();
+        assert!(ap < pp);
+    }
+
+    #[test]
+    fn routing_memory_adds_area() {
+        let model = NocAreaModel::default();
+        let mut with = paper_like_inputs(4, 0);
+        with.routing_entries = 340;
+        let without = paper_like_inputs(4, 0);
+        assert!(model.noc_area(&with).mm2() > model.noc_area(&without).mm2());
+    }
+
+    #[test]
+    fn area_scales_linearly_with_node_count() {
+        let model = NocAreaModel::default();
+        let mut a = paper_like_inputs(4, 5);
+        let single = model.node_area(&a).mm2();
+        a.nodes = 10;
+        assert!((model.noc_area(&a).mm2() - 10.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storing_more_codes_grows_the_memories() {
+        let model = NocAreaModel::default();
+        let one = paper_like_inputs(4, 0);
+        let mut many = one;
+        many.stored_codes = 20;
+        assert!(model.noc_area(&many).mm2() > model.noc_area(&one).mm2());
+    }
+}

@@ -1,0 +1,96 @@
+//! Power model calibrated on the paper's peak-power figures.
+
+/// A simple dynamic + leakage power model.
+///
+/// `P = k_dyn * area_mm2 * f_MHz * activity + k_leak * area_mm2`
+///
+/// The constants are calibrated so that the paper's `P = 22` decoder yields
+/// roughly 415 mW in LDPC mode (300 MHz, memory-intensive) and 59 mW in turbo
+/// mode (75 MHz NoC / 37.5 MHz SISO, lower memory-access rate).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PowerModel {
+    /// Dynamic power coefficient in mW per (mm² · MHz · activity).
+    pub dynamic_mw_per_mm2_mhz: f64,
+    /// Leakage power in mW per mm².
+    pub leakage_mw_per_mm2: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            dynamic_mw_per_mm2_mhz: 0.42,
+            leakage_mw_per_mm2: 4.0,
+        }
+    }
+}
+
+/// Switching-activity factors of the two operating modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatingMode {
+    /// LDPC mode: every iteration touches the whole shared memory.
+    Ldpc,
+    /// Turbo mode: lower memory-access rate (paper Section V).
+    Turbo,
+}
+
+impl OperatingMode {
+    /// The activity factor of the mode.
+    pub fn activity(&self) -> f64 {
+        match self {
+            OperatingMode::Ldpc => 1.0,
+            OperatingMode::Turbo => 0.55,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Peak power in mW for a design of `area_mm2` running at `f_mhz` in the
+    /// given mode.
+    pub fn power_mw(&self, area_mm2: f64, f_mhz: f64, mode: OperatingMode) -> f64 {
+        self.dynamic_mw_per_mm2_mhz * area_mm2 * f_mhz * mode.activity()
+            + self.leakage_mw_per_mm2 * area_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_AREA_MM2: f64 = 3.17;
+
+    #[test]
+    fn ldpc_mode_power_matches_paper_order() {
+        // Paper Table III: 415 mW at 300 MHz in LDPC mode.
+        let p = PowerModel::default().power_mw(PAPER_AREA_MM2, 300.0, OperatingMode::Ldpc);
+        assert!(p > 300.0 && p < 550.0, "LDPC power {p} mW");
+    }
+
+    #[test]
+    fn turbo_mode_power_matches_paper_order() {
+        // Paper Table III: 59 mW with a 75 MHz NoC (37.5 MHz SISO).  Use the
+        // average of the two clock domains as the effective frequency.
+        let p = PowerModel::default().power_mw(PAPER_AREA_MM2, 56.0, OperatingMode::Turbo);
+        assert!(p > 30.0 && p < 110.0, "turbo power {p} mW");
+    }
+
+    #[test]
+    fn turbo_mode_is_much_cheaper_than_ldpc_mode() {
+        let m = PowerModel::default();
+        let ldpc = m.power_mw(PAPER_AREA_MM2, 300.0, OperatingMode::Ldpc);
+        let turbo = m.power_mw(PAPER_AREA_MM2, 56.0, OperatingMode::Turbo);
+        assert!(ldpc / turbo > 4.0, "ratio {}", ldpc / turbo);
+    }
+
+    #[test]
+    fn power_increases_with_frequency_and_area() {
+        let m = PowerModel::default();
+        assert!(m.power_mw(1.0, 200.0, OperatingMode::Ldpc) > m.power_mw(1.0, 100.0, OperatingMode::Ldpc));
+        assert!(m.power_mw(2.0, 100.0, OperatingMode::Ldpc) > m.power_mw(1.0, 100.0, OperatingMode::Ldpc));
+    }
+
+    #[test]
+    fn activity_factors() {
+        assert_eq!(OperatingMode::Ldpc.activity(), 1.0);
+        assert!(OperatingMode::Turbo.activity() < 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the computational kernels: one layered LDPC
+//! iteration, one flooding iteration, one SISO half iteration, one NoC
+//! message-passing phase and one graph partitioning run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fec_fixed::Llr;
+use noc_decoder::MappingConfig;
+use noc_mapping::LdpcMapping;
+use noc_sim::{NocConfig, NocSimulator, RoutingAlgorithm, Topology, TopologyKind};
+use rand::{Rng, SeedableRng};
+use wimax_ldpc::decoder::{FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
+use wimax_ldpc::{CodeRate, QcEncoder, QcLdpcCode};
+use wimax_turbo::siso::SisoInput;
+use wimax_turbo::{SisoConfig, SisoUnit};
+
+fn noisy_ldpc_llrs(code: &QcLdpcCode, seed: u64) -> Vec<Llr> {
+    let enc = QcEncoder::new(code);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+    let cw = enc.encode(&info).expect("encoding succeeds");
+    cw.iter()
+        .map(|&b| {
+            let s = if b == 0 { 1.0 } else { -1.0 };
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            Llr::new(2.0 * (s + 0.8 * n) / 0.64)
+        })
+        .collect()
+}
+
+fn bench_ldpc_decoders(c: &mut Criterion) {
+    let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
+    let llrs = noisy_ldpc_llrs(&code, 1);
+    let layered = LayeredDecoder::new(
+        &code,
+        LayeredConfig {
+            max_iterations: 1,
+            early_termination: false,
+            ..LayeredConfig::default()
+        },
+    );
+    let flooding = FloodingDecoder::new(
+        &code,
+        FloodingConfig {
+            max_iterations: 1,
+            early_termination: false,
+            ..FloodingConfig::default()
+        },
+    );
+    let mut group = c.benchmark_group("ldpc_iteration_n2304");
+    group.sample_size(20);
+    group.bench_function("layered_nms", |b| b.iter(|| layered.decode(&llrs)));
+    group.bench_function("flooding_nms", |b| b.iter(|| flooding.decode(&llrs)));
+    group.finish();
+}
+
+fn bench_siso(c: &mut Criterion) {
+    let n = 2400usize;
+    let input = SisoInput::new(vec![1.0; n], vec![-1.0; n], vec![0.7; n], vec![0.0; n]);
+    let siso = SisoUnit::new(SisoConfig::default());
+    let mut group = c.benchmark_group("turbo_siso_half_iteration_n2400");
+    group.sample_size(20);
+    group.bench_function("max_log_map", |b| b.iter(|| siso.run(&input)));
+    group.finish();
+}
+
+fn bench_noc_phase(c: &mut Criterion) {
+    let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
+    let mapping = LdpcMapping::new(&code, 22, MappingConfig::default());
+    let topology = Topology::new(TopologyKind::GeneralizedKautz, 22, 3).expect("valid topology");
+    let sim = NocSimulator::new(NocConfig::new(topology, RoutingAlgorithm::SspFl)).expect("sim");
+    let trace = mapping.traffic_trace().clone();
+    let mut group = c.benchmark_group("noc_phase_p22_kautz_d3");
+    group.sample_size(20);
+    group.bench_function("ssp_fl_scm", |b| b.iter(|| sim.run(&trace)));
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
+    let mut group = c.benchmark_group("ldpc_mapping_n2304_p22");
+    group.sample_size(10);
+    group.bench_function("partition_and_interleaver", |b| {
+        b.iter(|| LdpcMapping::new(&code, 22, MappingConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ldpc_decoders,
+    bench_siso,
+    bench_noc_phase,
+    bench_mapping
+);
+criterion_main!(benches);

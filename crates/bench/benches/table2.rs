@@ -1,0 +1,15 @@
+//! `cargo bench` target regenerating Table II (the P = 22 WiMAX-compliant
+//! flexible decoder, turbo N = 2400 couples @ 75 MHz and LDPC N = 2304
+//! @ 300 MHz).
+
+use decoder_bench::{print_table2, run_table2};
+
+fn main() {
+    let (ldpc_n, turbo_couples) = (2304, 2400);
+    println!("== Table II reproduction ==\n");
+    let rows = run_table2(ldpc_n, turbo_couples);
+    print_table2(&rows, ldpc_n, turbo_couples);
+
+    println!("\n== Table III reproduction ==\n");
+    decoder_bench::print_table3(&decoder_bench::table3_rows());
+}

@@ -1,0 +1,175 @@
+//! BER studies backing the paper's algorithmic claims: the
+//! normalized-min-sum LDPC decoder, layered vs two-phase scheduling, and the
+//! bit-level vs symbol-level turbo extrinsic exchange (Section IV.B).
+
+use fec_channel::{AwgnChannel, BpskModulator, EbN0, ErrorCounter};
+use rand::{Rng, SeedableRng};
+use wimax_ldpc::decoder::{FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
+use wimax_ldpc::{CodeRate, QcEncoder, QcLdpcCode};
+use wimax_turbo::{CtcCode, ExtrinsicExchange, TurboDecoder, TurboDecoderConfig, TurboEncoder};
+
+/// One point of a BER curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerPoint {
+    /// Eb/N0 in dB.
+    pub ebn0_db: f64,
+    /// Bit error rate.
+    pub ber: f64,
+    /// Frame error rate.
+    pub fer: f64,
+    /// Average number of iterations used.
+    pub average_iterations: f64,
+}
+
+/// LDPC decoder flavour for the BER study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdpcFlavor {
+    /// Layered normalized min-sum (the paper's hardware algorithm).
+    Layered,
+    /// Two-phase flooding normalized min-sum (baseline scheduling).
+    Flooding,
+}
+
+/// Runs an LDPC BER curve on the WiMAX `r = 1/2` code of length `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a WiMAX length.
+pub fn run_ldpc_ber(
+    n: usize,
+    flavor: LdpcFlavor,
+    ebn0_dbs: &[f64],
+    frames: usize,
+    seed: u64,
+) -> Vec<BerPoint> {
+    let code = QcLdpcCode::wimax(n, CodeRate::R12).expect("valid WiMAX length");
+    let encoder = QcEncoder::new(&code);
+    let modulator = BpskModulator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    ebn0_dbs
+        .iter()
+        .map(|&ebn0_db| {
+            let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), 0.5);
+            let mut counter = ErrorCounter::new();
+            let mut iterations = 0usize;
+            for _ in 0..frames {
+                let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+                let cw = encoder.encode(&info).expect("encoding succeeds");
+                let rx = channel.transmit(&modulator.modulate(&cw), &mut rng);
+                let llrs = channel.llrs(&rx);
+                let (bits, iters) = match flavor {
+                    LdpcFlavor::Layered => {
+                        let out = LayeredDecoder::new(&code, LayeredConfig::default()).decode(&llrs);
+                        (out.hard_bits[..code.k()].to_vec(), out.iterations)
+                    }
+                    LdpcFlavor::Flooding => {
+                        let cfg = FloodingConfig {
+                            max_iterations: 10,
+                            ..FloodingConfig::default()
+                        };
+                        let out = FloodingDecoder::new(&code, cfg).decode(&llrs);
+                        (out.hard_bits[..code.k()].to_vec(), out.iterations)
+                    }
+                };
+                counter.record_frame(&info, &bits);
+                iterations += iters;
+            }
+            BerPoint {
+                ebn0_db,
+                ber: counter.ber(),
+                fer: counter.fer(),
+                average_iterations: iterations as f64 / frames as f64,
+            }
+        })
+        .collect()
+}
+
+/// Runs a turbo BER curve on the WiMAX CTC with `couples` couples using the
+/// given extrinsic exchange mode.
+///
+/// # Panics
+///
+/// Panics if `couples` is not a WiMAX frame size.
+pub fn run_turbo_ber(
+    couples: usize,
+    exchange: ExtrinsicExchange,
+    ebn0_dbs: &[f64],
+    frames: usize,
+    seed: u64,
+) -> Vec<BerPoint> {
+    let code = CtcCode::wimax(couples).expect("valid WiMAX frame size");
+    let encoder = TurboEncoder::new(&code);
+    let decoder = TurboDecoder::new(
+        &code,
+        TurboDecoderConfig {
+            exchange,
+            ..TurboDecoderConfig::default()
+        },
+    );
+    let modulator = BpskModulator::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    ebn0_dbs
+        .iter()
+        .map(|&ebn0_db| {
+            let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), 0.5);
+            let mut counter = ErrorCounter::new();
+            let mut iterations = 0usize;
+            for _ in 0..frames {
+                let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+                let cw = encoder.encode(&info).expect("encoding succeeds");
+                let rx = channel.transmit(&modulator.modulate(&cw), &mut rng);
+                let out = decoder.decode(&channel.llrs(&rx)).expect("length is correct");
+                counter.record_frame(&info, &out.info_bits);
+                iterations += out.iterations;
+            }
+            BerPoint {
+                ebn0_db,
+                ber: counter.ber(),
+                fer: counter.fer(),
+                average_iterations: iterations as f64 / frames as f64,
+            }
+        })
+        .collect()
+}
+
+/// Prints a BER curve as a table.
+pub fn print_curve(label: &str, points: &[BerPoint]) {
+    println!("{label}");
+    println!("{:>8} {:>12} {:>12} {:>8}", "Eb/N0", "BER", "FER", "avg it");
+    for p in points {
+        println!(
+            "{:>8.2} {:>12.3e} {:>12.3e} {:>8.1}",
+            p.ebn0_db, p.ber, p.fer, p.average_iterations
+        );
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ldpc_ber_decreases_with_snr() {
+        let points = run_ldpc_ber(576, LdpcFlavor::Layered, &[0.0, 3.0], 10, 1);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].ber >= points[1].ber);
+        assert_eq!(points[1].ber, 0.0, "3 dB should be error free over 10 frames");
+    }
+
+    #[test]
+    fn turbo_ber_decreases_with_snr() {
+        let points = run_turbo_ber(48, ExtrinsicExchange::BitLevel, &[0.0, 3.5], 10, 2);
+        assert!(points[0].ber >= points[1].ber);
+        assert_eq!(points[1].ber, 0.0);
+    }
+
+    #[test]
+    fn layered_uses_fewer_iterations_than_flooding() {
+        let lay = run_ldpc_ber(576, LdpcFlavor::Layered, &[2.0], 10, 3);
+        let flo = run_ldpc_ber(576, LdpcFlavor::Flooding, &[2.0], 10, 3);
+        assert!(lay[0].average_iterations <= flo[0].average_iterations);
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table I of the paper.
+//!
+//! Usage: `cargo run -p decoder-bench --bin table1 --release [-- --quick]`
+//!
+//! The full sweep uses the paper's worst-case code (`N = 2304, r = 1/2`);
+//! `--quick` runs the same 72-point sweep on the smallest WiMAX code so it
+//! finishes in a few seconds.
+
+use decoder_bench::{print_table1, run_table1};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 576 } else { 2304 };
+    println!("Running the Table I sweep on WiMAX LDPC N = {n}, r = 1/2 ...\n");
+    let rows = run_table1(n);
+    print_table1(&rows);
+    println!(
+        "({} design points; the paper's Table I reports the same layout for N = 2304)",
+        rows.len()
+    );
+}

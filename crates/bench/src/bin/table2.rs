@@ -1,0 +1,16 @@
+//! Regenerates Table II of the paper: the `P = 22`, `D = 3` generalized-Kautz
+//! decoder supporting all WiMAX turbo and LDPC codes.
+//!
+//! Usage: `cargo run -p decoder-bench --bin table2 --release [-- --quick]`
+
+use decoder_bench::{print_table2, run_table2};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ldpc_n, turbo_couples) = if quick { (576, 240) } else { (2304, 2400) };
+    println!(
+        "Running the Table II evaluation (LDPC N = {ldpc_n}, turbo {turbo_couples} couples) ...\n"
+    );
+    let rows = run_table2(ldpc_n, turbo_couples);
+    print_table2(&rows, ldpc_n, turbo_couples);
+}

@@ -1,0 +1,67 @@
+//! Table I reproduction: throughput / NoC area of the WiMAX LDPC
+//! `N = 2304, r = 1/2` code across topologies, parallelism values, node
+//! degrees, routing algorithms and node architectures
+//! (`RL = 0`, `SCM`, `R = 0.5`, 300 MHz, `It_max = 10`, `lat_core = 15`).
+
+use noc_decoder::dse::{Table1Row, TABLE1_FAMILIES, TABLE1_PARALLELISM, TABLE_ROUTING_ROWS};
+use noc_decoder::{CodeRate, DecoderConfig, DesignSpaceExplorer, QcLdpcCode};
+
+/// Runs the Table I sweep on the WiMAX LDPC code of length `block_length`
+/// (2304 for the paper's table; smaller lengths give a faster, smoke-test
+/// version of the same sweep).
+///
+/// # Panics
+///
+/// Panics if the block length is not a WiMAX length or an evaluation fails.
+pub fn run_table1(block_length: usize) -> Vec<Table1Row> {
+    let code = QcLdpcCode::wimax(block_length, CodeRate::R12).expect("valid WiMAX length");
+    let dse = DesignSpaceExplorer::new(DecoderConfig::paper_design_point());
+    dse.table1(&code).expect("Table I sweep evaluates")
+}
+
+/// Pretty-prints Table I in the paper's layout: one block per (topology, D)
+/// family, rows = routing algorithms, columns = parallelism.
+pub fn print_table1(rows: &[Table1Row]) {
+    println!("Table I — throughput [Mb/s] / NoC area [mm2], WiMAX LDPC r=1/2");
+    println!("(RL = 0, SCM, R = 0.5, 300 MHz, Itmax = 10, latcore = 15)\n");
+    for (kind, degree) in TABLE1_FAMILIES {
+        println!("D = {degree}, {}", kind.name());
+        print!("{:<14}", "");
+        for p in TABLE1_PARALLELISM {
+            print!("{:>16}", format!("P = {p}"));
+        }
+        println!();
+        for (routing, arch) in TABLE_ROUTING_ROWS {
+            print!("{:<14}", format!("{} ({})", routing.name(), arch.name()));
+            for p in TABLE1_PARALLELISM {
+                let cell = rows.iter().find(|r| {
+                    r.topology == kind.name()
+                        && r.degree == degree
+                        && r.pes == p
+                        && r.routing == routing.name()
+                        && r.architecture == arch.name()
+                });
+                match cell {
+                    Some(c) => print!("{:>16}", format!("{:.2}/{:.2}", c.throughput_mbps, c.noc_area_mm2)),
+                    None => print!("{:>16}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_on_the_smallest_code_has_72_points() {
+        let rows = run_table1(576);
+        assert_eq!(rows.len(), 6 * 4 * 3);
+        assert!(rows.iter().all(|r| r.throughput_mbps > 0.0 && r.noc_area_mm2 > 0.0));
+        // printing must not panic
+        print_table1(&rows[..6]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Table II reproduction: the `P = 22`, `D = 3` generalized-Kautz NoC
+//! supporting all WiMAX turbo and LDPC codes — turbo `N = 2400` couples at
+//! 75 MHz, LDPC `N = 2304, r = 1/2` at 300 MHz, for the three routing rows.
+
+use noc_decoder::dse::Table2Row;
+use noc_decoder::{CodeRate, CtcCode, DecoderConfig, DesignSpaceExplorer, QcLdpcCode};
+
+/// Runs the Table II evaluation.  `ldpc_length` and `turbo_couples` default
+/// to the paper's worst-case codes (2304 bits, 2400 couples); smaller values
+/// give a fast smoke-test version.
+///
+/// # Panics
+///
+/// Panics if the code parameters are invalid or an evaluation fails.
+pub fn run_table2(ldpc_length: usize, turbo_couples: usize) -> Vec<Table2Row> {
+    let ldpc = QcLdpcCode::wimax(ldpc_length, CodeRate::R12).expect("valid WiMAX LDPC length");
+    let turbo = CtcCode::wimax(turbo_couples).expect("valid WiMAX CTC size");
+    let dse = DesignSpaceExplorer::new(DecoderConfig::paper_design_point());
+    dse.table2(&ldpc, &turbo).expect("Table II evaluates")
+}
+
+/// Pretty-prints Table II in the paper's layout.
+pub fn print_table2(rows: &[Table2Row], ldpc_length: usize, turbo_couples: usize) {
+    println!("Table II — P = 22, D = 3 generalized Kautz, R = 0.5");
+    println!(
+        "{:<14}{:>26}{:>26}",
+        "",
+        format!("turbo @75 MHz N={}", 2 * turbo_couples),
+        format!("LDPC @300 MHz N={ldpc_length}")
+    );
+    println!(
+        "{:<14}{:>26}{:>26}",
+        "", "T [Mb/s] / area [mm2]", "T [Mb/s] / area [mm2]"
+    );
+    for row in rows {
+        println!(
+            "{:<14}{:>26}{:>26}",
+            format!("{} ({})", row.routing, row.architecture),
+            format!("{:.2}/{:.2}", row.turbo_throughput_mbps, row.turbo_noc_area_mm2),
+            format!("{:.2}/{:.2}", row.ldpc_throughput_mbps, row.ldpc_noc_area_mm2),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_table2_on_small_codes() {
+        let rows = run_table2(576, 240);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.ldpc_throughput_mbps > 0.0);
+            assert!(r.turbo_throughput_mbps > 0.0);
+            assert!(r.ldpc_noc_area_mm2 > 0.0);
+            assert!(r.turbo_noc_area_mm2 > 0.0);
+        }
+        print_table2(&rows, 576, 240);
+    }
+}

@@ -1,0 +1,259 @@
+//! Monte-Carlo bit/frame error-rate measurement.
+
+use crate::source::hamming_distance;
+
+/// Accumulates bit and frame error counts over a Monte-Carlo run.
+///
+/// # Example
+///
+/// ```
+/// use fec_channel::ErrorCounter;
+///
+/// let mut c = ErrorCounter::new();
+/// c.record_frame(&[0, 0, 1, 1], &[0, 0, 1, 0]);
+/// c.record_frame(&[0, 1], &[0, 1]);
+/// assert_eq!(c.bit_errors(), 1);
+/// assert_eq!(c.frame_errors(), 1);
+/// assert_eq!(c.frames(), 2);
+/// assert!((c.ber() - 1.0 / 6.0).abs() < 1e-12);
+/// assert!((c.fer() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorCounter {
+    bit_errors: u64,
+    bits: u64,
+    frame_errors: u64,
+    frames: u64,
+}
+
+impl ErrorCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decoded frame against the transmitted reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length.
+    pub fn record_frame(&mut self, reference: &[u8], decoded: &[u8]) {
+        let errs = hamming_distance(reference, decoded) as u64;
+        self.bit_errors += errs;
+        self.bits += reference.len() as u64;
+        self.frames += 1;
+        if errs > 0 {
+            self.frame_errors += 1;
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &ErrorCounter) {
+        self.bit_errors += other.bit_errors;
+        self.bits += other.bits;
+        self.frame_errors += other.frame_errors;
+        self.frames += other.frames;
+    }
+
+    /// Total bit errors observed.
+    pub fn bit_errors(&self) -> u64 {
+        self.bit_errors
+    }
+
+    /// Total bits compared.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Total erroneous frames observed.
+    pub fn frame_errors(&self) -> u64 {
+        self.frame_errors
+    }
+
+    /// Total frames compared.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Bit error rate (0 if no bits were recorded).
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Frame error rate (0 if no frames were recorded).
+    pub fn fer(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.frame_errors as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Stopping rules for a Monte-Carlo error-rate run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloConfig {
+    /// Stop after this many frames regardless of the error count.
+    pub max_frames: u64,
+    /// Stop early once this many frame errors have been observed (gives a
+    /// controlled relative confidence on the FER estimate).
+    pub target_frame_errors: u64,
+    /// Minimum number of frames to simulate even if the error target is hit.
+    pub min_frames: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            max_frames: 10_000,
+            target_frame_errors: 50,
+            min_frames: 20,
+        }
+    }
+}
+
+impl MonteCarloConfig {
+    /// Returns `true` when a run with the given counter state should stop.
+    pub fn should_stop(&self, counter: &ErrorCounter) -> bool {
+        if counter.frames() >= self.max_frames {
+            return true;
+        }
+        counter.frames() >= self.min_frames && counter.frame_errors() >= self.target_frame_errors
+    }
+}
+
+/// Drives a Monte-Carlo run: repeatedly calls `simulate_frame`, which must
+/// return `(reference_bits, decoded_bits)`, until the stopping rule fires.
+///
+/// # Example
+///
+/// ```
+/// use fec_channel::{ErrorRateRun, MonteCarloConfig};
+///
+/// let cfg = MonteCarloConfig { max_frames: 100, target_frame_errors: 5, min_frames: 1 };
+/// let counter = ErrorRateRun::new(cfg).run(|i| {
+///     // even frames decode correctly, odd frames have one bit error
+///     let reference = vec![0u8; 8];
+///     let mut decoded = reference.clone();
+///     if i % 2 == 1 { decoded[0] = 1; }
+///     (reference, decoded)
+/// });
+/// assert!(counter.frame_errors() >= 5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorRateRun {
+    config: MonteCarloConfig,
+}
+
+impl ErrorRateRun {
+    /// Creates a run driver with the given stopping configuration.
+    pub fn new(config: MonteCarloConfig) -> Self {
+        ErrorRateRun { config }
+    }
+
+    /// Runs the simulation loop.  The closure receives the frame index.
+    pub fn run<F>(&self, mut simulate_frame: F) -> ErrorCounter
+    where
+        F: FnMut(u64) -> (Vec<u8>, Vec<u8>),
+    {
+        let mut counter = ErrorCounter::new();
+        let mut i = 0;
+        while !self.config.should_stop(&counter) {
+            let (reference, decoded) = simulate_frame(i);
+            counter.record_frame(&reference, &decoded);
+            i += 1;
+        }
+        counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = ErrorCounter::new();
+        c.record_frame(&[0, 0, 0, 0], &[0, 0, 0, 0]);
+        c.record_frame(&[1, 1, 1, 1], &[1, 0, 1, 0]);
+        assert_eq!(c.bits(), 8);
+        assert_eq!(c.bit_errors(), 2);
+        assert_eq!(c.frames(), 2);
+        assert_eq!(c.frame_errors(), 1);
+    }
+
+    #[test]
+    fn empty_counter_rates_are_zero() {
+        let c = ErrorCounter::new();
+        assert_eq!(c.ber(), 0.0);
+        assert_eq!(c.fer(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = ErrorCounter::new();
+        a.record_frame(&[0, 0], &[0, 1]);
+        let mut b = ErrorCounter::new();
+        b.record_frame(&[0, 0], &[0, 0]);
+        a.merge(&b);
+        assert_eq!(a.frames(), 2);
+        assert_eq!(a.bit_errors(), 1);
+    }
+
+    #[test]
+    fn stopping_rules() {
+        let cfg = MonteCarloConfig {
+            max_frames: 10,
+            target_frame_errors: 2,
+            min_frames: 3,
+        };
+        let mut c = ErrorCounter::new();
+        c.record_frame(&[0], &[1]);
+        c.record_frame(&[0], &[1]);
+        // error target hit but min_frames not reached yet
+        assert!(!cfg.should_stop(&c));
+        c.record_frame(&[0], &[0]);
+        assert!(cfg.should_stop(&c));
+    }
+
+    #[test]
+    fn max_frames_always_stops() {
+        let cfg = MonteCarloConfig {
+            max_frames: 2,
+            target_frame_errors: 100,
+            min_frames: 1,
+        };
+        let mut c = ErrorCounter::new();
+        c.record_frame(&[0], &[0]);
+        c.record_frame(&[0], &[0]);
+        assert!(cfg.should_stop(&c));
+    }
+
+    #[test]
+    fn run_driver_honours_error_target() {
+        let cfg = MonteCarloConfig {
+            max_frames: 1_000,
+            target_frame_errors: 7,
+            min_frames: 1,
+        };
+        let counter = ErrorRateRun::new(cfg).run(|_| (vec![0u8; 4], vec![1u8, 0, 0, 0]));
+        assert_eq!(counter.frame_errors(), 7);
+        assert_eq!(counter.frames(), 7);
+    }
+
+    #[test]
+    fn run_driver_honours_max_frames() {
+        let cfg = MonteCarloConfig {
+            max_frames: 13,
+            target_frame_errors: 1_000,
+            min_frames: 1,
+        };
+        let counter = ErrorRateRun::new(cfg).run(|_| (vec![0u8; 4], vec![0u8; 4]));
+        assert_eq!(counter.frames(), 13);
+        assert_eq!(counter.frame_errors(), 0);
+    }
+}

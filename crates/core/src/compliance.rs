@@ -1,0 +1,225 @@
+//! WiMAX-compliance sweep: evaluates one decoder configuration on the *whole*
+//! 802.16e code set (every LDPC length and rate, every CTC frame size) and
+//! reports the worst-case throughput of each mode.
+//!
+//! This backs the paper's central claim that the chosen `P = 22` design is a
+//! "fully compliant WiMAX decoder, supporting the whole set of turbo and LDPC
+//! codes" above the 70 Mb/s requirement.
+
+use crate::config::DecoderConfig;
+use crate::evaluation::{evaluate_ldpc, evaluate_turbo, DecoderError, DesignEvaluation};
+use crate::throughput::WIMAX_REQUIRED_THROUGHPUT_MBPS;
+use wimax_ldpc::{wimax_block_lengths, CodeRate, QcLdpcCode};
+use wimax_turbo::{CtcCode, WIMAX_FRAME_SIZES};
+
+/// The result of evaluating one code of the compliance sweep.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ComplianceEntry {
+    /// Human-readable code label (e.g. "LDPC 2304 r=1/2", "DBTC 4800 r=1/2").
+    pub code: String,
+    /// Information bits per frame.
+    pub info_bits: usize,
+    /// Evaluated throughput in Mb/s.
+    pub throughput_mbps: f64,
+    /// Message-passing phase duration in cycles.
+    pub phase_cycles: u64,
+    /// Whether this code meets the WiMAX 70 Mb/s requirement.
+    pub compliant: bool,
+}
+
+/// The aggregate result of a compliance sweep.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ComplianceReport {
+    /// Per-code results, LDPC first then turbo.
+    pub entries: Vec<ComplianceEntry>,
+    /// Worst-case LDPC throughput over the sweep.
+    pub worst_ldpc_mbps: f64,
+    /// Worst-case turbo throughput over the sweep.
+    pub worst_turbo_mbps: f64,
+}
+
+impl ComplianceReport {
+    /// `true` when every evaluated code meets the WiMAX requirement.
+    pub fn fully_compliant(&self) -> bool {
+        self.entries.iter().all(|e| e.compliant)
+    }
+
+    /// The label of the worst (lowest-throughput) code of the sweep.
+    pub fn worst_code(&self) -> Option<&ComplianceEntry> {
+        self.entries
+            .iter()
+            .min_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"))
+    }
+}
+
+/// Which codes a compliance sweep covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComplianceScope {
+    /// LDPC block lengths to evaluate (must be valid WiMAX lengths).
+    pub ldpc_lengths: &'static [usize],
+    /// LDPC code rates to evaluate.
+    pub ldpc_rates: &'static [CodeRate],
+    /// CTC frame sizes (in couples) to evaluate.
+    pub turbo_couples: &'static [usize],
+}
+
+impl ComplianceScope {
+    /// The full 802.16e scope: every LDPC length and rate, every CTC size.
+    ///
+    /// Running this scope evaluates `19 x 6 + 17 = 131` codes; on a laptop it
+    /// takes a couple of minutes in release mode.
+    pub fn full() -> Self {
+        const ALL_RATES: [CodeRate; 6] = [
+            CodeRate::R12,
+            CodeRate::R23A,
+            CodeRate::R23B,
+            CodeRate::R34A,
+            CodeRate::R34B,
+            CodeRate::R56,
+        ];
+        // leak a 'static copy of the length list (computed once per process)
+        use std::sync::OnceLock;
+        static LENGTHS: OnceLock<Vec<usize>> = OnceLock::new();
+        let lengths = LENGTHS.get_or_init(wimax_block_lengths);
+        ComplianceScope {
+            ldpc_lengths: lengths,
+            ldpc_rates: &ALL_RATES,
+            turbo_couples: &WIMAX_FRAME_SIZES,
+        }
+    }
+
+    /// A reduced scope covering the corner cases only: the smallest and
+    /// largest LDPC codes at the extreme rates and the smallest/largest CTC
+    /// frames.  Used by tests and quick runs.
+    pub fn corners() -> Self {
+        const LENGTHS: [usize; 2] = [576, 2304];
+        const RATES: [CodeRate; 2] = [CodeRate::R12, CodeRate::R56];
+        const COUPLES: [usize; 2] = [24, 2400];
+        ComplianceScope {
+            ldpc_lengths: &LENGTHS,
+            ldpc_rates: &RATES,
+            turbo_couples: &COUPLES,
+        }
+    }
+}
+
+/// Runs a compliance sweep of `config` over `scope`.
+///
+/// Codes that cannot be mapped on the configured parallelism (fewer parity
+/// checks or couples than PEs) are skipped: the real decoder would fold such
+/// small codes onto a subset of the PEs and is trivially fast on them.
+///
+/// # Errors
+///
+/// Propagates the first evaluation error other than an invalid-configuration
+/// (too-few-rows) one.
+pub fn run_compliance(
+    config: &DecoderConfig,
+    scope: &ComplianceScope,
+) -> Result<ComplianceReport, DecoderError> {
+    let mut entries = Vec::new();
+    let mut worst_ldpc = f64::INFINITY;
+    let mut worst_turbo = f64::INFINITY;
+
+    let mut push = |label: String, eval: DesignEvaluation, worst: &mut f64| {
+        *worst = worst.min(eval.throughput_mbps);
+        entries.push(ComplianceEntry {
+            code: label,
+            info_bits: eval.info_bits,
+            throughput_mbps: eval.throughput_mbps,
+            phase_cycles: eval.phase_cycles,
+            compliant: eval.throughput_mbps >= WIMAX_REQUIRED_THROUGHPUT_MBPS,
+        });
+    };
+
+    for &n in scope.ldpc_lengths {
+        for &rate in scope.ldpc_rates {
+            let code = QcLdpcCode::wimax(n, rate).map_err(|e| DecoderError::InvalidConfiguration {
+                reason: e.to_string(),
+            })?;
+            if code.m() < config.pes {
+                continue;
+            }
+            match evaluate_ldpc(config, &code) {
+                Ok(eval) => push(format!("LDPC {n} r={rate}"), eval, &mut worst_ldpc),
+                Err(DecoderError::InvalidConfiguration { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    for &couples in scope.turbo_couples {
+        let code = CtcCode::wimax(couples).map_err(|e| DecoderError::InvalidConfiguration {
+            reason: e.to_string(),
+        })?;
+        if code.couples() < config.pes {
+            continue;
+        }
+        match evaluate_turbo(config, &code) {
+            Ok(eval) => push(format!("DBTC {} r=1/2", 2 * couples), eval, &mut worst_turbo),
+            Err(DecoderError::InvalidConfiguration { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(ComplianceReport {
+        entries,
+        worst_ldpc_mbps: if worst_ldpc.is_finite() { worst_ldpc } else { 0.0 },
+        worst_turbo_mbps: if worst_turbo.is_finite() { worst_turbo } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_scope_runs_on_the_paper_design_point() {
+        let report =
+            run_compliance(&DecoderConfig::paper_design_point(), &ComplianceScope::corners())
+                .unwrap();
+        // 2 lengths x 2 rates LDPC + the 2400-couple CTC (the 24-couple frame
+        // is skipped because it is smaller than P = 22... actually 24 >= 22,
+        // so both CTC sizes are evaluated).
+        assert!(report.entries.len() >= 5, "{} entries", report.entries.len());
+        assert!(report.worst_ldpc_mbps > 0.0);
+        assert!(report.worst_turbo_mbps > 0.0);
+        assert!(report.worst_code().is_some());
+        // Shorter codes have shorter phases but fewer bits; all must stay in
+        // a plausible band.
+        for e in &report.entries {
+            assert!(
+                e.throughput_mbps > 1.0 && e.throughput_mbps < 400.0,
+                "{}: {}",
+                e.code,
+                e.throughput_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn small_codes_are_skipped_when_p_exceeds_their_size() {
+        // With P = 128 the 576-bit rate-5/6 code has only 96 checks and must
+        // be skipped rather than failing the sweep.
+        let config = DecoderConfig::paper_design_point().with_pes(128);
+        let report = run_compliance(&config, &ComplianceScope::corners()).unwrap();
+        assert!(report.entries.iter().all(|e| !e.code.contains("576 r=5/6")));
+    }
+
+    #[test]
+    fn full_scope_lists_all_wimax_codes() {
+        let scope = ComplianceScope::full();
+        assert_eq!(scope.ldpc_lengths.len(), 19);
+        assert_eq!(scope.ldpc_rates.len(), 6);
+        assert_eq!(scope.turbo_couples.len(), 17);
+    }
+
+    #[test]
+    fn compliance_flag_follows_the_seventy_mbps_threshold() {
+        let report =
+            run_compliance(&DecoderConfig::paper_design_point(), &ComplianceScope::corners())
+                .unwrap();
+        for e in &report.entries {
+            assert_eq!(e.compliant, e.throughput_mbps >= 70.0, "{}", e.code);
+        }
+    }
+}

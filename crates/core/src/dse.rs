@@ -1,0 +1,291 @@
+//! Design-space exploration: the sweeps that generate Tables I and II of the
+//! paper and the minimum-parallelism search of Section III.C.
+
+use crate::config::DecoderConfig;
+use crate::evaluation::{evaluate_ldpc, evaluate_turbo, DecoderError, DesignEvaluation};
+use crate::throughput::WIMAX_REQUIRED_THROUGHPUT_MBPS;
+use noc_sim::{NodeArchitecture, RoutingAlgorithm, TopologyKind};
+use wimax_ldpc::QcLdpcCode;
+use wimax_turbo::CtcCode;
+
+/// The (topology, degree) families explored in Table I, in the paper's order.
+pub const TABLE1_FAMILIES: [(TopologyKind, usize); 6] = [
+    (TopologyKind::GeneralizedDeBruijn, 2),
+    (TopologyKind::GeneralizedKautz, 2),
+    (TopologyKind::Spidergon, 3),
+    (TopologyKind::GeneralizedKautz, 3),
+    (TopologyKind::Honeycomb, 4),
+    (TopologyKind::GeneralizedKautz, 4),
+];
+
+/// The parallelism values explored in Table I.
+pub const TABLE1_PARALLELISM: [usize; 4] = [16, 24, 32, 36];
+
+/// The (routing algorithm, node architecture) rows of Tables I and II.
+pub const TABLE_ROUTING_ROWS: [(RoutingAlgorithm, NodeArchitecture); 3] = [
+    (RoutingAlgorithm::SspRr, NodeArchitecture::PartiallyPrecalculated),
+    (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated),
+    (RoutingAlgorithm::AspFt, NodeArchitecture::AllPrecalculated),
+];
+
+/// One entry of the Table I reproduction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table1Row {
+    /// Topology family name.
+    pub topology: String,
+    /// Node degree `D`.
+    pub degree: usize,
+    /// Parallelism `P`.
+    pub pes: usize,
+    /// Routing algorithm name.
+    pub routing: String,
+    /// Node architecture name.
+    pub architecture: String,
+    /// Throughput in Mb/s.
+    pub throughput_mbps: f64,
+    /// NoC area in mm².
+    pub noc_area_mm2: f64,
+}
+
+/// One entry of the Table II reproduction (the `P = 22` flexible decoder).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table2Row {
+    /// Routing algorithm name.
+    pub routing: String,
+    /// Node architecture name.
+    pub architecture: String,
+    /// Turbo throughput in Mb/s at the turbo clock.
+    pub turbo_throughput_mbps: f64,
+    /// Turbo-mode NoC area in mm².
+    pub turbo_noc_area_mm2: f64,
+    /// LDPC throughput in Mb/s at the LDPC clock.
+    pub ldpc_throughput_mbps: f64,
+    /// LDPC-mode NoC area in mm².
+    pub ldpc_noc_area_mm2: f64,
+}
+
+/// The design-space exploration driver.
+#[derive(Debug, Clone)]
+pub struct DesignSpaceExplorer {
+    base: DecoderConfig,
+}
+
+impl DesignSpaceExplorer {
+    /// Creates an explorer whose sweeps start from `base` (only the swept
+    /// parameters are overridden).
+    pub fn new(base: DecoderConfig) -> Self {
+        DesignSpaceExplorer { base }
+    }
+
+    /// The base configuration.
+    pub fn base(&self) -> &DecoderConfig {
+        &self.base
+    }
+
+    /// Evaluates one cell of Table I.
+    pub fn table1_cell(
+        &self,
+        code: &QcLdpcCode,
+        family: (TopologyKind, usize),
+        pes: usize,
+        row: (RoutingAlgorithm, NodeArchitecture),
+    ) -> Result<Table1Row, DecoderError> {
+        let config = self
+            .base
+            .with_topology(family.0, family.1)
+            .with_pes(pes)
+            .with_routing(row.0)
+            .with_architecture(row.1);
+        let eval = evaluate_ldpc(&config, code)?;
+        Ok(Table1Row {
+            topology: eval.topology.clone(),
+            degree: family.1,
+            pes,
+            routing: eval.routing.clone(),
+            architecture: eval.architecture.clone(),
+            throughput_mbps: eval.throughput_mbps,
+            noc_area_mm2: eval.noc_area_mm2,
+        })
+    }
+
+    /// Regenerates the full Table I sweep for the given code
+    /// (`6 families x 4 parallelism values x 3 routing rows = 72 points`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error encountered.
+    pub fn table1(&self, code: &QcLdpcCode) -> Result<Vec<Table1Row>, DecoderError> {
+        let mut rows = Vec::new();
+        for family in TABLE1_FAMILIES {
+            for pes in TABLE1_PARALLELISM {
+                for row in TABLE_ROUTING_ROWS {
+                    rows.push(self.table1_cell(code, family, pes, row)?);
+                }
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Regenerates Table II: the `P = 22`, `D = 3` generalized-Kautz decoder
+    /// supporting all WiMAX turbo and LDPC codes, evaluated on the worst-case
+    /// codes of each family.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error encountered.
+    pub fn table2(
+        &self,
+        ldpc_code: &QcLdpcCode,
+        turbo_code: &CtcCode,
+    ) -> Result<Vec<Table2Row>, DecoderError> {
+        let mut rows = Vec::new();
+        for (routing, architecture) in TABLE_ROUTING_ROWS {
+            let config = self
+                .base
+                .with_topology(TopologyKind::GeneralizedKautz, 3)
+                .with_pes(22)
+                .with_routing(routing)
+                .with_architecture(architecture);
+            let ldpc = evaluate_ldpc(&config, ldpc_code)?;
+            let turbo = evaluate_turbo(&config, turbo_code)?;
+            rows.push(Table2Row {
+                routing: routing.name().to_string(),
+                architecture: architecture.name().to_string(),
+                turbo_throughput_mbps: turbo.throughput_mbps,
+                turbo_noc_area_mm2: turbo.noc_area_mm2,
+                ldpc_throughput_mbps: ldpc.throughput_mbps,
+                ldpc_noc_area_mm2: ldpc.noc_area_mm2,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Finds the minimum parallelism `P` (within `candidates`) for which the
+    /// LDPC throughput reaches `target_mbps`, as done in Section III.C to
+    /// select `P = 22`.
+    ///
+    /// Returns the chosen `P` and its evaluation, or `None` if no candidate
+    /// meets the target.
+    pub fn minimum_parallelism(
+        &self,
+        code: &QcLdpcCode,
+        candidates: &[usize],
+        target_mbps: f64,
+    ) -> Result<Option<(usize, DesignEvaluation)>, DecoderError> {
+        let mut sorted: Vec<usize> = candidates.to_vec();
+        sorted.sort_unstable();
+        for pes in sorted {
+            let config = self.base.with_pes(pes);
+            let eval = evaluate_ldpc(&config, code)?;
+            if eval.throughput_mbps >= target_mbps {
+                return Ok(Some((pes, eval)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Convenience wrapper: minimum parallelism for WiMAX compliance
+    /// (70 Mb/s).
+    pub fn minimum_parallelism_for_wimax(
+        &self,
+        code: &QcLdpcCode,
+        candidates: &[usize],
+    ) -> Result<Option<(usize, DesignEvaluation)>, DecoderError> {
+        self.minimum_parallelism(code, candidates, WIMAX_REQUIRED_THROUGHPUT_MBPS)
+    }
+}
+
+impl Default for DesignSpaceExplorer {
+    fn default() -> Self {
+        DesignSpaceExplorer::new(DecoderConfig::paper_design_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimax_ldpc::CodeRate;
+
+    fn small_code() -> QcLdpcCode {
+        QcLdpcCode::wimax(576, CodeRate::R12).unwrap()
+    }
+
+    #[test]
+    fn table1_cell_produces_a_row() {
+        let dse = DesignSpaceExplorer::default();
+        let row = dse
+            .table1_cell(
+                &small_code(),
+                (TopologyKind::GeneralizedKautz, 3),
+                16,
+                (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated),
+            )
+            .unwrap();
+        assert_eq!(row.pes, 16);
+        assert_eq!(row.topology, "gen-kautz");
+        assert!(row.throughput_mbps > 0.0);
+        assert!(row.noc_area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn kautz_beats_de_bruijn_at_same_degree() {
+        // The paper's qualitative conclusion: generalized Kautz topologies
+        // outperform the other families in throughput-to-area ratio.
+        let dse = DesignSpaceExplorer::default();
+        let code = small_code();
+        let row_pp = (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated);
+        let kautz = dse
+            .table1_cell(&code, (TopologyKind::GeneralizedKautz, 3), 16, row_pp)
+            .unwrap();
+        let debruijn = dse
+            .table1_cell(&code, (TopologyKind::GeneralizedDeBruijn, 2), 16, row_pp)
+            .unwrap();
+        assert!(
+            kautz.throughput_mbps >= debruijn.throughput_mbps,
+            "kautz {} < de bruijn {}",
+            kautz.throughput_mbps,
+            debruijn.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn higher_degree_increases_throughput() {
+        let dse = DesignSpaceExplorer::default();
+        let code = small_code();
+        let row = (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated);
+        let d2 = dse
+            .table1_cell(&code, (TopologyKind::GeneralizedKautz, 2), 24, row)
+            .unwrap();
+        let d4 = dse
+            .table1_cell(&code, (TopologyKind::GeneralizedKautz, 4), 24, row)
+            .unwrap();
+        assert!(d4.throughput_mbps >= d2.throughput_mbps);
+    }
+
+    #[test]
+    fn minimum_parallelism_is_monotone() {
+        let dse = DesignSpaceExplorer::default();
+        let code = small_code();
+        // A generous target should be met by a small P; an absurd target by none.
+        let low = dse.minimum_parallelism(&code, &[4, 8, 16], 1.0).unwrap();
+        assert!(low.is_some());
+        assert_eq!(low.unwrap().0, 4);
+        let impossible = dse.minimum_parallelism(&code, &[4, 8], 1.0e9).unwrap();
+        assert!(impossible.is_none());
+    }
+
+    #[test]
+    fn table2_has_three_rows() {
+        let dse = DesignSpaceExplorer::default();
+        // keep the codes small so the test stays fast
+        let ldpc = small_code();
+        let turbo = CtcCode::wimax(240).unwrap();
+        let rows = dse.table2(&ldpc, &turbo).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().any(|r| r.routing == "SSP-FL"));
+        for r in &rows {
+            assert!(r.ldpc_throughput_mbps > 0.0);
+            assert!(r.turbo_throughput_mbps > 0.0);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Evaluation of one decoder design point on one code: cycle-accurate phase
+//! duration, throughput, area and the supporting statistics.
+
+use crate::config::DecoderConfig;
+use crate::throughput::{ldpc_throughput_mbps, turbo_throughput_mbps};
+use asic_model::{NocAreaInputs, NocAreaModel, PeAreaInputs, PeAreaModel};
+use decoder_pe::{LdpcCoreModel, SharedMemoryPlan, SisoCoreModel};
+use noc_mapping::turbo::HalfIteration;
+use noc_mapping::{LdpcMapping, TurboMapping};
+use noc_sim::{NocConfig, NocError, NocSimulator, NocStats, Topology};
+use std::fmt;
+use wimax_ldpc::QcLdpcCode;
+use wimax_turbo::CtcCode;
+
+/// Errors produced while evaluating a design point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecoderError {
+    /// The NoC could not be built or simulated.
+    Noc(NocError),
+    /// The configuration is inconsistent with the code (e.g. more PEs than
+    /// parity checks).
+    InvalidConfiguration {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DecoderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecoderError::Noc(e) => write!(f, "NoC error: {e}"),
+            DecoderError::InvalidConfiguration { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecoderError {}
+
+impl From<NocError> for DecoderError {
+    fn from(e: NocError) -> Self {
+        DecoderError::Noc(e)
+    }
+}
+
+/// Operating mode of an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Mode {
+    /// LDPC decoding mode.
+    Ldpc,
+    /// Double-binary turbo decoding mode.
+    Turbo,
+}
+
+/// The result of evaluating one design point on one code.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DesignEvaluation {
+    /// Operating mode.
+    pub mode: Mode,
+    /// Topology name.
+    pub topology: String,
+    /// Parallelism `P`.
+    pub pes: usize,
+    /// Actual node degree `D`.
+    pub degree: usize,
+    /// Routing algorithm name.
+    pub routing: String,
+    /// Node architecture name ("AP"/"PP").
+    pub architecture: String,
+    /// Duration of one message-passing phase in NoC cycles (`n_cycles`).
+    pub phase_cycles: u64,
+    /// Decoded information bits per frame.
+    pub info_bits: usize,
+    /// Throughput in Mb/s at the configured clock.
+    pub throughput_mbps: f64,
+    /// NoC area (routing elements only, as in Table I) in mm² at 90 nm.
+    pub noc_area_mm2: f64,
+    /// Processing-core area (PEs with shared memories) in mm² at 90 nm.
+    pub core_area_mm2: f64,
+    /// Largest input-FIFO occupancy observed (hardware FIFO depth).
+    pub fifo_depth: usize,
+    /// Fraction of messages that stayed local to a PE.
+    pub locality: f64,
+    /// Average network latency in cycles.
+    pub average_latency: f64,
+    /// Total messages exchanged per phase.
+    pub messages_per_phase: usize,
+}
+
+impl DesignEvaluation {
+    /// Total decoder area (core plus NoC), the `A_tot` of Table III.
+    pub fn total_area_mm2(&self) -> f64 {
+        self.noc_area_mm2 + self.core_area_mm2
+    }
+
+    /// Throughput-to-area ratio in Mb/s per mm² (NoC area only, the figure of
+    /// merit used to compare topologies in Section III.C).
+    pub fn throughput_per_noc_area(&self) -> f64 {
+        if self.noc_area_mm2 == 0.0 {
+            0.0
+        } else {
+            self.throughput_mbps / self.noc_area_mm2
+        }
+    }
+}
+
+/// Evaluates one design point in LDPC mode.
+pub fn evaluate_ldpc(
+    config: &DecoderConfig,
+    code: &QcLdpcCode,
+) -> Result<DesignEvaluation, DecoderError> {
+    if config.pes > code.m() {
+        return Err(DecoderError::InvalidConfiguration {
+            reason: format!("{} PEs but only {} parity checks", config.pes, code.m()),
+        });
+    }
+    let topology = Topology::new(config.topology, config.pes, config.degree)?;
+    let degree = topology.degree();
+
+    let mapping = LdpcMapping::new(code, config.pes, config.mapping);
+    let quality = mapping.quality();
+
+    let noc_config = NocConfig::new(topology, config.routing)
+        .with_collision(config.collision)
+        .with_architecture(config.architecture)
+        .with_route_local(config.route_local)
+        .with_output_rate(config.ldpc_output_rate)
+        .with_seed(config.seed);
+    let simulator = NocSimulator::new(noc_config)?;
+    let stats = simulator.run(mapping.traffic_trace());
+
+    let core = LdpcCoreModel::default();
+    let throughput = ldpc_throughput_mbps(
+        code.k(),
+        config.ldpc_clock_mhz,
+        config.ldpc_iterations,
+        core.core_latency(),
+        stats.cycles,
+    );
+
+    let (noc_area, core_area) = areas(config, code.n(), &stats, quality.total_messages, 7);
+
+    Ok(DesignEvaluation {
+        mode: Mode::Ldpc,
+        topology: config.topology.name().to_string(),
+        pes: config.pes,
+        degree,
+        routing: config.routing.name().to_string(),
+        architecture: config.architecture.name().to_string(),
+        phase_cycles: stats.cycles,
+        info_bits: code.k(),
+        throughput_mbps: throughput,
+        noc_area_mm2: noc_area,
+        core_area_mm2: core_area,
+        fifo_depth: stats.max_fifo_occupancy.max(1),
+        locality: quality.locality(),
+        average_latency: stats.average_latency,
+        messages_per_phase: quality.total_messages,
+    })
+}
+
+/// Evaluates one design point in turbo mode.
+pub fn evaluate_turbo(
+    config: &DecoderConfig,
+    code: &CtcCode,
+) -> Result<DesignEvaluation, DecoderError> {
+    if config.pes > code.couples() {
+        return Err(DecoderError::InvalidConfiguration {
+            reason: format!("{} PEs but only {} couples", config.pes, code.couples()),
+        });
+    }
+    let topology = Topology::new(config.topology, config.pes, config.degree)?;
+    let degree = topology.degree();
+
+    let mapping = TurboMapping::new(code, config.pes);
+    let quality = mapping.quality();
+    let siso = SisoCoreModel::default();
+
+    let noc_config = NocConfig::new(topology, config.routing)
+        .with_collision(config.collision)
+        .with_architecture(config.architecture)
+        .with_route_local(config.route_local)
+        .with_output_rate(siso.injection_rate())
+        .with_seed(config.seed);
+    let simulator = NocSimulator::new(noc_config)?;
+    let stats = simulator.run(&mapping.traffic_trace(HalfIteration::First));
+
+    // The message-passing phase overlaps the SISO computation; the half
+    // iteration lasts as long as the slower of the two.
+    let siso_cycles = siso.half_iteration_noc_cycles(mapping.max_window());
+    let half_cycles = stats.cycles.max(siso_cycles);
+
+    let throughput = turbo_throughput_mbps(
+        code.info_bits(),
+        config.turbo_clock_mhz,
+        config.turbo_iterations,
+        siso.core_latency,
+        half_cycles,
+    );
+
+    // Bit-level extrinsic exchange: two 7-bit values per message.
+    let (noc_area, core_area) = areas(config, code.couples(), &stats, quality.total_messages, 14);
+
+    Ok(DesignEvaluation {
+        mode: Mode::Turbo,
+        topology: config.topology.name().to_string(),
+        pes: config.pes,
+        degree,
+        routing: config.routing.name().to_string(),
+        architecture: config.architecture.name().to_string(),
+        phase_cycles: half_cycles,
+        info_bits: code.info_bits(),
+        throughput_mbps: throughput,
+        noc_area_mm2: noc_area,
+        core_area_mm2: core_area,
+        fifo_depth: stats.max_fifo_occupancy.max(1),
+        locality: quality.locality(),
+        average_latency: stats.average_latency,
+        messages_per_phase: quality.total_messages,
+    })
+}
+
+/// Computes the NoC and core areas of a design point from the simulation
+/// statistics.
+fn areas(
+    config: &DecoderConfig,
+    address_space: usize,
+    stats: &NocStats,
+    total_messages: usize,
+    payload_bits: u32,
+) -> (f64, f64) {
+    let location_bits = (usize::BITS - address_space.saturating_sub(1).leading_zeros()).max(1);
+    let messages_per_node = total_messages.div_ceil(config.pes);
+    let forwarded_max = stats
+        .forwarded_per_node
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0) as usize;
+    let crossbar_size = config.degree + 1;
+    let routing_entries = match config.architecture {
+        noc_sim::NodeArchitecture::AllPrecalculated => forwarded_max.max(messages_per_node),
+        noc_sim::NodeArchitecture::PartiallyPrecalculated => 0,
+    };
+    let noc_inputs = NocAreaInputs {
+        nodes: config.pes,
+        crossbar_size,
+        fifo_depth: stats.max_fifo_occupancy.max(2),
+        payload_bits,
+        header_bits: config.architecture.header_bits(config.pes),
+        location_entries: messages_per_node,
+        location_bits,
+        routing_entries,
+        routing_bits: (usize::BITS - crossbar_size.saturating_sub(1).leading_zeros()).max(1),
+        stored_codes: config.stored_codes,
+    };
+    let noc_area = NocAreaModel::default().noc_area(&noc_inputs).mm2();
+
+    let memory = SharedMemoryPlan::wimax(config.pes);
+    let pe_inputs = PeAreaInputs::wimax(config.pes, memory.total_bits());
+    let core_area = PeAreaModel::default().core_area(&pe_inputs).mm2();
+    (noc_area, core_area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimax_ldpc::CodeRate;
+
+    fn small_code() -> QcLdpcCode {
+        QcLdpcCode::wimax(576, CodeRate::R12).unwrap()
+    }
+
+    #[test]
+    fn ldpc_evaluation_produces_consistent_numbers() {
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let eval = evaluate_ldpc(&config, &small_code()).unwrap();
+        assert_eq!(eval.mode, Mode::Ldpc);
+        assert_eq!(eval.pes, 8);
+        assert!(eval.phase_cycles > 0);
+        assert!(eval.throughput_mbps > 0.0);
+        assert!(eval.noc_area_mm2 > 0.0);
+        assert!(eval.core_area_mm2 > 0.0);
+        assert!(eval.total_area_mm2() > eval.noc_area_mm2);
+        assert_eq!(eval.messages_per_phase, small_code().edge_count());
+        assert!(eval.locality > 0.0 && eval.locality < 1.0);
+    }
+
+    #[test]
+    fn turbo_evaluation_produces_consistent_numbers() {
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let code = CtcCode::wimax(240).unwrap();
+        let eval = evaluate_turbo(&config, &code).unwrap();
+        assert_eq!(eval.mode, Mode::Turbo);
+        assert_eq!(eval.info_bits, 480);
+        assert!(eval.phase_cycles > 0);
+        assert!(eval.throughput_mbps > 0.0);
+        assert_eq!(eval.messages_per_phase, 240);
+    }
+
+    #[test]
+    fn more_pes_gives_higher_ldpc_throughput() {
+        let code = small_code();
+        let slow = evaluate_ldpc(&DecoderConfig::paper_design_point().with_pes(4), &code).unwrap();
+        let fast = evaluate_ldpc(&DecoderConfig::paper_design_point().with_pes(16), &code).unwrap();
+        assert!(
+            fast.throughput_mbps > slow.throughput_mbps,
+            "P=16 {} <= P=4 {}",
+            fast.throughput_mbps,
+            slow.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn too_many_pes_is_rejected() {
+        let config = DecoderConfig::paper_design_point().with_pes(2000);
+        assert!(matches!(
+            evaluate_ldpc(&config, &small_code()),
+            Err(DecoderError::InvalidConfiguration { .. })
+        ));
+        let code = CtcCode::wimax(24).unwrap();
+        assert!(evaluate_turbo(&config, &code).is_err());
+    }
+
+    #[test]
+    fn ap_architecture_has_no_header_but_routing_memory() {
+        let code = small_code();
+        let pp = evaluate_ldpc(
+            &DecoderConfig::paper_design_point()
+                .with_pes(8)
+                .with_architecture(noc_sim::NodeArchitecture::PartiallyPrecalculated),
+            &code,
+        )
+        .unwrap();
+        let ap = evaluate_ldpc(
+            &DecoderConfig::paper_design_point()
+                .with_pes(8)
+                .with_architecture(noc_sim::NodeArchitecture::AllPrecalculated),
+            &code,
+        )
+        .unwrap();
+        // cycle counts are identical (same routing), areas differ
+        assert_eq!(pp.phase_cycles, ap.phase_cycles);
+        assert_ne!(pp.noc_area_mm2, ap.noc_area_mm2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecoderError::InvalidConfiguration { reason: "x".into() };
+        assert!(e.to_string().contains("invalid configuration"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Fixed-point arithmetic primitives shared by the turbo and LDPC decoder models.
+//!
+//! The decoder architecture of Condo, Martina and Masera (DATE 2012) quantizes
+//! channel and state metrics on 7 bits and the LDPC check-to-variable messages
+//! (`R_lk`) on 5 bits (Section IV of the paper).  This crate provides:
+//!
+//! * [`SatFixed`] — a saturating two's-complement fixed-point value with a
+//!   configurable bit width, mirroring what a datapath register would hold.
+//! * [`Quantizer`] — converts floating-point log-likelihood ratios (LLRs) into
+//!   quantized integers and back, with saturation statistics.
+//! * [`maxstar`] — the `max*` operator family used by the BCJR recursion:
+//!   exact (Log-MAP), look-up-table corrected, and plain `max` (Max-Log-MAP).
+//! * [`Llr`] — a thin newtype over `f64` used throughout the algorithmic
+//!   (floating-point) reference decoders.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_fixed::{Quantizer, SatFixed};
+//!
+//! // 7-bit quantizer with 1 fractional bit, as used for channel LLRs.
+//! let q = Quantizer::new(7, 1);
+//! let x = q.quantize(3.2);
+//! assert!(q.dequantize(x) > 2.9 && q.dequantize(x) < 3.6);
+//!
+//! let a = SatFixed::new(60, 7);
+//! let b = SatFixed::new(30, 7);
+//! // 60 + 30 saturates at the 7-bit maximum of 63.
+//! assert_eq!((a + b).value(), 63);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod llr;
+pub mod maxstar;
+pub mod quantizer;
+pub mod sat;
+
+pub use llr::Llr;
+pub use maxstar::{max_log, max_star_exact, max_star_lut, MaxStar, MaxStarMode};
+pub use quantizer::{QuantStats, Quantizer};
+pub use sat::SatFixed;
+
+/// Number of bits used for channel LLRs, state metrics (`alpha`, `beta`) and
+/// extrinsic values in the paper's processing element (Section IV).
+pub const LAMBDA_BITS: u32 = 7;
+
+/// Number of bits used for the LDPC check-to-variable messages `R_lk` and for
+/// the turbo branch metric inputs `lambda[c(e)]` (Section IV).
+pub const R_BITS: u32 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(LAMBDA_BITS, 7);
+        assert_eq!(R_BITS, 5);
+    }
+}

@@ -1,0 +1,204 @@
+//! The `max*` operator family used by Log-MAP / Max-Log-MAP BCJR decoding.
+//!
+//! The paper (Section II.A) implements `max*{x_i}` as `max{x_i}` followed by a
+//! correction term stored in a small look-up table, and notes that the
+//! correction can be omitted for double-binary turbo codes (Max-Log-MAP) with
+//! minor BER degradation.
+
+/// Exact Jacobian logarithm: `max*(a, b) = ln(e^a + e^b)`.
+///
+/// This is the reference implementation used to validate the LUT version and
+/// to run full Log-MAP decoding.
+///
+/// # Example
+///
+/// ```
+/// use fec_fixed::max_star_exact;
+/// let v = max_star_exact(1.0, 1.0);
+/// assert!((v - (1.0 + std::f64::consts::LN_2)).abs() < 1e-12);
+/// ```
+pub fn max_star_exact(a: f64, b: f64) -> f64 {
+    let m = a.max(b);
+    if !m.is_finite() {
+        return m;
+    }
+    m + (-(a - b).abs()).exp().ln_1p()
+}
+
+/// Max-Log approximation: `max*(a, b) ~= max(a, b)`.
+pub fn max_log(a: f64, b: f64) -> f64 {
+    a.max(b)
+}
+
+/// Number of entries of the correction look-up table used by
+/// [`max_star_lut`]; eight entries on the interval `[0, 4)` matches typical
+/// hardware implementations (e.g. Papaharalabos et al., ref. [19] of the
+/// paper).
+pub const LUT_ENTRIES: usize = 8;
+
+/// Upper bound of the LUT input range; differences beyond this contribute a
+/// negligible correction.
+pub const LUT_RANGE: f64 = 4.0;
+
+fn lut_correction(delta: f64) -> f64 {
+    debug_assert!(delta >= 0.0);
+    if delta >= LUT_RANGE {
+        return 0.0;
+    }
+    // Centre of the LUT bin, evaluated with the exact correction function.
+    let step = LUT_RANGE / LUT_ENTRIES as f64;
+    let idx = (delta / step) as usize;
+    let centre = (idx as f64 + 0.5) * step;
+    (-centre).exp().ln_1p()
+}
+
+/// LUT-corrected `max*`: `max(a, b) + lut(|a - b|)`.
+///
+/// The LUT has [`LUT_ENTRIES`] uniformly-spaced entries over `[0, LUT_RANGE)`,
+/// as done in hardware Log-MAP SISOs.
+pub fn max_star_lut(a: f64, b: f64) -> f64 {
+    let m = a.max(b);
+    if !m.is_finite() {
+        return m;
+    }
+    m + lut_correction((a - b).abs())
+}
+
+/// Selects which flavour of the `max*` operator a decoder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MaxStarMode {
+    /// Exact Jacobian logarithm (floating-point Log-MAP reference).
+    Exact,
+    /// Look-up-table corrected `max`, the hardware Log-MAP of ref. [19].
+    Lut,
+    /// Plain `max`, i.e. Max-Log-MAP (the paper's choice for double-binary
+    /// turbo codes).
+    #[default]
+    MaxLog,
+}
+
+/// A reusable `max*` evaluator.
+///
+/// # Example
+///
+/// ```
+/// use fec_fixed::{MaxStar, MaxStarMode};
+///
+/// let ms = MaxStar::new(MaxStarMode::MaxLog);
+/// assert_eq!(ms.apply(1.0, 3.0), 3.0);
+/// let all = ms.reduce([1.0, 3.0, 2.0]);
+/// assert_eq!(all, 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MaxStar {
+    mode: MaxStarMode,
+}
+
+impl MaxStar {
+    /// Creates an evaluator with the given mode.
+    pub fn new(mode: MaxStarMode) -> Self {
+        MaxStar { mode }
+    }
+
+    /// Returns the configured mode.
+    pub fn mode(&self) -> MaxStarMode {
+        self.mode
+    }
+
+    /// Applies the binary `max*` operator.
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self.mode {
+            MaxStarMode::Exact => max_star_exact(a, b),
+            MaxStarMode::Lut => max_star_lut(a, b),
+            MaxStarMode::MaxLog => max_log(a, b),
+        }
+    }
+
+    /// Folds `max*` over an iterator of values.
+    ///
+    /// Returns negative infinity for an empty iterator, which is the identity
+    /// element of `max*`.
+    pub fn reduce<I>(&self, values: I) -> f64
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        values
+            .into_iter()
+            .fold(f64::NEG_INFINITY, |acc, v| self.apply(acc, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_matches_closed_form() {
+        let v = max_star_exact(0.0, 0.0);
+        assert!((v - std::f64::consts::LN_2).abs() < 1e-12);
+        let v = max_star_exact(5.0, -5.0);
+        assert!((v - (5.0f64.exp() + (-5.0f64).exp()).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_handles_infinite_identity() {
+        assert_eq!(max_star_exact(f64::NEG_INFINITY, 3.0), 3.0);
+        assert_eq!(max_star_exact(3.0, f64::NEG_INFINITY), 3.0);
+    }
+
+    #[test]
+    fn max_log_is_plain_max() {
+        assert_eq!(max_log(-1.0, 2.0), 2.0);
+        assert_eq!(max_log(4.0, 2.0), 4.0);
+    }
+
+    #[test]
+    fn lut_close_to_exact() {
+        for i in 0..100 {
+            let a = i as f64 * 0.1 - 5.0;
+            let b = -a * 0.3;
+            let e = max_star_exact(a, b);
+            let l = max_star_lut(a, b);
+            // LUT quantization error is bounded by the bin width effect (< 0.3).
+            assert!((e - l).abs() < 0.3, "a={a} b={b} exact={e} lut={l}");
+        }
+    }
+
+    #[test]
+    fn reduce_over_values() {
+        let ms = MaxStar::new(MaxStarMode::Exact);
+        let r = ms.reduce([0.0, 0.0, 0.0, 0.0]);
+        assert!((r - (4.0f64).ln()).abs() < 1e-9);
+        assert_eq!(ms.reduce(std::iter::empty()), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mode_accessor() {
+        assert_eq!(MaxStar::new(MaxStarMode::Lut).mode(), MaxStarMode::Lut);
+        assert_eq!(MaxStar::default().mode(), MaxStarMode::MaxLog);
+    }
+
+    proptest! {
+        #[test]
+        fn exact_ge_max_and_bounded(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+            let e = max_star_exact(a, b);
+            let m = a.max(b);
+            prop_assert!(e >= m - 1e-12);
+            prop_assert!(e <= m + std::f64::consts::LN_2 + 1e-12);
+        }
+
+        #[test]
+        fn exact_is_commutative(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+            prop_assert!((max_star_exact(a, b) - max_star_exact(b, a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn lut_between_max_and_exact_bound(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+            let l = max_star_lut(a, b);
+            let m = a.max(b);
+            prop_assert!(l >= m - 1e-12);
+            prop_assert!(l <= m + std::f64::consts::LN_2 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Uniform LLR quantization with saturation accounting.
+
+use crate::SatFixed;
+
+/// Statistics accumulated while quantizing a stream of values.
+///
+/// Useful for choosing fractional bit allocations: a high saturation ratio
+/// indicates the quantizer range is too small for the channel conditions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuantStats {
+    /// Number of values quantized so far.
+    pub total: u64,
+    /// Number of values that hit the positive or negative saturation rail.
+    pub saturated: u64,
+}
+
+impl QuantStats {
+    /// Fraction of quantized samples that saturated (0 when nothing was
+    /// quantized yet).
+    pub fn saturation_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.saturated as f64 / self.total as f64
+        }
+    }
+}
+
+/// A uniform mid-tread quantizer mapping floating-point LLRs to `bits`-bit
+/// signed integers with `frac_bits` fractional bits.
+///
+/// The quantized value of `x` is `round(x * 2^frac_bits)` saturated to the
+/// representable range, the usual choice for channel-LLR quantization in
+/// turbo/LDPC decoder ASICs.
+///
+/// # Example
+///
+/// ```
+/// use fec_fixed::Quantizer;
+///
+/// let q = Quantizer::new(5, 1);   // 5-bit, one fractional bit => range [-8, 7.5]
+/// assert_eq!(q.quantize(1.0).value(), 2);
+/// assert_eq!(q.quantize(100.0).value(), 15);   // saturates
+/// assert_eq!(q.dequantize(q.quantize(-3.0)), -3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    bits: u32,
+    frac_bits: u32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with `bits` total bits and `frac_bits` fractional
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=31` or `frac_bits >= bits`.
+    pub fn new(bits: u32, frac_bits: u32) -> Self {
+        assert!((1..=31).contains(&bits), "bit width must be in 1..=31");
+        assert!(frac_bits < bits, "fractional bits must be less than total bits");
+        Quantizer { bits, frac_bits }
+    }
+
+    /// Total bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Scaling factor `2^frac_bits`.
+    pub fn scale(&self) -> f64 {
+        (1u64 << self.frac_bits) as f64
+    }
+
+    /// Largest representable real value.
+    pub fn max_real(&self) -> f64 {
+        SatFixed::max_value(self.bits) as f64 / self.scale()
+    }
+
+    /// Smallest representable real value.
+    pub fn min_real(&self) -> f64 {
+        SatFixed::min_value(self.bits) as f64 / self.scale()
+    }
+
+    /// Quantizes a single value.
+    pub fn quantize(&self, x: f64) -> SatFixed {
+        let v = (x * self.scale()).round();
+        let v = if v.is_nan() { 0.0 } else { v };
+        let clamped = v.clamp(i32::MIN as f64, i32::MAX as f64) as i32;
+        SatFixed::new(clamped, self.bits)
+    }
+
+    /// Quantizes a single value while updating saturation statistics.
+    pub fn quantize_tracked(&self, x: f64, stats: &mut QuantStats) -> SatFixed {
+        let q = self.quantize(x);
+        stats.total += 1;
+        if q.value() == SatFixed::max_value(self.bits) || q.value() == SatFixed::min_value(self.bits)
+        {
+            stats.saturated += 1;
+        }
+        q
+    }
+
+    /// Converts a quantized value back to a real number.
+    pub fn dequantize(&self, q: SatFixed) -> f64 {
+        q.value() as f64 / self.scale()
+    }
+
+    /// Quantizes a slice of values, returning the integer representations.
+    pub fn quantize_slice(&self, xs: &[f64]) -> Vec<SatFixed> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+}
+
+impl Default for Quantizer {
+    /// The paper's 7-bit channel-LLR quantizer with one fractional bit.
+    fn default() -> Self {
+        Quantizer::new(crate::LAMBDA_BITS, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_on_representable_values() {
+        let q = Quantizer::new(7, 2);
+        for i in -256..=255 {
+            let x = i as f64 / 4.0;
+            if x <= q.max_real() && x >= q.min_real() {
+                assert_eq!(q.dequantize(q.quantize(x)), x);
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_at_rails() {
+        let q = Quantizer::new(5, 0);
+        assert_eq!(q.quantize(1000.0).value(), 15);
+        assert_eq!(q.quantize(-1000.0).value(), -16);
+    }
+
+    #[test]
+    fn nan_maps_to_zero() {
+        let q = Quantizer::new(7, 1);
+        assert_eq!(q.quantize(f64::NAN).value(), 0);
+    }
+
+    #[test]
+    fn stats_track_saturation() {
+        let q = Quantizer::new(5, 0);
+        let mut stats = QuantStats::default();
+        q.quantize_tracked(0.0, &mut stats);
+        q.quantize_tracked(500.0, &mut stats);
+        q.quantize_tracked(-500.0, &mut stats);
+        assert_eq!(stats.total, 3);
+        assert_eq!(stats.saturated, 2);
+        assert!((stats.saturation_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_ratio_is_zero() {
+        assert_eq!(QuantStats::default().saturation_ratio(), 0.0);
+    }
+
+    #[test]
+    fn default_is_paper_lambda_quantizer() {
+        let q = Quantizer::default();
+        assert_eq!(q.bits(), 7);
+        assert_eq!(q.frac_bits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional bits")]
+    fn too_many_frac_bits_panics() {
+        let _ = Quantizer::new(4, 4);
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar() {
+        let q = Quantizer::new(7, 1);
+        let xs = [0.3, -2.7, 10.0];
+        let v = q.quantize_slice(&xs);
+        for (x, s) in xs.iter().zip(&v) {
+            assert_eq!(q.quantize(*x).value(), s.value());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantization_error_bounded(x in -30.0f64..30.0, frac in 0u32..4) {
+            let q = Quantizer::new(7, frac);
+            let dq = q.dequantize(q.quantize(x));
+            if x <= q.max_real() && x >= q.min_real() {
+                prop_assert!((dq - x).abs() <= 0.5 / q.scale() + 1e-12);
+            } else {
+                // saturated: result is one of the rails
+                prop_assert!(dq == q.max_real() || dq == q.min_real());
+            }
+        }
+
+        #[test]
+        fn quantizer_is_monotone(a in -100.0f64..100.0, b in -100.0f64..100.0, frac in 0u32..4) {
+            let q = Quantizer::new(7, frac);
+            if a <= b {
+                prop_assert!(q.quantize(a).value() <= q.quantize(b).value());
+            }
+        }
+    }
+}

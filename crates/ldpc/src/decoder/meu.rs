@@ -1,0 +1,200 @@
+//! The Minimum Extraction Unit (MEU) of the paper's LDPC decoding core.
+//!
+//! The hardware core (paper Fig. 2) compares the `Q_lk` values of a parity
+//! check sequentially and keeps the two smallest magnitudes, the index of the
+//! smallest, and the product of the signs.  With these four quantities every
+//! outgoing normalized-min-sum message of the check can be produced
+//! (Eq. (11) of the paper).
+
+/// Sequential two-minimum extractor with sign accumulation.
+///
+/// # Example
+///
+/// ```
+/// use wimax_ldpc::decoder::MinimumExtractionUnit;
+///
+/// let mut meu = MinimumExtractionUnit::new();
+/// for (i, q) in [3.0, -1.0, 2.0, -5.0].iter().enumerate() {
+///     meu.push(i, *q);
+/// }
+/// assert_eq!(meu.min1(), 1.0);
+/// assert_eq!(meu.min2(), 2.0);
+/// assert_eq!(meu.min1_index(), Some(1));
+/// assert_eq!(meu.sign_product(), 1.0);   // two negatives
+/// // message to the position holding the minimum uses min2:
+/// assert_eq!(meu.magnitude_for(1), 2.0);
+/// assert_eq!(meu.magnitude_for(0), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinimumExtractionUnit {
+    min1: f64,
+    min2: f64,
+    min1_index: Option<usize>,
+    sign_product: f64,
+    count: usize,
+}
+
+impl Default for MinimumExtractionUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MinimumExtractionUnit {
+    /// Creates an empty MEU.
+    pub fn new() -> Self {
+        MinimumExtractionUnit {
+            min1: f64::INFINITY,
+            min2: f64::INFINITY,
+            min1_index: None,
+            sign_product: 1.0,
+            count: 0,
+        }
+    }
+
+    /// Feeds one `Q_lk` value (signed) into the unit.
+    pub fn push(&mut self, index: usize, q: f64) {
+        let mag = q.abs();
+        if q < 0.0 {
+            self.sign_product = -self.sign_product;
+        }
+        if mag < self.min1 {
+            self.min2 = self.min1;
+            self.min1 = mag;
+            self.min1_index = Some(index);
+        } else if mag < self.min2 {
+            self.min2 = mag;
+        }
+        self.count += 1;
+    }
+
+    /// Smallest magnitude seen so far (infinite if empty).
+    pub fn min1(&self) -> f64 {
+        self.min1
+    }
+
+    /// Second-smallest magnitude seen so far (infinite if fewer than two
+    /// values were pushed).
+    pub fn min2(&self) -> f64 {
+        self.min2
+    }
+
+    /// Index of the smallest-magnitude input.
+    pub fn min1_index(&self) -> Option<usize> {
+        self.min1_index
+    }
+
+    /// Product of the signs of all inputs (`+1.0` or `-1.0`).
+    pub fn sign_product(&self) -> f64 {
+        self.sign_product
+    }
+
+    /// Number of values pushed.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The outgoing message magnitude for input position `index`
+    /// (min-sum exclusion rule: the position holding the minimum receives the
+    /// second minimum, every other position receives the minimum).
+    pub fn magnitude_for(&self, index: usize) -> f64 {
+        if Some(index) == self.min1_index {
+            self.min2
+        } else {
+            self.min1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_unit() {
+        let meu = MinimumExtractionUnit::new();
+        assert!(meu.is_empty());
+        assert_eq!(meu.len(), 0);
+        assert_eq!(meu.min1(), f64::INFINITY);
+        assert_eq!(meu.min1_index(), None);
+        assert_eq!(meu.sign_product(), 1.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut meu = MinimumExtractionUnit::new();
+        meu.push(3, -2.0);
+        assert_eq!(meu.min1(), 2.0);
+        assert_eq!(meu.min2(), f64::INFINITY);
+        assert_eq!(meu.min1_index(), Some(3));
+        assert_eq!(meu.sign_product(), -1.0);
+    }
+
+    #[test]
+    fn duplicate_minimum_values() {
+        let mut meu = MinimumExtractionUnit::new();
+        meu.push(0, 1.5);
+        meu.push(1, 1.5);
+        meu.push(2, 4.0);
+        assert_eq!(meu.min1(), 1.5);
+        assert_eq!(meu.min2(), 1.5);
+        assert_eq!(meu.min1_index(), Some(0));
+        // position 0 holds min1, so it receives min2 == 1.5 as well
+        assert_eq!(meu.magnitude_for(0), 1.5);
+        assert_eq!(meu.magnitude_for(2), 1.5);
+    }
+
+    #[test]
+    fn sign_product_tracks_parity_of_negatives() {
+        let mut meu = MinimumExtractionUnit::new();
+        for (i, v) in [-1.0, -2.0, -3.0].iter().enumerate() {
+            meu.push(i, *v);
+        }
+        assert_eq!(meu.sign_product(), -1.0);
+        meu.push(4, -0.5);
+        assert_eq!(meu.sign_product(), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_two_minimum(values in proptest::collection::vec(-10.0f64..10.0, 2..20)) {
+            let mut meu = MinimumExtractionUnit::new();
+            for (i, v) in values.iter().enumerate() {
+                meu.push(i, *v);
+            }
+            let mut mags: Vec<f64> = values.iter().map(|v| v.abs()).collect();
+            mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!((meu.min1() - mags[0]).abs() < 1e-12);
+            prop_assert!((meu.min2() - mags[1]).abs() < 1e-12);
+            let negs = values.iter().filter(|v| **v < 0.0).count();
+            let expected_sign = if negs % 2 == 0 { 1.0 } else { -1.0 };
+            prop_assert_eq!(meu.sign_product(), expected_sign);
+        }
+
+        #[test]
+        fn exclusion_rule_matches_per_position_min(values in proptest::collection::vec(-10.0f64..10.0, 2..15)) {
+            let mut meu = MinimumExtractionUnit::new();
+            for (i, v) in values.iter().enumerate() {
+                meu.push(i, *v);
+            }
+            for i in 0..values.len() {
+                let naive = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, v)| v.abs())
+                    .fold(f64::INFINITY, f64::min);
+                // The MEU reproduces the leave-one-out minimum exactly unless
+                // the excluded position ties with another equal minimum, in
+                // which case both give the same value anyway.
+                prop_assert!((meu.magnitude_for(i) - naive).abs() < 1e-12);
+            }
+        }
+    }
+}

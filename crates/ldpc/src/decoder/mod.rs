@@ -1,0 +1,47 @@
+//! LDPC decoders: two-phase (flooding) belief propagation and the layered
+//! normalized-min-sum decoder used by the paper's processing element.
+
+mod flooding;
+mod layered;
+mod meu;
+
+pub use flooding::{FloodingConfig, FloodingDecoder, FloodingKind};
+pub use layered::{LayeredConfig, LayeredDecoder};
+pub use meu::MinimumExtractionUnit;
+
+/// Result of a decoding attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeOutcome {
+    /// Hard decisions on every codeword bit.
+    pub hard_bits: Vec<u8>,
+    /// Final a-posteriori LLR of every codeword bit.
+    pub posterior: Vec<f64>,
+    /// Number of iterations actually performed.
+    pub iterations: usize,
+    /// `true` if the decoder stopped because the syndrome became zero.
+    pub converged: bool,
+}
+
+impl DecodeOutcome {
+    /// The decoded information bits, assuming a systematic code where the
+    /// first `k` bits are the information bits.
+    pub fn info_bits(&self, k: usize) -> &[u8] {
+        &self.hard_bits[..k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_bits_are_a_prefix() {
+        let out = DecodeOutcome {
+            hard_bits: vec![1, 0, 1, 1],
+            posterior: vec![0.0; 4],
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(out.info_bits(2), &[1, 0]);
+    }
+}

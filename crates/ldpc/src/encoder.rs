@@ -1,0 +1,348 @@
+//! Systematic encoders for WiMAX QC-LDPC codes.
+//!
+//! Two encoders are provided:
+//!
+//! * [`QcEncoder`] — the efficient two-stage encoder that exploits the
+//!   802.16e parity structure (weight-3 `h_b` column followed by a dual
+//!   diagonal), the one a hardware implementation would use.
+//! * [`GaussianEncoder`] — a generic encoder that inverts the parity part of
+//!   `H` over GF(2); slower to build but works for any full-rank parity part
+//!   and is used to cross-validate the QC encoder.
+
+use crate::code::{LdpcError, QcLdpcCode};
+
+/// Cyclic shift helper: returns the vector `y` with `y[r] = x[(r + shift) % z]`,
+/// i.e. the product of a right-shifted identity block with `x`.
+fn shift_block(x: &[u8], shift: usize) -> Vec<u8> {
+    let z = x.len();
+    (0..z).map(|r| x[(r + shift) % z]).collect()
+}
+
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Fast systematic encoder exploiting the 802.16e dual-diagonal structure.
+///
+/// # Example
+///
+/// ```
+/// use wimax_ldpc::{CodeRate, QcEncoder, QcLdpcCode};
+///
+/// let code = QcLdpcCode::wimax(576, CodeRate::R12)?;
+/// let encoder = QcEncoder::new(&code);
+/// let info = vec![1u8; code.k()];
+/// let cw = encoder.encode(&info)?;
+/// assert!(code.is_codeword(&cw));
+/// assert_eq!(&cw[..code.k()], &info[..]);
+/// # Ok::<(), wimax_ldpc::LdpcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QcEncoder {
+    code: QcLdpcCode,
+}
+
+impl QcEncoder {
+    /// Creates an encoder for the given code.
+    pub fn new(code: &QcLdpcCode) -> Self {
+        QcEncoder { code: code.clone() }
+    }
+
+    /// Encodes `info` (length `k`) into a systematic codeword of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpcError::InvalidInfoLength`] if `info.len() != k`.
+    pub fn encode(&self, info: &[u8]) -> Result<Vec<u8>, LdpcError> {
+        let code = &self.code;
+        if info.len() != code.k() {
+            return Err(LdpcError::InvalidInfoLength {
+                expected: code.k(),
+                actual: info.len(),
+            });
+        }
+        let z = code.expansion();
+        let base = code.base();
+        let mb = base.rows();
+        let kb = base.systematic_cols();
+        // The "middle" row of the weight-3 h_b column (the entry with shift 0
+        // strictly between the first and last block rows).
+        let mid = (1..mb - 1)
+            .find(|&r| base.entry(r, kb) >= 0)
+            .expect("h_b column has a middle entry");
+
+        // lambda_i = sum_j P_{s(i,j)} u_j over the systematic part.
+        let mut lambda = vec![vec![0u8; z]; mb];
+        for br in 0..mb {
+            for bc in 0..kb {
+                if let Some(s) = base.shift(br, bc, z) {
+                    let block = &info[bc * z..(bc + 1) * z];
+                    let shifted = shift_block(block, s);
+                    xor_into(&mut lambda[br], &shifted);
+                }
+            }
+        }
+
+        // p_0 = sum_i lambda_i (the double h_b shift cancels, the dual
+        // diagonal cancels pairwise, leaving the single shift-0 h_b entry).
+        let mut p = vec![vec![0u8; z]; mb];
+        for l in &lambda {
+            xor_into(&mut p[0], l);
+        }
+
+        let hb_shift = base
+            .shift(0, kb, z)
+            .expect("h_b column has an entry in block row 0");
+
+        // Forward recursion on the dual diagonal.
+        // row 0:  lambda_0 + P_hb p_0 + p_1 = 0
+        let mut p1 = lambda[0].clone();
+        xor_into(&mut p1, &shift_block(&p[0], hb_shift));
+        p[1] = p1;
+        for i in 1..mb - 1 {
+            // row i: lambda_i + [p_0 if i == mid] + p_i + p_{i+1} = 0
+            let mut next = lambda[i].clone();
+            let prev = p[i].clone();
+            xor_into(&mut next, &prev);
+            if i == mid {
+                let p0 = p[0].clone();
+                xor_into(&mut next, &p0);
+            }
+            p[i + 1] = next;
+        }
+
+        let mut codeword = Vec::with_capacity(code.n());
+        codeword.extend_from_slice(info);
+        for block in &p {
+            codeword.extend_from_slice(block);
+        }
+        Ok(codeword)
+    }
+
+    /// The code this encoder targets.
+    pub fn code(&self) -> &QcLdpcCode {
+        &self.code
+    }
+}
+
+/// Dense GF(2) generic encoder: precomputes the inverse of the parity part of
+/// `H` and solves `H_p * p = H_s * u` for every information word.
+#[derive(Debug, Clone)]
+pub struct GaussianEncoder {
+    code: QcLdpcCode,
+    /// Inverse of the parity submatrix, stored as bit-packed rows of length m.
+    inv_rows: Vec<Vec<u64>>,
+}
+
+impl GaussianEncoder {
+    /// Builds the encoder.  Returns `None` if the parity part of `H` is
+    /// singular over GF(2) (cannot happen for the 802.16e structure, but may
+    /// for arbitrary base matrices).
+    pub fn new(code: &QcLdpcCode) -> Option<Self> {
+        let m = code.m();
+        let k = code.k();
+        let words = (m + 63) / 64;
+
+        // Dense copy of the parity columns of H, augmented with the identity.
+        let mut rows: Vec<(Vec<u64>, Vec<u64>)> = (0..m)
+            .map(|r| {
+                let mut a = vec![0u64; words];
+                for &c in code.parity_check().row(r) {
+                    if c >= k {
+                        let pc = c - k;
+                        a[pc / 64] |= 1 << (pc % 64);
+                    }
+                }
+                let mut e = vec![0u64; words];
+                e[r / 64] |= 1 << (r % 64);
+                (a, e)
+            })
+            .collect();
+
+        // Gauss-Jordan elimination.
+        for col in 0..m {
+            let w = col / 64;
+            let bit = 1u64 << (col % 64);
+            let pivot = (col..m).find(|&r| rows[r].0[w] & bit != 0)?;
+            rows.swap(col, pivot);
+            let (pa, pe) = (rows[col].0.clone(), rows[col].1.clone());
+            for (r, (a, e)) in rows.iter_mut().enumerate() {
+                if r != col && a[w] & bit != 0 {
+                    for (x, y) in a.iter_mut().zip(&pa) {
+                        *x ^= y;
+                    }
+                    for (x, y) in e.iter_mut().zip(&pe) {
+                        *x ^= y;
+                    }
+                }
+            }
+        }
+
+        Some(GaussianEncoder {
+            code: code.clone(),
+            inv_rows: rows.into_iter().map(|(_, e)| e).collect(),
+        })
+    }
+
+    /// Encodes `info` into a systematic codeword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LdpcError::InvalidInfoLength`] if `info.len() != k`.
+    pub fn encode(&self, info: &[u8]) -> Result<Vec<u8>, LdpcError> {
+        let code = &self.code;
+        if info.len() != code.k() {
+            return Err(LdpcError::InvalidInfoLength {
+                expected: code.k(),
+                actual: info.len(),
+            });
+        }
+        let m = code.m();
+        let k = code.k();
+        let words = (m + 63) / 64;
+
+        // s = H_s * u as a bit-packed vector.
+        let mut s = vec![0u64; words];
+        for r in 0..m {
+            let mut acc = 0u8;
+            for &c in code.parity_check().row(r) {
+                if c < k {
+                    acc ^= info[c] & 1;
+                }
+            }
+            if acc == 1 {
+                s[r / 64] |= 1 << (r % 64);
+            }
+        }
+
+        // p = Hp^{-1} * s.
+        let mut parity = vec![0u8; m];
+        for (r, inv_row) in self.inv_rows.iter().enumerate() {
+            let mut acc = 0u32;
+            for (a, b) in inv_row.iter().zip(&s) {
+                acc ^= (a & b).count_ones() & 1;
+            }
+            parity[r] = (acc & 1) as u8;
+        }
+
+        let mut cw = Vec::with_capacity(code.n());
+        cw.extend_from_slice(info);
+        cw.extend_from_slice(&parity);
+        Ok(cw)
+    }
+
+    /// The code this encoder targets.
+    pub fn code(&self) -> &QcLdpcCode {
+        &self.code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base_matrix::CodeRate;
+    use rand::{Rng, SeedableRng};
+
+    fn random_info(k: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..k).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn shift_block_rotates() {
+        assert_eq!(shift_block(&[1, 0, 0, 0], 1), vec![0, 0, 0, 1]);
+        assert_eq!(shift_block(&[1, 2, 3, 4], 0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn qc_encoder_produces_codewords_rate_half() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        for seed in 0..5 {
+            let info = random_info(code.k(), seed);
+            let cw = enc.encode(&info).unwrap();
+            assert_eq!(cw.len(), code.n());
+            assert_eq!(&cw[..code.k()], &info[..]);
+            assert!(code.is_codeword(&cw), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn qc_encoder_produces_codewords_all_rates() {
+        for rate in CodeRate::all() {
+            let code = QcLdpcCode::wimax(576, rate).unwrap();
+            let enc = QcEncoder::new(&code);
+            let info = random_info(code.k(), 42);
+            let cw = enc.encode(&info).unwrap();
+            assert!(code.is_codeword(&cw), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn qc_encoder_largest_code() {
+        let code = QcLdpcCode::wimax(2304, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        let info = random_info(code.k(), 7);
+        let cw = enc.encode(&info).unwrap();
+        assert!(code.is_codeword(&cw));
+    }
+
+    #[test]
+    fn gaussian_encoder_agrees_with_qc_encoder() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let qc = QcEncoder::new(&code);
+        let ge = GaussianEncoder::new(&code).expect("parity part is invertible");
+        for seed in 0..3 {
+            let info = random_info(code.k(), seed);
+            assert_eq!(qc.encode(&info).unwrap(), ge.encode(&info).unwrap());
+        }
+    }
+
+    #[test]
+    fn gaussian_encoder_all_rates() {
+        for rate in CodeRate::all() {
+            let code = QcLdpcCode::wimax(576, rate).unwrap();
+            let ge = GaussianEncoder::new(&code).expect("invertible");
+            let info = random_info(code.k(), 3);
+            let cw = ge.encode(&info).unwrap();
+            assert!(code.is_codeword(&cw), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn all_zero_info_encodes_to_all_zero() {
+        let code = QcLdpcCode::wimax(672, CodeRate::R56).unwrap();
+        let enc = QcEncoder::new(&code);
+        let cw = enc.encode(&vec![0u8; code.k()]).unwrap();
+        assert!(cw.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn wrong_info_length_is_rejected() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        assert!(matches!(
+            enc.encode(&vec![0u8; 10]),
+            Err(LdpcError::InvalidInfoLength { expected, actual: 10 }) if expected == code.k()
+        ));
+        let ge = GaussianEncoder::new(&code).unwrap();
+        assert!(ge.encode(&vec![0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        // encode(a) xor encode(b) == encode(a xor b) for a systematic linear code
+        let code = QcLdpcCode::wimax(576, CodeRate::R23A).unwrap();
+        let enc = QcEncoder::new(&code);
+        let a = random_info(code.k(), 1);
+        let b = random_info(code.k(), 2);
+        let ab: Vec<u8> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let ca = enc.encode(&a).unwrap();
+        let cb = enc.encode(&b).unwrap();
+        let cab = enc.encode(&ab).unwrap();
+        let cxor: Vec<u8> = ca.iter().zip(&cb).map(|(x, y)| x ^ y).collect();
+        assert_eq!(cab, cxor);
+    }
+}

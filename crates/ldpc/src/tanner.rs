@@ -1,0 +1,225 @@
+//! Tanner-graph views of a parity-check matrix.
+//!
+//! Besides the usual bipartite variable/check view, this module provides the
+//! *row adjacency graph* used by the paper's mapping flow (Section III.A):
+//! with layered scheduling the graph has `M` nodes (one per parity check) and
+//! an edge between rows `i` and `j` whenever a non-zero entry is present in
+//! the same column of both, i.e. whenever decoding row `j` consumes a bit LLR
+//! updated by row `i`.
+
+use crate::code::QcLdpcCode;
+use crate::sparse::SparseBinaryMatrix;
+use std::collections::BTreeSet;
+
+/// Bipartite Tanner graph plus the derived row-adjacency graph.
+#[derive(Debug, Clone)]
+pub struct TannerGraph {
+    check_to_vars: Vec<Vec<usize>>,
+    var_to_checks: Vec<Vec<usize>>,
+}
+
+impl TannerGraph {
+    /// Builds the Tanner graph of an expanded QC-LDPC code.
+    pub fn from_code(code: &QcLdpcCode) -> Self {
+        Self::from_matrix(code.parity_check())
+    }
+
+    /// Builds the Tanner graph of an arbitrary sparse parity-check matrix.
+    pub fn from_matrix(h: &SparseBinaryMatrix) -> Self {
+        let check_to_vars: Vec<Vec<usize>> =
+            (0..h.num_rows()).map(|r| h.row(r).to_vec()).collect();
+        let var_to_checks = h.column_lists();
+        TannerGraph {
+            check_to_vars,
+            var_to_checks,
+        }
+    }
+
+    /// Number of check nodes.
+    pub fn num_checks(&self) -> usize {
+        self.check_to_vars.len()
+    }
+
+    /// Number of variable nodes.
+    pub fn num_variables(&self) -> usize {
+        self.var_to_checks.len()
+    }
+
+    /// Variables connected to check `c`.
+    pub fn check_neighbors(&self, c: usize) -> &[usize] {
+        &self.check_to_vars[c]
+    }
+
+    /// Checks connected to variable `v`.
+    pub fn variable_neighbors(&self, v: usize) -> &[usize] {
+        &self.var_to_checks[v]
+    }
+
+    /// Number of edges (ones of H).
+    pub fn num_edges(&self) -> usize {
+        self.check_to_vars.iter().map(|v| v.len()).sum()
+    }
+
+    /// The row-adjacency graph used for NoC mapping: returns, for every check
+    /// node, the sorted set of other check nodes sharing at least one
+    /// variable with it.
+    pub fn row_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.num_checks()];
+        for checks in &self.var_to_checks {
+            for (i, &a) in checks.iter().enumerate() {
+                for &b in &checks[i + 1..] {
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                }
+            }
+        }
+        adj.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    /// Edge-weighted row adjacency: for every pair of adjacent checks the
+    /// weight is the number of shared variables (i.e. the number of LLR
+    /// messages exchanged between the two rows per iteration).
+    pub fn weighted_row_adjacency(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut maps: Vec<std::collections::BTreeMap<usize, usize>> =
+            vec![std::collections::BTreeMap::new(); self.num_checks()];
+        for checks in &self.var_to_checks {
+            for (i, &a) in checks.iter().enumerate() {
+                for &b in &checks[i + 1..] {
+                    *maps[a].entry(b).or_insert(0) += 1;
+                    *maps[b].entry(a).or_insert(0) += 1;
+                }
+            }
+        }
+        maps.into_iter().map(|m| m.into_iter().collect()).collect()
+    }
+
+    /// Computes the girth (length of the shortest cycle) of the bipartite
+    /// graph via BFS from every variable node, returning `None` for a forest.
+    /// Intended for small matrices (tests and diagnostics).
+    pub fn girth(&self) -> Option<usize> {
+        let nv = self.num_variables();
+        let nc = self.num_checks();
+        let total = nv + nc;
+        let mut best: Option<usize> = None;
+        // node ids: 0..nv are variables, nv..nv+nc are checks
+        for start in 0..nv {
+            let mut dist = vec![usize::MAX; total];
+            let mut parent = vec![usize::MAX; total];
+            let mut queue = std::collections::VecDeque::new();
+            dist[start] = 0;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                let neighbors: Vec<usize> = if u < nv {
+                    self.var_to_checks[u].iter().map(|&c| c + nv).collect()
+                } else {
+                    self.check_to_vars[u - nv].clone()
+                };
+                for v in neighbors {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        parent[v] = u;
+                        queue.push_back(v);
+                    } else if parent[u] != v {
+                        let cycle = dist[u] + dist[v] + 1;
+                        best = Some(best.map_or(cycle, |b| b.min(cycle)));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base_matrix::CodeRate;
+
+    fn tiny_matrix() -> SparseBinaryMatrix {
+        // checks: c0 = {0,1}, c1 = {1,2}, c2 = {3}
+        let mut h = SparseBinaryMatrix::new(3, 4);
+        h.set(0, 0);
+        h.set(0, 1);
+        h.set(1, 1);
+        h.set(1, 2);
+        h.set(2, 3);
+        h
+    }
+
+    #[test]
+    fn bipartite_views_consistent() {
+        let g = TannerGraph::from_matrix(&tiny_matrix());
+        assert_eq!(g.num_checks(), 3);
+        assert_eq!(g.num_variables(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.check_neighbors(0), &[0, 1]);
+        assert_eq!(g.variable_neighbors(1), &[0, 1]);
+    }
+
+    #[test]
+    fn row_adjacency_links_rows_sharing_columns() {
+        let g = TannerGraph::from_matrix(&tiny_matrix());
+        let adj = g.row_adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0]);
+        assert!(adj[2].is_empty());
+    }
+
+    #[test]
+    fn weighted_adjacency_counts_shared_columns() {
+        let mut h = SparseBinaryMatrix::new(2, 4);
+        for c in [0, 1, 2] {
+            h.set(0, c);
+        }
+        for c in [1, 2, 3] {
+            h.set(1, c);
+        }
+        let g = TannerGraph::from_matrix(&h);
+        let w = g.weighted_row_adjacency();
+        assert_eq!(w[0], vec![(1, 2)]);
+        assert_eq!(w[1], vec![(0, 2)]);
+    }
+
+    #[test]
+    fn girth_of_a_four_cycle() {
+        let mut h = SparseBinaryMatrix::new(2, 2);
+        h.set(0, 0);
+        h.set(0, 1);
+        h.set(1, 0);
+        h.set(1, 1);
+        let g = TannerGraph::from_matrix(&h);
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn girth_of_a_tree_is_none() {
+        let g = TannerGraph::from_matrix(&tiny_matrix());
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn wimax_code_row_adjacency_is_symmetric_and_nontrivial() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let g = TannerGraph::from_code(&code);
+        assert_eq!(g.num_checks(), code.m());
+        assert_eq!(g.num_variables(), code.n());
+        let adj = g.row_adjacency();
+        // symmetry
+        for (i, neigh) in adj.iter().enumerate() {
+            for &j in neigh {
+                assert!(adj[j].contains(&i));
+            }
+            assert!(!neigh.contains(&i), "no self loops");
+        }
+        // every check row shares variables with several other rows
+        let avg: f64 = adj.iter().map(|n| n.len() as f64).sum::<f64>() / adj.len() as f64;
+        assert!(avg > 5.0, "average adjacency degree {avg}");
+    }
+
+    #[test]
+    fn wimax_rate_half_has_girth_at_least_six() {
+        // The standard's rate-1/2 matrix is 4-cycle free.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        assert_eq!(code.parity_check().count_four_cycles(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Weighted undirected graphs used by the partitioning flow.
+
+/// A weighted undirected graph stored as adjacency lists.
+///
+/// Node indices are dense (`0..len`).  Edge weights count how many messages
+/// the two endpoints exchange per decoding iteration.
+///
+/// # Example
+///
+/// ```
+/// use noc_mapping::WeightedGraph;
+///
+/// let mut g = WeightedGraph::new(3);
+/// g.add_edge(0, 1, 2);
+/// g.add_edge(1, 2, 1);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.total_edge_weight(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedGraph {
+    adjacency: Vec<Vec<(usize, u64)>>,
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `nodes` isolated nodes.
+    pub fn new(nodes: usize) -> Self {
+        WeightedGraph {
+            adjacency: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Builds a graph from an adjacency-list description
+    /// (`lists[u]` = `(v, weight)` pairs; both directions must be present or
+    /// will be merged).
+    pub fn from_adjacency(lists: Vec<Vec<(usize, u64)>>) -> Self {
+        let mut g = WeightedGraph::new(lists.len());
+        for (u, neigh) in lists.iter().enumerate() {
+            for &(v, w) in neigh {
+                if u < v {
+                    g.add_edge(u, v, w);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds an undirected edge (accumulating the weight if it exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes or self loops.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: u64) {
+        assert!(u < self.len() && v < self.len(), "node out of range");
+        assert_ne!(u, v, "self loops are not allowed");
+        for (a, b) in [(u, v), (v, u)] {
+            match self.adjacency[a].binary_search_by_key(&b, |&(n, _)| n) {
+                Ok(pos) => self.adjacency[a][pos].1 += weight,
+                Err(pos) => self.adjacency[a].insert(pos, (b, weight)),
+            }
+        }
+    }
+
+    /// Neighbours of `u` with edge weights.
+    pub fn neighbors(&self, u: usize) -> &[(usize, u64)] {
+        &self.adjacency[u]
+    }
+
+    /// Number of neighbours of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Sum of the weights of the edges incident to `u`.
+    pub fn weighted_degree(&self, u: usize) -> u64 {
+        self.adjacency[u].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total weight over all (undirected) edges.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adjacency
+            .iter()
+            .flat_map(|n| n.iter())
+            .map(|&(_, w)| w)
+            .sum::<u64>()
+            / 2
+    }
+
+    /// Edge cut of an assignment `part[u]`: total weight of edges whose
+    /// endpoints live in different parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part.len() != self.len()`.
+    pub fn edge_cut(&self, part: &[usize]) -> u64 {
+        assert_eq!(part.len(), self.len(), "partition length mismatch");
+        let mut cut = 0;
+        for (u, neigh) in self.adjacency.iter().enumerate() {
+            for &(v, w) in neigh {
+                if u < v && part[u] != part[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> WeightedGraph {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 2);
+        g.add_edge(0, 2, 3);
+        g
+    }
+
+    #[test]
+    fn construction_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.weighted_degree(0), 4);
+        assert_eq!(g.total_edge_weight(), 6);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate_weight() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 1, 4);
+        assert_eq!(g.total_edge_weight(), 5);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loop_panics() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    fn edge_cut_of_partitions() {
+        let g = triangle();
+        assert_eq!(g.edge_cut(&[0, 0, 0]), 0);
+        assert_eq!(g.edge_cut(&[0, 1, 1]), 1 + 3);
+        assert_eq!(g.edge_cut(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    fn from_adjacency_matches_manual_construction() {
+        let lists = vec![
+            vec![(1, 1), (2, 3)],
+            vec![(0, 1), (2, 2)],
+            vec![(0, 3), (1, 2)],
+        ];
+        let g = WeightedGraph::from_adjacency(lists);
+        assert_eq!(g, triangle());
+    }
+}

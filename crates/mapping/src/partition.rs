@@ -1,0 +1,418 @@
+//! Balanced graph partitioning: the role played by the Metis bundle in the
+//! paper's mapping flow.
+//!
+//! The partitioner combines greedy region growing (seeds spread across the
+//! graph, grown breadth-first in round-robin so that every part reaches the
+//! same size) with a Kernighan–Lin-style refinement that moves boundary nodes
+//! between parts whenever this reduces the edge cut without violating the
+//! balance constraint.
+
+use crate::graph::WeightedGraph;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Configuration of the partitioner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionerConfig {
+    /// Number of refinement passes.
+    pub refinement_passes: usize,
+    /// Allowed imbalance: a part may hold at most
+    /// `ceil(nodes / parts) + slack` nodes.
+    pub balance_slack: usize,
+    /// RNG seed for seed-node selection.
+    pub seed: u64,
+}
+
+impl Default for PartitionerConfig {
+    fn default() -> Self {
+        PartitionerConfig {
+            refinement_passes: 8,
+            balance_slack: 1,
+            seed: 1,
+        }
+    }
+}
+
+/// The result of partitioning a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assignment: Vec<usize>,
+    parts: usize,
+}
+
+impl Partition {
+    /// Creates a partition from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment is `>= parts`.
+    pub fn new(assignment: Vec<usize>, parts: usize) -> Self {
+        assert!(
+            assignment.iter().all(|&p| p < parts),
+            "assignment references a part out of range"
+        );
+        Partition { assignment, parts }
+    }
+
+    /// The part of node `u`.
+    pub fn part_of(&self, u: usize) -> usize {
+        self.assignment[u]
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Number of nodes in each part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0; self.parts];
+        for &p in &self.assignment {
+            sizes[p] += 1;
+        }
+        sizes
+    }
+
+    /// Largest part size divided by the ideal size; 1.0 means perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        let sizes = self.sizes();
+        let max = *sizes.iter().max().unwrap_or(&0) as f64;
+        let ideal = self.assignment.len() as f64 / self.parts as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+/// Balanced low-edge-cut graph partitioner.
+///
+/// # Example
+///
+/// ```
+/// use noc_mapping::{Partitioner, PartitionerConfig, WeightedGraph};
+///
+/// // a ring of 12 nodes split over 4 parts
+/// let mut g = WeightedGraph::new(12);
+/// for i in 0..12 {
+///     g.add_edge(i, (i + 1) % 12, 1);
+/// }
+/// let partition = Partitioner::new(PartitionerConfig::default()).partition(&g, 4);
+/// assert_eq!(partition.parts(), 4);
+/// assert!(partition.imbalance() <= 1.5);
+/// // a ring cut into 4 contiguous arcs has cut 4; allow a little slack
+/// assert!(g.edge_cut(partition.assignment()) <= 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partitioner {
+    config: PartitionerConfig,
+}
+
+impl Partitioner {
+    /// Creates a partitioner.
+    pub fn new(config: PartitionerConfig) -> Self {
+        Partitioner { config }
+    }
+
+    /// Partitions `graph` into `parts` balanced parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero or larger than the number of nodes.
+    pub fn partition(&self, graph: &WeightedGraph, parts: usize) -> Partition {
+        let n = graph.len();
+        assert!(parts >= 1, "need at least one part");
+        assert!(parts <= n, "cannot split {n} nodes into {parts} parts");
+        if parts == 1 {
+            return Partition::new(vec![0; n], 1);
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        let assignment = self.grow_regions(graph, parts, &mut rng);
+        let assignment = self.refine(graph, assignment, parts);
+        Partition::new(assignment, parts)
+    }
+
+    /// Greedy region growing: pick spread-out seeds, then grow each part
+    /// breadth-first in round-robin until every node is assigned.
+    fn grow_regions(
+        &self,
+        graph: &WeightedGraph,
+        parts: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<usize> {
+        let n = graph.len();
+        let target = n.div_ceil(parts);
+        let mut assignment = vec![usize::MAX; n];
+        let mut sizes = vec![0usize; parts];
+
+        // choose seeds: first seed random, others maximize BFS distance to chosen seeds
+        let mut seeds = Vec::with_capacity(parts);
+        let first = rng.gen_range(0..n);
+        seeds.push(first);
+        let mut dist_to_seeds = bfs_distance(graph, first);
+        while seeds.len() < parts {
+            let next = (0..n)
+                .filter(|u| !seeds.contains(u))
+                .max_by_key(|&u| dist_to_seeds[u].min(n))
+                .unwrap_or_else(|| rng.gen_range(0..n));
+            seeds.push(next);
+            let d = bfs_distance(graph, next);
+            for (a, b) in dist_to_seeds.iter_mut().zip(d) {
+                *a = (*a).min(b);
+            }
+        }
+
+        let mut frontiers: Vec<VecDeque<usize>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(p, &s)| {
+                assignment[s] = p;
+                sizes[p] = 1;
+                VecDeque::from([s])
+            })
+            .collect();
+
+        // round-robin growth
+        let mut remaining = n - parts;
+        let mut unassigned_scan = 0usize;
+        while remaining > 0 {
+            let mut progressed = false;
+            for p in 0..parts {
+                if sizes[p] >= target + self.config.balance_slack {
+                    continue;
+                }
+                // pop from the frontier until we find a node with an unassigned neighbour
+                while let Some(&u) = frontiers[p].front() {
+                    let next = graph
+                        .neighbors(u)
+                        .iter()
+                        .map(|&(v, _)| v)
+                        .find(|&v| assignment[v] == usize::MAX);
+                    match next {
+                        Some(v) => {
+                            assignment[v] = p;
+                            sizes[p] += 1;
+                            frontiers[p].push_back(v);
+                            remaining -= 1;
+                            progressed = true;
+                            break;
+                        }
+                        None => {
+                            frontiers[p].pop_front();
+                        }
+                    }
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+            if !progressed && remaining > 0 {
+                // disconnected remainder: assign the next unassigned node to the smallest part
+                while unassigned_scan < n && assignment[unassigned_scan] != usize::MAX {
+                    unassigned_scan += 1;
+                }
+                if unassigned_scan < n {
+                    let p = (0..parts).min_by_key(|&p| sizes[p]).expect("parts >= 1");
+                    assignment[unassigned_scan] = p;
+                    sizes[p] += 1;
+                    frontiers[p].push_back(unassigned_scan);
+                    remaining -= 1;
+                }
+            }
+        }
+        assignment
+    }
+
+    /// Kernighan–Lin-style refinement: move boundary nodes to the neighbouring
+    /// part with the largest positive gain, respecting the balance constraint.
+    fn refine(&self, graph: &WeightedGraph, mut assignment: Vec<usize>, parts: usize) -> Vec<usize> {
+        let n = graph.len();
+        let target = n.div_ceil(parts);
+        let max_size = target + self.config.balance_slack;
+        let min_size = (n / parts).saturating_sub(self.config.balance_slack).max(1);
+        let mut sizes = vec![0usize; parts];
+        for &p in &assignment {
+            sizes[p] += 1;
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0xDEAD);
+
+        for _ in 0..self.config.refinement_passes {
+            let mut improved = false;
+            order.shuffle(&mut rng);
+            for &u in &order {
+                let from = assignment[u];
+                if sizes[from] <= min_size {
+                    continue;
+                }
+                // weight towards each neighbouring part
+                let mut towards: Vec<(usize, i64)> = Vec::new();
+                let mut internal: i64 = 0;
+                for &(v, w) in graph.neighbors(u) {
+                    let pv = assignment[v];
+                    if pv == from {
+                        internal += w as i64;
+                    } else {
+                        match towards.iter_mut().find(|(p, _)| *p == pv) {
+                            Some((_, acc)) => *acc += w as i64,
+                            None => towards.push((pv, w as i64)),
+                        }
+                    }
+                }
+                let best = towards
+                    .iter()
+                    .filter(|&&(p, _)| sizes[p] < max_size)
+                    .max_by_key(|&&(_, w)| w);
+                if let Some(&(to, external)) = best {
+                    if external > internal {
+                        assignment[u] = to;
+                        sizes[from] -= 1;
+                        sizes[to] += 1;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        assignment
+    }
+}
+
+fn bfs_distance(graph: &WeightedGraph, src: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.len()];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in graph.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ring(n: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1);
+        }
+        g
+    }
+
+    fn grid(rows: usize, cols: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    g.add_edge(i, i + 1, 1);
+                }
+                if r + 1 < rows {
+                    g.add_edge(i, i + cols, 1);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = ring(10);
+        let p = Partitioner::new(PartitionerConfig::default()).partition(&g, 1);
+        assert!(p.assignment().iter().all(|&x| x == 0));
+        assert_eq!(p.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let g = grid(8, 8);
+        let p = Partitioner::new(PartitionerConfig::default()).partition(&g, 8);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 64);
+        assert!(*sizes.iter().max().unwrap() <= 8 + 1);
+        assert!(*sizes.iter().min().unwrap() >= 8 - 2);
+    }
+
+    #[test]
+    fn cut_is_much_better_than_random() {
+        let g = grid(10, 10);
+        let parts = 5;
+        let p = Partitioner::new(PartitionerConfig::default()).partition(&g, parts);
+        let cut = g.edge_cut(p.assignment());
+        // random assignment cuts ~ (1 - 1/parts) of the 180 edges ~ 144
+        assert!(cut < 80, "cut = {cut}");
+    }
+
+    #[test]
+    fn ring_cut_is_near_optimal() {
+        let g = ring(32);
+        let p = Partitioner::new(PartitionerConfig::default()).partition(&g, 4);
+        let cut = g.edge_cut(p.assignment());
+        assert!(cut <= 10, "cut = {cut} (optimal is 4)");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = grid(6, 6);
+        let a = Partitioner::new(PartitionerConfig::default()).partition(&g, 4);
+        let b = Partitioner::new(PartitionerConfig::default()).partition(&g, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_parts_panics() {
+        let g = ring(4);
+        let _ = Partitioner::new(PartitionerConfig::default()).partition(&g, 5);
+    }
+
+    #[test]
+    fn partition_new_validates_range() {
+        let p = Partition::new(vec![0, 1, 1], 2);
+        assert_eq!(p.sizes(), vec![1, 2]);
+        assert_eq!(p.part_of(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_new_rejects_bad_assignment() {
+        let _ = Partition::new(vec![0, 2], 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn every_node_is_assigned_and_parts_nonempty(n in 8usize..40, parts in 2usize..6, seed in 0u64..100) {
+            prop_assume!(parts <= n);
+            let g = ring(n);
+            let cfg = PartitionerConfig { seed, ..PartitionerConfig::default() };
+            let p = Partitioner::new(cfg).partition(&g, parts);
+            prop_assert_eq!(p.assignment().len(), n);
+            let sizes = p.sizes();
+            prop_assert!(sizes.iter().all(|&s| s > 0));
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        }
+    }
+}

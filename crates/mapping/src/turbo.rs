@@ -1,0 +1,217 @@
+//! Mapping of double-binary turbo codes onto NoC nodes.
+//!
+//! Turbo decoding partitions the frame into `P` contiguous windows, one per
+//! SISO (the Turbo NOC framework of refs [16], [17]).  During the first half
+//! iteration each SISO produces one extrinsic message per couple of its
+//! window and sends it to the SISO owning the *interleaved* position; during
+//! the second half iteration the extrinsics travel along the inverse
+//! permutation.
+
+use crate::MappingQuality;
+use noc_sim::{Message, TrafficTrace};
+use wimax_turbo::CtcCode;
+
+/// Which half iteration a traffic trace describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HalfIteration {
+    /// SISO 1 (natural order) producing a-priori information for SISO 2.
+    First,
+    /// SISO 2 (interleaved order) producing a-priori information for SISO 1.
+    Second,
+}
+
+/// A mapping of one WiMAX CTC onto `P` SISO processing elements.
+///
+/// # Example
+///
+/// ```
+/// use noc_mapping::TurboMapping;
+/// use wimax_turbo::CtcCode;
+///
+/// let code = CtcCode::wimax(2400)?;
+/// let mapping = TurboMapping::new(&code, 22);
+/// let trace = mapping.traffic_trace(noc_mapping::turbo::HalfIteration::First);
+/// assert_eq!(trace.total_messages(), 2400);
+/// # Ok::<(), wimax_turbo::TurboError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TurboMapping {
+    code: CtcCode,
+    pes: usize,
+    owner: Vec<usize>,
+}
+
+impl TurboMapping {
+    /// Maps `code` onto `pes` SISOs using contiguous windows of couples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is zero or exceeds the number of couples.
+    pub fn new(code: &CtcCode, pes: usize) -> Self {
+        let n = code.couples();
+        assert!(pes >= 1, "need at least one PE");
+        assert!(pes <= n, "cannot map {n} couples onto {pes} PEs");
+        let owner = (0..n).map(|j| j * pes / n).collect();
+        TurboMapping {
+            code: code.clone(),
+            pes,
+            owner,
+        }
+    }
+
+    /// Number of SISO processing elements.
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// The code being mapped.
+    pub fn code(&self) -> &CtcCode {
+        &self.code
+    }
+
+    /// The PE owning couple `j` (natural order).
+    pub fn owner_of(&self, j: usize) -> usize {
+        self.owner[j]
+    }
+
+    /// The couples assigned to a PE (natural order indices).
+    pub fn couples_of(&self, pe: usize) -> Vec<usize> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == pe)
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Window size of the largest window.
+    pub fn max_window(&self) -> usize {
+        (0..self.pes).map(|p| self.couples_of(p).len()).max().unwrap_or(0)
+    }
+
+    /// The traffic of one half iteration.
+    pub fn traffic_trace(&self, half: HalfIteration) -> TrafficTrace {
+        let n = self.code.couples();
+        let pi = self.code.interleaver();
+        let mut per_source: Vec<Vec<Message>> = vec![Vec::new(); self.pes];
+        let mut sequence = vec![0usize; self.pes];
+        match half {
+            HalfIteration::First => {
+                // natural-order SISOs send extrinsic of couple j to the PE
+                // owning interleaved position pi(j)
+                for j in 0..n {
+                    let src = self.owner[j];
+                    let p = pi.permute(j);
+                    let dst = self.owner[p];
+                    let seq = sequence[src];
+                    sequence[src] += 1;
+                    per_source[src].push(Message::new(src, dst, p, seq));
+                }
+            }
+            HalfIteration::Second => {
+                // interleaved-order SISOs send extrinsic of position p back to
+                // the PE owning natural position j = pi^{-1}(p)
+                for p in 0..n {
+                    let src = self.owner[p];
+                    let j = pi.inverse(p);
+                    let dst = self.owner[j];
+                    let seq = sequence[src];
+                    sequence[src] += 1;
+                    per_source[src].push(Message::new(src, dst, j, seq));
+                }
+            }
+        }
+        TrafficTrace::new(per_source)
+    }
+
+    /// Quality metrics of the first-half traffic (the two halves are
+    /// symmetric in volume).
+    pub fn quality(&self) -> MappingQuality {
+        let trace = self.traffic_trace(HalfIteration::First);
+        let counts: Vec<usize> = (0..self.pes).map(|p| trace.messages(p).len()).collect();
+        MappingQuality {
+            pes: self.pes,
+            total_messages: trace.total_messages(),
+            remote_messages: trace.remote_messages(),
+            max_per_pe: counts.iter().copied().max().unwrap_or(0),
+            min_per_pe: counts.iter().copied().min().unwrap_or(0),
+            edge_cut: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(n: usize) -> CtcCode {
+        CtcCode::wimax(n).unwrap()
+    }
+
+    #[test]
+    fn windows_are_contiguous_and_balanced() {
+        let mapping = TurboMapping::new(&code(2400), 22);
+        let mut total = 0;
+        for pe in 0..22 {
+            let couples = mapping.couples_of(pe);
+            total += couples.len();
+            // contiguity
+            for w in couples.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+            // the paper's design: 2400 couples over 22 SISOs ~ 109 each
+            assert!(couples.len() >= 109 && couples.len() <= 110, "pe {pe}: {}", couples.len());
+        }
+        assert_eq!(total, 2400);
+        assert_eq!(mapping.max_window(), 110);
+    }
+
+    #[test]
+    fn one_message_per_couple_per_half_iteration() {
+        let mapping = TurboMapping::new(&code(240), 8);
+        for half in [HalfIteration::First, HalfIteration::Second] {
+            let t = mapping.traffic_trace(half);
+            assert_eq!(t.total_messages(), 240);
+            assert!(t.max_destination().unwrap() < 8);
+        }
+    }
+
+    #[test]
+    fn second_half_is_the_inverse_permutation() {
+        let mapping = TurboMapping::new(&code(48), 4);
+        let first = mapping.traffic_trace(HalfIteration::First);
+        let second = mapping.traffic_trace(HalfIteration::Second);
+        // volumes match and the src/dst multisets are swapped
+        assert_eq!(first.total_messages(), second.total_messages());
+        assert_eq!(first.remote_messages(), second.remote_messages());
+    }
+
+    #[test]
+    fn interleaver_spreads_traffic_across_pes() {
+        let mapping = TurboMapping::new(&code(960), 16);
+        let q = mapping.quality();
+        // The ARP interleaver is designed to scatter couples: most traffic is remote.
+        assert!(q.locality() < 0.3, "locality {}", q.locality());
+        assert!((q.balance_ratio() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn owners_cover_range() {
+        let mapping = TurboMapping::new(&code(120), 5);
+        assert_eq!(mapping.owner_of(0), 0);
+        assert_eq!(mapping.owner_of(119), 4);
+        assert_eq!(mapping.pes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_panics() {
+        let _ = TurboMapping::new(&code(24), 0);
+    }
+
+    #[test]
+    fn single_pe_is_fully_local() {
+        let mapping = TurboMapping::new(&code(24), 1);
+        assert_eq!(mapping.quality().remote_messages, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The routing-element (RE) node model: input FIFOs, crossbar, output
+//! registers (paper Fig. 1).
+
+use crate::packet::InFlight;
+use std::collections::VecDeque;
+
+/// Collision-management strategy (paper parameter `DCM`/`SCM`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CollisionPolicy {
+    /// Delay Colliding Messages: losers stay at the head of their FIFO.
+    Dcm,
+    /// Send Colliding Messages: losers are sent out of any free output port
+    /// (possibly misrouted) instead of stalling.
+    #[default]
+    Scm,
+}
+
+impl CollisionPolicy {
+    /// Short name for tables ("DCM"/"SCM").
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollisionPolicy::Dcm => "DCM",
+            CollisionPolicy::Scm => "SCM",
+        }
+    }
+}
+
+/// Node architecture flavour (paper Section III).
+///
+/// The choice does not affect cycle-accurate behaviour — both use the same
+/// routing tables — but it determines what is stored in each node and hence
+/// the area: the All-Precalculated architecture stores per-code routing
+/// memories and needs no packet header, the Partially-Precalculated one
+/// computes routes on line from a destination header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeArchitecture {
+    /// All-Precalculated: off-line routing decisions stored in a routing
+    /// memory, header-less packets, shallow FIFOs.
+    AllPrecalculated,
+    /// Partially-Precalculated: on-line routing from the packet header, only
+    /// the destination-location sequences `t'` are precalculated.
+    #[default]
+    PartiallyPrecalculated,
+}
+
+impl NodeArchitecture {
+    /// Short name ("AP"/"PP").
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeArchitecture::AllPrecalculated => "AP",
+            NodeArchitecture::PartiallyPrecalculated => "PP",
+        }
+    }
+
+    /// Number of header bits a packet needs with this architecture, for a
+    /// network of `nodes` routers: AP packets carry no header, PP packets
+    /// carry the destination node identifier.
+    pub fn header_bits(&self, nodes: usize) -> u32 {
+        match self {
+            NodeArchitecture::AllPrecalculated => 0,
+            NodeArchitecture::PartiallyPrecalculated => {
+                (usize::BITS - nodes.saturating_sub(1).leading_zeros()).max(1)
+            }
+        }
+    }
+}
+
+/// State of one router node during simulation.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// One input FIFO per port (`0..degree` are network ports, the last is
+    /// the local PE injection port).
+    pub input_fifos: Vec<VecDeque<InFlight>>,
+    /// One output register per port (`None` when empty); the last port is the
+    /// local delivery port towards the PE.
+    pub output_registers: Vec<Option<InFlight>>,
+    /// Round-robin pointer used by the RR serving policy.
+    pub rr_pointer: usize,
+    /// Messages sent through each output port so far (used by ASP-FT traffic
+    /// spreading and by the link-utilization statistics).
+    pub sent_per_port: Vec<u64>,
+    /// Maximum occupancy ever reached by each input FIFO (used to size the
+    /// hardware FIFOs and hence the area model).
+    pub max_fifo_occupancy: Vec<usize>,
+}
+
+impl NodeState {
+    /// Creates an idle node with `ports` input/output ports
+    /// (`degree + 1`, the extra one being the local PE port).
+    pub fn new(ports: usize) -> Self {
+        NodeState {
+            input_fifos: vec![VecDeque::new(); ports],
+            output_registers: vec![None; ports],
+            rr_pointer: 0,
+            sent_per_port: vec![0; ports],
+            max_fifo_occupancy: vec![0; ports],
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.input_fifos.len()
+    }
+
+    /// Pushes a message into an input FIFO, updating the occupancy high-water
+    /// mark.
+    pub fn enqueue(&mut self, port: usize, msg: InFlight) {
+        self.input_fifos[port].push_back(msg);
+        let occ = self.input_fifos[port].len();
+        if occ > self.max_fifo_occupancy[port] {
+            self.max_fifo_occupancy[port] = occ;
+        }
+    }
+
+    /// Total number of messages currently waiting in the node.
+    pub fn queued(&self) -> usize {
+        self.input_fifos.iter().map(|f| f.len()).sum::<usize>()
+            + self.output_registers.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// The order in which input ports are served this cycle.
+    ///
+    /// * Round-robin: start from the rotating pointer.
+    /// * FIFO-length: longest FIFO first (ties broken by port index).
+    pub fn serving_order(&self, longest_first: bool) -> Vec<usize> {
+        let ports = self.ports();
+        let mut order: Vec<usize> = (0..ports).collect();
+        if longest_first {
+            order.sort_by_key(|&p| std::cmp::Reverse(self.input_fifos[p].len()));
+        } else {
+            order.rotate_left(self.rr_pointer % ports);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Message;
+
+    fn msg(seq: usize) -> InFlight {
+        InFlight::new(Message::new(0, 1, 0, seq), 0)
+    }
+
+    #[test]
+    fn policy_and_architecture_names() {
+        assert_eq!(CollisionPolicy::Dcm.name(), "DCM");
+        assert_eq!(CollisionPolicy::Scm.name(), "SCM");
+        assert_eq!(NodeArchitecture::AllPrecalculated.name(), "AP");
+        assert_eq!(NodeArchitecture::PartiallyPrecalculated.name(), "PP");
+    }
+
+    #[test]
+    fn header_bits() {
+        assert_eq!(NodeArchitecture::AllPrecalculated.header_bits(22), 0);
+        assert_eq!(NodeArchitecture::PartiallyPrecalculated.header_bits(22), 5);
+        assert_eq!(NodeArchitecture::PartiallyPrecalculated.header_bits(16), 4);
+        assert_eq!(NodeArchitecture::PartiallyPrecalculated.header_bits(2), 1);
+    }
+
+    #[test]
+    fn enqueue_tracks_high_water_mark() {
+        let mut node = NodeState::new(4);
+        node.enqueue(2, msg(0));
+        node.enqueue(2, msg(1));
+        node.enqueue(2, msg(2));
+        node.input_fifos[2].pop_front();
+        node.enqueue(2, msg(3));
+        assert_eq!(node.max_fifo_occupancy[2], 3);
+        assert_eq!(node.queued(), 3);
+    }
+
+    #[test]
+    fn round_robin_order_rotates() {
+        let mut node = NodeState::new(3);
+        assert_eq!(node.serving_order(false), vec![0, 1, 2]);
+        node.rr_pointer = 1;
+        assert_eq!(node.serving_order(false), vec![1, 2, 0]);
+        node.rr_pointer = 5; // wraps modulo 3
+        assert_eq!(node.serving_order(false), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn fifo_length_order_serves_longest_first() {
+        let mut node = NodeState::new(3);
+        node.enqueue(1, msg(0));
+        node.enqueue(1, msg(1));
+        node.enqueue(2, msg(2));
+        assert_eq!(node.serving_order(true), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Statistics collected by the cycle-accurate simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one message-passing phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct NocStats {
+    /// Number of clock cycles from the first injection opportunity to the
+    /// delivery of the last message (`n_cycles` in Eq. (12) of the paper).
+    pub cycles: u64,
+    /// Number of messages delivered.
+    pub delivered: usize,
+    /// Number of messages that bypassed the network because they were local
+    /// and the Route-Local flag was off.
+    pub local_bypassed: usize,
+    /// Average network latency (injection to delivery) of routed messages,
+    /// in cycles.
+    pub average_latency: f64,
+    /// Maximum network latency of any routed message, in cycles.
+    pub max_latency: u64,
+    /// Average number of hops of routed messages.
+    pub average_hops: f64,
+    /// Largest input-FIFO occupancy observed anywhere in the network
+    /// (determines the FIFO depth of a hardware implementation).
+    pub max_fifo_occupancy: usize,
+    /// Per-node largest input-FIFO occupancy.
+    pub per_node_max_fifo: Vec<usize>,
+    /// Total messages forwarded per node (including transiting traffic).
+    pub forwarded_per_node: Vec<u64>,
+    /// Number of crossbar collisions resolved (either delayed or misrouted).
+    pub collisions: u64,
+    /// Number of messages that were deliberately misrouted by the SCM policy.
+    pub misrouted: u64,
+}
+
+impl NocStats {
+    /// Aggregate link utilization: forwarded messages per node per cycle.
+    pub fn average_node_load(&self) -> f64 {
+        if self.cycles == 0 || self.forwarded_per_node.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.forwarded_per_node.iter().sum();
+        total as f64 / (self.cycles as f64 * self.forwarded_per_node.len() as f64)
+    }
+
+    /// Throughput of the phase in delivered messages per cycle.
+    pub fn accepted_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let stats = NocStats {
+            cycles: 100,
+            delivered: 50,
+            forwarded_per_node: vec![20, 30],
+            ..NocStats::default()
+        };
+        assert!((stats.accepted_rate() - 0.5).abs() < 1e-12);
+        assert!((stats.average_node_load() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycaccording_is_safe() {
+        let stats = NocStats::default();
+        assert_eq!(stats.accepted_rate(), 0.0);
+        assert_eq!(stats.average_node_load(), 0.0);
+    }
+
+    #[test]
+    fn stats_are_serializable_and_cloneable() {
+        fn assert_serialize<T: serde::Serialize + Clone>(_: &T) {}
+        let stats = NocStats {
+            cycles: 7,
+            delivered: 3,
+            ..NocStats::default()
+        };
+        assert_serialize(&stats);
+        assert_eq!(stats.clone(), stats);
+    }
+}

@@ -1,0 +1,80 @@
+//! Architectural models of the processing element (PE) of the NoC-based
+//! turbo/LDPC decoder (Section IV of the paper).
+//!
+//! Each PE contains two decoding cores that share their internal memories:
+//!
+//! * the **LDPC decoding core** (paper Fig. 2): a sequential datapath that
+//!   reads `lambda` and `R` values from memory, extracts the two minima in
+//!   the MEU and writes the updated values back;
+//! * the **turbo decoding core / SISO** (paper Fig. 3): BMU, a sequential
+//!   alpha/beta/b(e) unit, the extrinsic computation unit and the
+//!   bit/symbol conversion units, organised in sliding windows.
+//!
+//! These models do not re-implement the algorithms (that is what the
+//! `wimax-ldpc` and `wimax-turbo` crates are for); they capture *timing*
+//! (cycles per task, core latency) and *storage* (shared memory sizing),
+//! which are the quantities the throughput and area evaluations of the paper
+//! need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ldpc_core;
+pub mod memory;
+pub mod siso_core;
+
+pub use ldpc_core::LdpcCoreModel;
+pub use memory::SharedMemoryPlan;
+pub use siso_core::SisoCoreModel;
+
+/// A full processing element: the two cores plus their shared memories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessingElement {
+    ldpc: LdpcCoreModel,
+    siso: SisoCoreModel,
+    memory: SharedMemoryPlan,
+}
+
+impl ProcessingElement {
+    /// Builds the WiMAX-compliant PE of the paper for a decoder with `pes`
+    /// processing elements.
+    pub fn wimax(pes: usize) -> Self {
+        ProcessingElement {
+            ldpc: LdpcCoreModel::default(),
+            siso: SisoCoreModel::default(),
+            memory: SharedMemoryPlan::wimax(pes),
+        }
+    }
+
+    /// The LDPC core model.
+    pub fn ldpc_core(&self) -> &LdpcCoreModel {
+        &self.ldpc
+    }
+
+    /// The SISO core model.
+    pub fn siso_core(&self) -> &SisoCoreModel {
+        &self.siso
+    }
+
+    /// The shared memory plan.
+    pub fn memory(&self) -> &SharedMemoryPlan {
+        &self.memory
+    }
+
+    /// Total shared-memory bits of this PE.
+    pub fn memory_bits(&self) -> u64 {
+        self.memory.total_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wimax_pe_has_nontrivial_memory() {
+        let pe = ProcessingElement::wimax(22);
+        assert!(pe.memory_bits() > 1000);
+        assert_eq!(pe.ldpc_core().core_latency(), 15);
+    }
+}

@@ -1,0 +1,143 @@
+//! IEEE 802.16e (WiMAX) double-binary convolutional turbo codes (CTC) and
+//! their Max-Log-MAP / Log-MAP decoders.
+//!
+//! This crate provides the turbo-code substrate of the NoC-based decoder of
+//! Condo, Martina and Masera (DATE 2012):
+//!
+//! * [`trellis`] — the 8-state duo-binary circular recursive systematic
+//!   convolutional (CRSC) constituent encoder, its trellis and the
+//!   circulation-state computation (solved algebraically over GF(2) instead
+//!   of using the standard's lookup table).
+//! * [`interleaver`] — the almost-regular-permutation (ARP) two-step CTC
+//!   interleaver with the WiMAX parameter set for all frame sizes.
+//! * [`encoder`] — the parallel concatenation of two CRSC encoders with
+//!   puncturing to the transmitted code rates.
+//! * [`siso`] — the Soft-In-Soft-Out unit implementing the BCJR recursion of
+//!   Eq. (1)–(5) of the paper with selectable `max*` operator.
+//! * [`decoder`] — the full iterative turbo decoder, including the
+//!   symbol-level / bit-level extrinsic exchange trade-off (paper Sec. IV.B,
+//!   refs [23] and [24]).
+//! * [`bitlevel`] — the Symbol-To-Bit (STB) and Bit-To-Symbol (BTS)
+//!   conversion units.
+//!
+//! # Example
+//!
+//! ```
+//! use wimax_turbo::{CtcCode, TurboDecoder, TurboDecoderConfig, TurboEncoder};
+//! use fec_channel::{AwgnChannel, BpskModulator, EbN0};
+//! use rand::SeedableRng;
+//!
+//! let code = CtcCode::wimax(24)?;              // 24 couples = 48 info bits
+//! let encoder = TurboEncoder::new(&code);
+//! let decoder = TurboDecoder::new(&code, TurboDecoderConfig::default());
+//!
+//! let info = vec![0u8; code.info_bits()];
+//! let coded = encoder.encode(&info)?;
+//!
+//! let ch = AwgnChannel::for_code_rate(EbN0::from_db(3.0), 0.5);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let tx = BpskModulator::new().modulate(&coded);
+//! let rx = ch.transmit(&tx, &mut rng);
+//! let llrs = ch.llrs(&rx);
+//!
+//! let out = decoder.decode(&llrs)?;
+//! assert_eq!(out.info_bits.len(), code.info_bits());
+//! # Ok::<(), wimax_turbo::TurboError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitlevel;
+pub mod decoder;
+pub mod encoder;
+pub mod interleaver;
+pub mod siso;
+pub mod trellis;
+
+pub use decoder::{ExtrinsicExchange, TurboDecodeOutcome, TurboDecoder, TurboDecoderConfig};
+pub use encoder::{CtcCode, PunctureRate, TurboEncoder};
+pub use interleaver::{ArpInterleaver, ArpParameters};
+pub use siso::{SisoConfig, SisoUnit};
+pub use trellis::{CirculationState, DuoBinaryTrellis, NUM_STATES, SYMBOLS};
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TurboError {
+    /// The requested frame size (in couples) is not a WiMAX CTC size.
+    UnsupportedFrameSize {
+        /// Offending number of couples.
+        couples: usize,
+    },
+    /// The frame size is incompatible with the CRSC period (N mod 7 == 0),
+    /// which makes the circulation state undefined.
+    InvalidCirculation {
+        /// Offending number of couples.
+        couples: usize,
+    },
+    /// The ARP parameters do not describe a permutation.
+    InvalidInterleaver,
+    /// An input slice had the wrong length.
+    InvalidLength {
+        /// What the slice represents.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TurboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TurboError::UnsupportedFrameSize { couples } => {
+                write!(f, "frame size of {couples} couples is not a WiMAX CTC size")
+            }
+            TurboError::InvalidCirculation { couples } => write!(
+                f,
+                "frame size {couples} couples is a multiple of the CRSC period 7"
+            ),
+            TurboError::InvalidInterleaver => write!(f, "ARP parameters do not yield a permutation"),
+            TurboError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for TurboError {}
+
+/// WiMAX CTC frame sizes expressed in couples (two information bits each).
+pub const WIMAX_FRAME_SIZES: [usize; 17] = [
+    24, 36, 48, 72, 96, 108, 120, 144, 180, 192, 216, 240, 480, 960, 1440, 1920, 2400,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sizes_are_not_multiples_of_seven() {
+        // The CRSC circulation state only exists when N mod 7 != 0.
+        for &n in &WIMAX_FRAME_SIZES {
+            assert_ne!(n % 7, 0, "frame size {n}");
+        }
+    }
+
+    #[test]
+    fn error_display_mentions_details() {
+        let e = TurboError::UnsupportedFrameSize { couples: 100 };
+        assert!(e.to_string().contains("100"));
+        let e = TurboError::InvalidLength {
+            what: "info",
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("info"));
+    }
+}

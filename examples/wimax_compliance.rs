@@ -1,0 +1,53 @@
+//! WiMAX compliance sweep: evaluates the paper's P = 22 design point on a
+//! corner subset (or, with `--full`, the complete set) of the 802.16e LDPC
+//! and turbo codes and reports the worst-case throughput of each mode.
+//!
+//! Run with `cargo run --example wimax_compliance --release [-- --full]`.
+
+use noc_decoder::{run_compliance, ComplianceScope, DecoderConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+    let scope = if full {
+        ComplianceScope::full()
+    } else {
+        ComplianceScope::corners()
+    };
+    let config = DecoderConfig::paper_design_point();
+    println!(
+        "Compliance sweep at the paper design point (P = 22, D = 3 generalized Kautz), {} scope\n",
+        if full { "full 802.16e" } else { "corner" }
+    );
+
+    let report = run_compliance(&config, &scope)?;
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "code", "info bits", "cycles", "T [Mb/s]", ">= 70 Mb/s"
+    );
+    for e in &report.entries {
+        println!(
+            "{:<22} {:>10} {:>12} {:>12.2} {:>10}",
+            e.code,
+            e.info_bits,
+            e.phase_cycles,
+            e.throughput_mbps,
+            if e.compliant { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "\nworst-case LDPC throughput : {:.2} Mb/s",
+        report.worst_ldpc_mbps
+    );
+    println!(
+        "worst-case turbo throughput: {:.2} Mb/s",
+        report.worst_turbo_mbps
+    );
+    if let Some(worst) = report.worst_code() {
+        println!("worst code overall          : {}", worst.code);
+    }
+    println!(
+        "fully WiMAX compliant       : {}",
+        if report.fully_compliant() { "yes" } else { "no (see EXPERIMENTS.md, small frames are latency-bound)" }
+    );
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Integration tests of the mapping + NoC-simulation pipeline: the
+//! "equivalent interleaver" produced by the mapping flow must be deliverable
+//! by every topology/routing combination, and the resulting phase duration
+//! must respect the structural lower bounds.
+
+use noc_decoder::MappingConfig;
+use noc_mapping::{LdpcMapping, TurboMapping};
+use noc_sim::{
+    CollisionPolicy, NocConfig, NocSimulator, RoutingAlgorithm, Topology, TopologyKind,
+};
+use wimax_ldpc::{CodeRate, QcLdpcCode};
+use wimax_turbo::CtcCode;
+
+#[test]
+fn ldpc_equivalent_interleaver_is_fully_delivered_on_every_routing() {
+    let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+    let pes = 16;
+    let mapping = LdpcMapping::new(&code, pes, MappingConfig::default());
+    let trace = mapping.traffic_trace();
+
+    for routing in RoutingAlgorithm::all() {
+        let topology = Topology::new(TopologyKind::GeneralizedKautz, pes, 3).unwrap();
+        let sim = NocSimulator::new(NocConfig::new(topology, routing)).unwrap();
+        let stats = sim.run(trace);
+        assert_eq!(stats.delivered, trace.total_messages(), "{routing}");
+        // the phase cannot be shorter than the remote-injection bound
+        let remote_per_pe = (0..pes)
+            .map(|p| trace.messages(p).iter().filter(|m| !m.is_local()).count())
+            .max()
+            .unwrap();
+        let lower_bound = (remote_per_pe as f64 / 0.5).floor() as u64;
+        assert!(
+            stats.cycles >= lower_bound,
+            "{routing}: cycles {} < injection bound {lower_bound}",
+            stats.cycles
+        );
+    }
+}
+
+#[test]
+fn turbo_mapping_traffic_is_delivered_on_the_paper_design_point() {
+    let code = CtcCode::wimax(960).unwrap();
+    let pes = 22;
+    let mapping = TurboMapping::new(&code, pes);
+    let topology = Topology::new(TopologyKind::GeneralizedKautz, pes, 3).unwrap();
+    let sim = NocSimulator::new(
+        NocConfig::new(topology, RoutingAlgorithm::SspFl).with_output_rate(1.0 / 3.0),
+    )
+    .unwrap();
+    for half in [
+        noc_mapping::turbo::HalfIteration::First,
+        noc_mapping::turbo::HalfIteration::Second,
+    ] {
+        let trace = mapping.traffic_trace(half);
+        let stats = sim.run(&trace);
+        assert_eq!(stats.delivered, trace.total_messages());
+    }
+}
+
+#[test]
+fn dcm_and_scm_both_deliver_the_ldpc_phase() {
+    let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+    let pes = 16;
+    let mapping = LdpcMapping::new(&code, pes, MappingConfig::default());
+    let trace = mapping.traffic_trace();
+    for collision in [CollisionPolicy::Dcm, CollisionPolicy::Scm] {
+        let topology = Topology::new(TopologyKind::GeneralizedKautz, pes, 2).unwrap();
+        let sim = NocSimulator::new(
+            NocConfig::new(topology, RoutingAlgorithm::SspRr).with_collision(collision),
+        )
+        .unwrap();
+        let stats = sim.run(trace);
+        assert_eq!(stats.delivered, trace.total_messages(), "{collision:?}");
+    }
+}
+
+#[test]
+fn better_topologies_give_shorter_phases() {
+    // Degree-3 Kautz should never be slower than degree-2 De Bruijn on the
+    // same mapped traffic — the qualitative conclusion of Table I.
+    let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+    let pes = 16;
+    let mapping = LdpcMapping::new(&code, pes, MappingConfig::default());
+    let trace = mapping.traffic_trace();
+
+    let run = |kind, degree| {
+        let topology = Topology::new(kind, pes, degree).unwrap();
+        NocSimulator::new(NocConfig::new(topology, RoutingAlgorithm::SspFl))
+            .unwrap()
+            .run(trace)
+            .cycles
+    };
+    let kautz3 = run(TopologyKind::GeneralizedKautz, 3);
+    let debruijn2 = run(TopologyKind::GeneralizedDeBruijn, 2);
+    assert!(
+        kautz3 <= debruijn2,
+        "Kautz D=3 ({kautz3}) should not be slower than De Bruijn D=2 ({debruijn2})"
+    );
+}
+
+#[test]
+fn mapping_locality_reduces_network_load() {
+    // The partitioned mapping must put a significant share of the traffic
+    // inside PEs; a cyclic (round-robin) assignment is the baseline.
+    let code = QcLdpcCode::wimax(768, CodeRate::R12).unwrap();
+    let pes = 16;
+    let mapping = LdpcMapping::new(&code, pes, MappingConfig::default());
+    let partitioned_locality = mapping.quality().locality();
+    // the expected locality of a random/cyclic assignment is roughly 1/P
+    assert!(
+        partitioned_locality > 2.0 / pes as f64,
+        "partitioned locality {partitioned_locality:.3} is not better than ~random"
+    );
+}
