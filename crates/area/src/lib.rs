@@ -32,7 +32,7 @@ pub use power::PowerModel;
 pub use technology::{Technology, UnitAreas};
 
 /// Area expressed in square millimetres.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct AreaMm2(pub f64);
 
 impl AreaMm2 {

@@ -5,7 +5,7 @@ use crate::technology::UnitAreas;
 use crate::AreaMm2;
 
 /// Everything the NoC area depends on.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NocAreaInputs {
     /// Number of router nodes `P`.
     pub nodes: usize,

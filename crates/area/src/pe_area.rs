@@ -5,7 +5,7 @@ use crate::technology::UnitAreas;
 use crate::AreaMm2;
 
 /// Inputs of the PE area model.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeAreaInputs {
     /// Number of processing elements.
     pub pes: usize,

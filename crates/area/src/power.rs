@@ -7,7 +7,7 @@
 /// The constants are calibrated so that the paper's `P = 22` decoder yields
 /// roughly 415 mW in LDPC mode (300 MHz, memory-intensive) and 59 mW in turbo
 /// mode (75 MHz NoC / 37.5 MHz SISO, lower memory-access rate).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Dynamic power coefficient in mW per (mm² · MHz · activity).
     pub dynamic_mw_per_mm2_mhz: f64,
@@ -84,8 +84,14 @@ mod tests {
     #[test]
     fn power_increases_with_frequency_and_area() {
         let m = PowerModel::default();
-        assert!(m.power_mw(1.0, 200.0, OperatingMode::Ldpc) > m.power_mw(1.0, 100.0, OperatingMode::Ldpc));
-        assert!(m.power_mw(2.0, 100.0, OperatingMode::Ldpc) > m.power_mw(1.0, 100.0, OperatingMode::Ldpc));
+        assert!(
+            m.power_mw(1.0, 200.0, OperatingMode::Ldpc)
+                > m.power_mw(1.0, 100.0, OperatingMode::Ldpc)
+        );
+        assert!(
+            m.power_mw(2.0, 100.0, OperatingMode::Ldpc)
+                > m.power_mw(1.0, 100.0, OperatingMode::Ldpc)
+        );
     }
 
     #[test]

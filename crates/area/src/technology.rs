@@ -1,7 +1,7 @@
 //! Technology nodes and per-bit unit areas.
 
 /// A CMOS technology node.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Technology {
     /// Feature size in nanometres.
     pub feature_nm: f64,
@@ -47,7 +47,7 @@ impl Technology {
 ///
 /// The 90 nm defaults are typical standard-cell/SRAM figures chosen so that
 /// the paper's component areas are approximated (see crate docs).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UnitAreas {
     /// Technology these constants refer to.
     pub technology: Technology,

@@ -19,7 +19,7 @@ fn main() {
         "variant", "cycles", "T [Mb/s]", "NoC [mm2]", "FIFO depth"
     );
 
-    let mut report = |label: &str, config: DecoderConfig| {
+    let report = |label: &str, config: DecoderConfig| {
         let eval = evaluate_ldpc(&config, &code).expect("evaluation succeeds");
         println!(
             "{:<34} {:>10} {:>12.2} {:>12.3} {:>10}",
@@ -34,6 +34,12 @@ fn main() {
         "architecture: AP",
         base.with_architecture(NodeArchitecture::AllPrecalculated),
     );
-    report("routing: SSP-RR", base.with_routing(RoutingAlgorithm::SspRr));
-    report("routing: ASP-FT", base.with_routing(RoutingAlgorithm::AspFt));
+    report(
+        "routing: SSP-RR",
+        base.with_routing(RoutingAlgorithm::SspRr),
+    );
+    report(
+        "routing: ASP-FT",
+        base.with_routing(RoutingAlgorithm::AspFt),
+    );
 }

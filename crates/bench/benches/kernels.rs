@@ -1,8 +1,11 @@
-//! Criterion micro-benchmarks of the computational kernels: one layered LDPC
+//! Micro-benchmarks of the computational kernels: one layered LDPC
 //! iteration, one flooding iteration, one SISO half iteration, one NoC
 //! message-passing phase and one graph partitioning run.
+//!
+//! Uses the crate's own timing harness (`decoder_bench::harness`); the
+//! workspace builds offline, so criterion is unavailable.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use decoder_bench::harness::{bench, print_header};
 use fec_fixed::Llr;
 use noc_decoder::MappingConfig;
 use noc_mapping::LdpcMapping;
@@ -29,7 +32,9 @@ fn noisy_ldpc_llrs(code: &QcLdpcCode, seed: u64) -> Vec<Llr> {
         .collect()
 }
 
-fn bench_ldpc_decoders(c: &mut Criterion) {
+fn main() {
+    print_header();
+
     let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
     let llrs = noisy_ldpc_llrs(&code, 1);
     let layered = LayeredDecoder::new(
@@ -48,50 +53,54 @@ fn bench_ldpc_decoders(c: &mut Criterion) {
             ..FloodingConfig::default()
         },
     );
-    let mut group = c.benchmark_group("ldpc_iteration_n2304");
-    group.sample_size(20);
-    group.bench_function("layered_nms", |b| b.iter(|| layered.decode(&llrs)));
-    group.bench_function("flooding_nms", |b| b.iter(|| flooding.decode(&llrs)));
-    group.finish();
-}
+    println!(
+        "{}",
+        bench("ldpc_iteration_n2304/layered_nms", 2, 20, || {
+            std::hint::black_box(layered.decode(&llrs));
+        })
+        .line()
+    );
+    println!(
+        "{}",
+        bench("ldpc_iteration_n2304/flooding_nms", 2, 20, || {
+            std::hint::black_box(flooding.decode(&llrs));
+        })
+        .line()
+    );
 
-fn bench_siso(c: &mut Criterion) {
     let n = 2400usize;
     let input = SisoInput::new(vec![1.0; n], vec![-1.0; n], vec![0.7; n], vec![0.0; n]);
     let siso = SisoUnit::new(SisoConfig::default());
-    let mut group = c.benchmark_group("turbo_siso_half_iteration_n2400");
-    group.sample_size(20);
-    group.bench_function("max_log_map", |b| b.iter(|| siso.run(&input)));
-    group.finish();
-}
+    println!(
+        "{}",
+        bench("turbo_siso_half_iteration_n2400/max_log_map", 2, 20, || {
+            std::hint::black_box(siso.run(&input));
+        })
+        .line()
+    );
 
-fn bench_noc_phase(c: &mut Criterion) {
-    let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
     let mapping = LdpcMapping::new(&code, 22, MappingConfig::default());
     let topology = Topology::new(TopologyKind::GeneralizedKautz, 22, 3).expect("valid topology");
     let sim = NocSimulator::new(NocConfig::new(topology, RoutingAlgorithm::SspFl)).expect("sim");
     let trace = mapping.traffic_trace().clone();
-    let mut group = c.benchmark_group("noc_phase_p22_kautz_d3");
-    group.sample_size(20);
-    group.bench_function("ssp_fl_scm", |b| b.iter(|| sim.run(&trace)));
-    group.finish();
-}
+    println!(
+        "{}",
+        bench("noc_phase_p22_kautz_d3/ssp_fl_scm", 2, 20, || {
+            std::hint::black_box(sim.run(&trace));
+        })
+        .line()
+    );
 
-fn bench_mapping(c: &mut Criterion) {
-    let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
-    let mut group = c.benchmark_group("ldpc_mapping_n2304_p22");
-    group.sample_size(10);
-    group.bench_function("partition_and_interleaver", |b| {
-        b.iter(|| LdpcMapping::new(&code, 22, MappingConfig::default()))
-    });
-    group.finish();
+    println!(
+        "{}",
+        bench(
+            "ldpc_mapping_n2304_p22/partition_and_interleaver",
+            1,
+            10,
+            || {
+                std::hint::black_box(LdpcMapping::new(&code, 22, MappingConfig::default()));
+            }
+        )
+        .line()
+    );
 }
-
-criterion_group!(
-    benches,
-    bench_ldpc_decoders,
-    bench_siso,
-    bench_noc_phase,
-    bench_mapping
-);
-criterion_main!(benches);

@@ -1,25 +1,17 @@
 //! BER studies backing the paper's algorithmic claims: the
 //! normalized-min-sum LDPC decoder, layered vs two-phase scheduling, and the
 //! bit-level vs symbol-level turbo extrinsic exchange (Section IV.B).
+//!
+//! All runs route through the unified parallel
+//! [`fec_channel::sim::SimulationEngine`]; this module only selects codecs
+//! and formats results.  The historical per-flavour Monte-Carlo loops are
+//! gone.
 
-use fec_channel::{AwgnChannel, BpskModulator, EbN0, ErrorCounter};
-use rand::{Rng, SeedableRng};
-use wimax_ldpc::decoder::{FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
-use wimax_ldpc::{CodeRate, QcEncoder, QcLdpcCode};
-use wimax_turbo::{CtcCode, ExtrinsicExchange, TurboDecoder, TurboDecoderConfig, TurboEncoder};
-
-/// One point of a BER curve.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct BerPoint {
-    /// Eb/N0 in dB.
-    pub ebn0_db: f64,
-    /// Bit error rate.
-    pub ber: f64,
-    /// Frame error rate.
-    pub fer: f64,
-    /// Average number of iterations used.
-    pub average_iterations: f64,
-}
+pub use fec_channel::sim::{BerCurve, BerPoint};
+use fec_channel::sim::{EngineConfig, FecCodec, SimulationEngine};
+use wimax_ldpc::decoder::{FloodingConfig, LayeredConfig};
+use wimax_ldpc::{CodeRate, FloodingLdpcCodec, LayeredLdpcCodec, QcLdpcCode};
+use wimax_turbo::{CtcCode, ExtrinsicExchange, TurboCodec, TurboDecoderConfig};
 
 /// LDPC decoder flavour for the BER study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +22,45 @@ pub enum LdpcFlavor {
     Flooding,
 }
 
-/// Runs an LDPC BER curve on the WiMAX `r = 1/2` code of length `n`.
+/// Builds the [`FecCodec`] for the WiMAX `r = 1/2` LDPC code of length `n`
+/// with the study's iteration budget (`Itmax = 10` for both schedules).
+///
+/// # Panics
+///
+/// Panics if `n` is not a WiMAX length.
+pub fn ldpc_codec(n: usize, flavor: LdpcFlavor) -> Box<dyn FecCodec> {
+    let code = QcLdpcCode::wimax(n, CodeRate::R12).expect("valid WiMAX length");
+    match flavor {
+        LdpcFlavor::Layered => Box::new(LayeredLdpcCodec::new(&code, LayeredConfig::default())),
+        LdpcFlavor::Flooding => Box::new(FloodingLdpcCodec::new(
+            &code,
+            FloodingConfig {
+                max_iterations: 10,
+                ..FloodingConfig::default()
+            },
+        )),
+    }
+}
+
+/// Builds the [`FecCodec`] for the WiMAX CTC with `couples` couples and the
+/// given extrinsic-exchange mode.
+///
+/// # Panics
+///
+/// Panics if `couples` is not a WiMAX frame size.
+pub fn turbo_codec(couples: usize, exchange: ExtrinsicExchange) -> Box<dyn FecCodec> {
+    let code = CtcCode::wimax(couples).expect("valid WiMAX frame size");
+    Box::new(TurboCodec::new(
+        &code,
+        TurboDecoderConfig {
+            exchange,
+            ..TurboDecoderConfig::default()
+        },
+    ))
+}
+
+/// Runs an LDPC BER curve on the WiMAX `r = 1/2` code of length `n`, with
+/// exactly `frames` frames per point.
 ///
 /// # Panics
 ///
@@ -42,51 +72,14 @@ pub fn run_ldpc_ber(
     frames: usize,
     seed: u64,
 ) -> Vec<BerPoint> {
-    let code = QcLdpcCode::wimax(n, CodeRate::R12).expect("valid WiMAX length");
-    let encoder = QcEncoder::new(&code);
-    let modulator = BpskModulator::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-
-    ebn0_dbs
-        .iter()
-        .map(|&ebn0_db| {
-            let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), 0.5);
-            let mut counter = ErrorCounter::new();
-            let mut iterations = 0usize;
-            for _ in 0..frames {
-                let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
-                let cw = encoder.encode(&info).expect("encoding succeeds");
-                let rx = channel.transmit(&modulator.modulate(&cw), &mut rng);
-                let llrs = channel.llrs(&rx);
-                let (bits, iters) = match flavor {
-                    LdpcFlavor::Layered => {
-                        let out = LayeredDecoder::new(&code, LayeredConfig::default()).decode(&llrs);
-                        (out.hard_bits[..code.k()].to_vec(), out.iterations)
-                    }
-                    LdpcFlavor::Flooding => {
-                        let cfg = FloodingConfig {
-                            max_iterations: 10,
-                            ..FloodingConfig::default()
-                        };
-                        let out = FloodingDecoder::new(&code, cfg).decode(&llrs);
-                        (out.hard_bits[..code.k()].to_vec(), out.iterations)
-                    }
-                };
-                counter.record_frame(&info, &bits);
-                iterations += iters;
-            }
-            BerPoint {
-                ebn0_db,
-                ber: counter.ber(),
-                fer: counter.fer(),
-                average_iterations: iterations as f64 / frames as f64,
-            }
-        })
-        .collect()
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames as u64, seed));
+    engine
+        .run_curve(ldpc_codec(n, flavor).as_ref(), ebn0_dbs)
+        .points
 }
 
 /// Runs a turbo BER curve on the WiMAX CTC with `couples` couples using the
-/// given extrinsic exchange mode.
+/// given extrinsic exchange mode, with exactly `frames` frames per point.
 ///
 /// # Panics
 ///
@@ -98,40 +91,10 @@ pub fn run_turbo_ber(
     frames: usize,
     seed: u64,
 ) -> Vec<BerPoint> {
-    let code = CtcCode::wimax(couples).expect("valid WiMAX frame size");
-    let encoder = TurboEncoder::new(&code);
-    let decoder = TurboDecoder::new(
-        &code,
-        TurboDecoderConfig {
-            exchange,
-            ..TurboDecoderConfig::default()
-        },
-    );
-    let modulator = BpskModulator::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-
-    ebn0_dbs
-        .iter()
-        .map(|&ebn0_db| {
-            let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), 0.5);
-            let mut counter = ErrorCounter::new();
-            let mut iterations = 0usize;
-            for _ in 0..frames {
-                let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
-                let cw = encoder.encode(&info).expect("encoding succeeds");
-                let rx = channel.transmit(&modulator.modulate(&cw), &mut rng);
-                let out = decoder.decode(&channel.llrs(&rx)).expect("length is correct");
-                counter.record_frame(&info, &out.info_bits);
-                iterations += out.iterations;
-            }
-            BerPoint {
-                ebn0_db,
-                ber: counter.ber(),
-                fer: counter.fer(),
-                average_iterations: iterations as f64 / frames as f64,
-            }
-        })
-        .collect()
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames as u64, seed));
+    engine
+        .run_curve(turbo_codec(couples, exchange).as_ref(), ebn0_dbs)
+        .points
 }
 
 /// Prints a BER curve as a table.
@@ -156,7 +119,11 @@ mod tests {
         let points = run_ldpc_ber(576, LdpcFlavor::Layered, &[0.0, 3.0], 10, 1);
         assert_eq!(points.len(), 2);
         assert!(points[0].ber >= points[1].ber);
-        assert_eq!(points[1].ber, 0.0, "3 dB should be error free over 10 frames");
+        assert_eq!(
+            points[1].ber, 0.0,
+            "3 dB should be error free over 10 frames"
+        );
+        assert_eq!(points[0].frames, 10);
     }
 
     #[test]
@@ -171,5 +138,15 @@ mod tests {
         let lay = run_ldpc_ber(576, LdpcFlavor::Layered, &[2.0], 10, 3);
         let flo = run_ldpc_ber(576, LdpcFlavor::Flooding, &[2.0], 10, 3);
         assert!(lay[0].average_iterations <= flo[0].average_iterations);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_counts() {
+        let codec = ldpc_codec(576, LdpcFlavor::Layered);
+        let run = |workers| {
+            SimulationEngine::new(EngineConfig::fixed_frames(20, 9).with_workers(workers))
+                .run_point(codec.as_ref(), 1.5)
+        };
+        assert_eq!(run(1), run(4));
     }
 }

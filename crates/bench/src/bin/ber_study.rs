@@ -5,27 +5,62 @@
 //! * bit-level vs symbol-level turbo extrinsic exchange (Section IV.B:
 //!   ~0.2 dB penalty for a 1/3 payload reduction).
 //!
-//! Usage: `cargo run -p decoder-bench --bin ber_study --release [-- frames]`
+//! All four studies run on the unified parallel simulation engine.
+//!
+//! Usage: `cargo run -p decoder-bench --bin ber_study --release --
+//! [frames] [--json <path>]`
 
-use decoder_bench::{print_curve, run_ldpc_ber, run_turbo_ber, LdpcFlavor};
+use decoder_bench::{
+    json_flag_from_args, ldpc_codec, print_curve, turbo_codec, write_json, LdpcFlavor,
+};
+use fec_channel::sim::{EngineConfig, SimulationEngine};
+use fec_json::{Json, ToJson};
 use wimax_turbo::ExtrinsicExchange;
 
 fn main() {
-    let frames: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(60);
+    let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let frames: u64 = rest.first().and_then(|a| a.parse().ok()).unwrap_or(60);
     let snrs = [1.0, 1.5, 2.0, 2.5];
 
+    let ldpc_engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 11));
+    let turbo_engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 13));
+
     println!("WiMAX LDPC N = 576, r = 1/2 ({frames} frames per point)\n");
-    let layered = run_ldpc_ber(576, LdpcFlavor::Layered, &snrs, frames, 11);
-    print_curve("Layered normalized min-sum (Itmax = 10)", &layered);
-    let flooding = run_ldpc_ber(576, LdpcFlavor::Flooding, &snrs, frames, 11);
-    print_curve("Two-phase (flooding) normalized min-sum (Itmax = 10)", &flooding);
+    let layered = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Layered).as_ref(), &snrs);
+    print_curve("Layered normalized min-sum (Itmax = 10)", &layered.points);
+    let flooding = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Flooding).as_ref(), &snrs);
+    print_curve(
+        "Two-phase (flooding) normalized min-sum (Itmax = 10)",
+        &flooding.points,
+    );
 
     println!("WiMAX DBTC 240 couples, rate 1/2 ({frames} frames per point)\n");
-    let symbol = run_turbo_ber(240, ExtrinsicExchange::SymbolLevel, &snrs, frames, 13);
-    print_curve("Symbol-level extrinsic exchange (Max-Log-MAP, Itmax = 8)", &symbol);
-    let bit = run_turbo_ber(240, ExtrinsicExchange::BitLevel, &snrs, frames, 13);
-    print_curve("Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)", &bit);
+    let symbol = turbo_engine.run_curve(
+        turbo_codec(240, ExtrinsicExchange::SymbolLevel).as_ref(),
+        &snrs,
+    );
+    print_curve(
+        "Symbol-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
+        &symbol.points,
+    );
+    let bit = turbo_engine.run_curve(
+        turbo_codec(240, ExtrinsicExchange::BitLevel).as_ref(),
+        &snrs,
+    );
+    print_curve(
+        "Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
+        &bit.points,
+    );
+
+    if let Some(path) = json_path {
+        let json = Json::obj([
+            ("study", Json::str("ber_study")),
+            ("frames_per_point", Json::from(frames)),
+            (
+                "curves",
+                Json::arr([layered, flooding, symbol, bit].iter().map(ToJson::to_json)),
+            ),
+        ]);
+        write_json(&path, &json);
+    }
 }

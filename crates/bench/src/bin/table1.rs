@@ -1,15 +1,17 @@
 //! Regenerates Table I of the paper.
 //!
-//! Usage: `cargo run -p decoder-bench --bin table1 --release [-- --quick]`
+//! Usage: `cargo run -p decoder-bench --bin table1 --release --
+//! [--quick] [--json <path>]`
 //!
 //! The full sweep uses the paper's worst-case code (`N = 2304, r = 1/2`);
 //! `--quick` runs the same 72-point sweep on the smallest WiMAX code so it
 //! finishes in a few seconds.
 
-use decoder_bench::{print_table1, run_table1};
+use decoder_bench::{json_flag_from_args, print_table1, rows_json, run_table1, write_json};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let quick = rest.iter().any(|a| a == "--quick");
     let n = if quick { 576 } else { 2304 };
     println!("Running the Table I sweep on WiMAX LDPC N = {n}, r = 1/2 ...\n");
     let rows = run_table1(n);
@@ -18,4 +20,7 @@ fn main() {
         "({} design points; the paper's Table I reports the same layout for N = 2304)",
         rows.len()
     );
+    if let Some(path) = json_path {
+        write_json(&path, &rows_json("table1", &rows));
+    }
 }

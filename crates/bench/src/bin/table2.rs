@@ -1,16 +1,21 @@
 //! Regenerates Table II of the paper: the `P = 22`, `D = 3` generalized-Kautz
 //! decoder supporting all WiMAX turbo and LDPC codes.
 //!
-//! Usage: `cargo run -p decoder-bench --bin table2 --release [-- --quick]`
+//! Usage: `cargo run -p decoder-bench --bin table2 --release --
+//! [--quick] [--json <path>]`
 
-use decoder_bench::{print_table2, run_table2};
+use decoder_bench::{json_flag_from_args, print_table2, rows_json, run_table2, write_json};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let quick = rest.iter().any(|a| a == "--quick");
     let (ldpc_n, turbo_couples) = if quick { (576, 240) } else { (2304, 2400) };
     println!(
         "Running the Table II evaluation (LDPC N = {ldpc_n}, turbo {turbo_couples} couples) ...\n"
     );
     let rows = run_table2(ldpc_n, turbo_couples);
     print_table2(&rows, ldpc_n, turbo_couples);
+    if let Some(path) = json_path {
+        write_json(&path, &rows_json("table2", &rows));
+    }
 }

@@ -1,0 +1,111 @@
+//! A tiny wall-clock timing harness for the `cargo bench` targets.
+//!
+//! The workspace builds offline, so `criterion` is unavailable; the bench
+//! targets are plain `fn main` binaries (`harness = false`) that use this
+//! module for warmed-up, repeated measurements.
+
+use std::time::Instant;
+
+/// Timing summary of one benchmarked closure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark label.
+    pub name: String,
+    /// Measured iterations (after warm-up).
+    pub iterations: u32,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: f64,
+}
+
+impl BenchReport {
+    /// One-line human-readable summary.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} {:>12} {:>12}   ({} iters)",
+            self.name,
+            format_ns(self.mean_ns),
+            format_ns(self.min_ns),
+            self.iterations,
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Runs `f` `iterations` times (after `warmup` unmeasured runs) and returns
+/// the timing summary.  The closure's result is returned through a `sink`
+/// argument-free interface: benchmarked code should produce and drop its
+/// own values; the optimizer cannot remove calls with observable effects.
+pub fn bench<F: FnMut()>(name: &str, warmup: u32, iterations: u32, mut f: F) -> BenchReport {
+    for _ in 0..warmup {
+        f();
+    }
+    let iterations = iterations.max(1);
+    let mut total_ns = 0f64;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..iterations {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_nanos() as f64;
+        total_ns += dt;
+        min_ns = min_ns.min(dt);
+    }
+    BenchReport {
+        name: name.to_string(),
+        iterations,
+        mean_ns: total_ns / f64::from(iterations),
+        min_ns,
+    }
+}
+
+/// Prints the header row matching [`BenchReport::line`].
+pub fn print_header() {
+    println!("{:<44} {:>12} {:>12}", "benchmark", "mean", "min");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_times() {
+        let mut counter = 0u64;
+        let report = bench("spin", 1, 5, || {
+            for i in 0..1000u64 {
+                counter = counter.wrapping_add(i);
+            }
+        });
+        assert_eq!(report.iterations, 5);
+        assert!(report.mean_ns >= report.min_ns);
+        assert!(report.min_ns >= 0.0);
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(format_ns(5e9).ends_with(" s"));
+        assert!(format_ns(5e6).ends_with(" ms"));
+        assert!(format_ns(5e3).ends_with(" us"));
+        assert!(format_ns(500.0).ends_with(" ns"));
+        let line = BenchReport {
+            name: "x".into(),
+            iterations: 3,
+            mean_ns: 1.0,
+            min_ns: 1.0,
+        }
+        .line();
+        assert!(line.contains("3 iters"));
+    }
+}

@@ -2,16 +2,27 @@
 //! regenerate the paper's tables and BER studies, used both by the
 //! `cargo bench` targets and by the standalone binaries
 //! (`table1`, `table2`, `table3`, `ber_study`).
+//!
+//! Every Monte-Carlo study routes through the unified parallel
+//! [`fec_channel::sim::SimulationEngine`]; see [`ber`].  Results can be
+//! written as machine-readable JSON via [`results`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ber;
+pub mod harness;
+pub mod results;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 
-pub use ber::{print_curve, run_ldpc_ber, run_turbo_ber, BerPoint, LdpcFlavor};
+pub use ber::{
+    ldpc_codec, print_curve, run_ldpc_ber, run_turbo_ber, turbo_codec, BerCurve, BerPoint,
+    LdpcFlavor,
+};
+pub use harness::{bench, BenchReport};
+pub use results::{json_flag_from_args, rows_json, write_json};
 pub use table1::{print_table1, run_table1};
 pub use table2::{print_table2, run_table2};
 pub use table3::{print_table3, table3_rows, Table3Row};

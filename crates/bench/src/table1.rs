@@ -42,7 +42,10 @@ pub fn print_table1(rows: &[Table1Row]) {
                         && r.architecture == arch.name()
                 });
                 match cell {
-                    Some(c) => print!("{:>16}", format!("{:.2}/{:.2}", c.throughput_mbps, c.noc_area_mm2)),
+                    Some(c) => print!(
+                        "{:>16}",
+                        format!("{:.2}/{:.2}", c.throughput_mbps, c.noc_area_mm2)
+                    ),
                     None => print!("{:>16}", "-"),
                 }
             }
@@ -60,7 +63,9 @@ mod tests {
     fn smoke_sweep_on_the_smallest_code_has_72_points() {
         let rows = run_table1(576);
         assert_eq!(rows.len(), 6 * 4 * 3);
-        assert!(rows.iter().all(|r| r.throughput_mbps > 0.0 && r.noc_area_mm2 > 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.throughput_mbps > 0.0 && r.noc_area_mm2 > 0.0));
         // printing must not panic
         print_table1(&rows[..6]);
     }

@@ -36,8 +36,14 @@ pub fn print_table2(rows: &[Table2Row], ldpc_length: usize, turbo_couples: usize
         println!(
             "{:<14}{:>26}{:>26}",
             format!("{} ({})", row.routing, row.architecture),
-            format!("{:.2}/{:.2}", row.turbo_throughput_mbps, row.turbo_noc_area_mm2),
-            format!("{:.2}/{:.2}", row.ldpc_throughput_mbps, row.ldpc_noc_area_mm2),
+            format!(
+                "{:.2}/{:.2}",
+                row.turbo_throughput_mbps, row.turbo_noc_area_mm2
+            ),
+            format!(
+                "{:.2}/{:.2}",
+                row.ldpc_throughput_mbps, row.ldpc_noc_area_mm2
+            ),
         );
     }
 }

@@ -5,9 +5,7 @@
 //! designs are proprietary RTL and cannot be regenerated); the "This Work"
 //! rows are regenerated from our architectural models.
 
-use noc_decoder::{
-    CodeRate, CtcCode, DecoderConfig, NocDecoder, QcLdpcCode, Technology,
-};
+use noc_decoder::{CodeRate, CtcCode, DecoderConfig, NocDecoder, QcLdpcCode, Technology};
 
 /// One row of the comparison table.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +35,25 @@ pub struct Table3Row {
     pub measured: bool,
 }
 
+impl fec_json::ToJson for Table3Row {
+    fn to_json(&self) -> fec_json::Json {
+        use fec_json::Json;
+        Json::obj([
+            ("decoder", Json::str(self.decoder.clone())),
+            ("parallelism", Json::from(self.parallelism)),
+            ("technology_nm", Json::from(self.technology_nm)),
+            ("total_area_mm2", Json::from(self.total_area_mm2)),
+            ("normalized_area_mm2", Json::from(self.normalized_area_mm2)),
+            ("clock_mhz", Json::from(self.clock_mhz)),
+            ("power_mw", self.power_mw.map_or(Json::Null, Json::from)),
+            ("iterations", Json::from(self.iterations)),
+            ("code", Json::str(self.code.clone())),
+            ("throughput_mbps", Json::from(self.throughput_mbps)),
+            ("measured", Json::from(self.measured)),
+        ])
+    }
+}
+
 /// Builds the comparison table: the measured "This Work" rows (LDPC and
 /// turbo modes of the paper's design point) followed by the literature rows
 /// exactly as quoted in the paper.
@@ -49,7 +66,9 @@ pub fn table3_rows() -> Vec<Table3Row> {
     let ldpc_code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("worst-case LDPC code");
     let turbo_code = CtcCode::wimax(2400).expect("largest CTC frame");
     let ldpc = decoder.evaluate_ldpc(&ldpc_code).expect("LDPC evaluation");
-    let turbo = decoder.evaluate_turbo(&turbo_code).expect("turbo evaluation");
+    let turbo = decoder
+        .evaluate_turbo(&turbo_code)
+        .expect("turbo evaluation");
 
     let mut rows = vec![
         Table3Row {
@@ -109,17 +128,138 @@ pub fn literature_rows() -> Vec<Table3Row> {
         measured: false,
     };
     vec![
-        quoted("This Work (paper)", 22, 90, 3.17, 1.65, 300.0, Some(415.0), 10, "LDPC 2304, 0.5", 72.00),
-        quoted("This Work (paper)", 22, 90, 3.17, 1.65, 75.0, Some(59.0), 8, "DBTC 4800, 0.5", 74.26),
-        quoted("[9] Murugappa 2011", 8, 90, 2.6, 1.36, 520.0, None, 10, "LDPC 2304, 0.5", 62.5),
-        quoted("[9] Murugappa 2011", 8, 90, 2.6, 1.36, 520.0, None, 6, "DBTC (max)", 173.0),
-        quoted("[5] FlexiChaP", 1, 65, 0.62, 0.62, 400.0, Some(76.8), 20, "LDPC (min)", 27.7),
-        quoted("[5] FlexiChaP", 1, 65, 0.62, 0.62, 400.0, Some(76.8), 5, "DBTC (min)", 18.6),
-        quoted("[7] Gentile 2010", 12, 45, 0.9, 1.88, 150.0, Some(86.1), 8, "LDPC (min)", 71.05),
-        quoted("[7] Gentile 2010", 12, 45, 0.9, 1.88, 150.0, Some(86.1), 8, "DBTC (min)", 73.46),
-        quoted("[6] Naessens 2008", 384, 45, 0.94, 1.96, 333.0, Some(1000.0), 25, "LDPC (avg)", 333.0),
-        quoted("[8] Sun-Cavallaro", 12, 90, 3.20, 1.67, 500.0, None, 15, "LDPC 2304, 0.5 (max)", 600.0),
-        quoted("[8] Sun-Cavallaro", 12, 90, 3.20, 1.67, 500.0, None, 6, "BTC 6144, 0.3 (max)", 450.0),
+        quoted(
+            "This Work (paper)",
+            22,
+            90,
+            3.17,
+            1.65,
+            300.0,
+            Some(415.0),
+            10,
+            "LDPC 2304, 0.5",
+            72.00,
+        ),
+        quoted(
+            "This Work (paper)",
+            22,
+            90,
+            3.17,
+            1.65,
+            75.0,
+            Some(59.0),
+            8,
+            "DBTC 4800, 0.5",
+            74.26,
+        ),
+        quoted(
+            "[9] Murugappa 2011",
+            8,
+            90,
+            2.6,
+            1.36,
+            520.0,
+            None,
+            10,
+            "LDPC 2304, 0.5",
+            62.5,
+        ),
+        quoted(
+            "[9] Murugappa 2011",
+            8,
+            90,
+            2.6,
+            1.36,
+            520.0,
+            None,
+            6,
+            "DBTC (max)",
+            173.0,
+        ),
+        quoted(
+            "[5] FlexiChaP",
+            1,
+            65,
+            0.62,
+            0.62,
+            400.0,
+            Some(76.8),
+            20,
+            "LDPC (min)",
+            27.7,
+        ),
+        quoted(
+            "[5] FlexiChaP",
+            1,
+            65,
+            0.62,
+            0.62,
+            400.0,
+            Some(76.8),
+            5,
+            "DBTC (min)",
+            18.6,
+        ),
+        quoted(
+            "[7] Gentile 2010",
+            12,
+            45,
+            0.9,
+            1.88,
+            150.0,
+            Some(86.1),
+            8,
+            "LDPC (min)",
+            71.05,
+        ),
+        quoted(
+            "[7] Gentile 2010",
+            12,
+            45,
+            0.9,
+            1.88,
+            150.0,
+            Some(86.1),
+            8,
+            "DBTC (min)",
+            73.46,
+        ),
+        quoted(
+            "[6] Naessens 2008",
+            384,
+            45,
+            0.94,
+            1.96,
+            333.0,
+            Some(1000.0),
+            25,
+            "LDPC (avg)",
+            333.0,
+        ),
+        quoted(
+            "[8] Sun-Cavallaro",
+            12,
+            90,
+            3.20,
+            1.67,
+            500.0,
+            None,
+            15,
+            "LDPC 2304, 0.5 (max)",
+            600.0,
+        ),
+        quoted(
+            "[8] Sun-Cavallaro",
+            12,
+            90,
+            3.20,
+            1.67,
+            500.0,
+            None,
+            6,
+            "BTC 6144, 0.3 (max)",
+            450.0,
+        ),
     ]
 }
 
@@ -154,10 +294,16 @@ mod tests {
     #[test]
     fn literature_rows_match_the_papers_key_figures() {
         let rows = literature_rows();
-        let paper_ldpc = rows.iter().find(|r| r.decoder == "This Work (paper)" && r.code.starts_with("LDPC")).unwrap();
+        let paper_ldpc = rows
+            .iter()
+            .find(|r| r.decoder == "This Work (paper)" && r.code.starts_with("LDPC"))
+            .unwrap();
         assert_eq!(paper_ldpc.total_area_mm2, 3.17);
         assert_eq!(paper_ldpc.throughput_mbps, 72.00);
-        let ref9 = rows.iter().find(|r| r.decoder.starts_with("[9]") && r.code.starts_with("LDPC")).unwrap();
+        let ref9 = rows
+            .iter()
+            .find(|r| r.decoder.starts_with("[9]") && r.code.starts_with("LDPC"))
+            .unwrap();
         assert_eq!(ref9.throughput_mbps, 62.5);
         assert_eq!(rows.iter().filter(|r| r.measured).count(), 0);
     }

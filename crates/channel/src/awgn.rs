@@ -32,7 +32,9 @@ impl EbN0 {
     /// Panics if `linear` is not strictly positive.
     pub fn from_linear(linear: f64) -> Self {
         assert!(linear > 0.0, "Eb/N0 must be positive");
-        EbN0 { db: 10.0 * linear.log10() }
+        EbN0 {
+            db: 10.0 * linear.log10(),
+        }
     }
 
     /// The ratio in decibels.

@@ -31,9 +31,11 @@
 pub mod awgn;
 pub mod ber;
 pub mod modulation;
+pub mod sim;
 pub mod source;
 
 pub use awgn::{AwgnChannel, EbN0};
 pub use ber::{ErrorCounter, ErrorRateRun, MonteCarloConfig};
 pub use modulation::BpskModulator;
+pub use sim::{BerCurve, BerPoint, DecodedFrame, EngineConfig, FecCodec, SimulationEngine};
 pub use source::BitSource;

@@ -39,7 +39,10 @@ impl BpskModulator {
 
     /// Hard-decision demodulation (sign detector).
     pub fn demodulate_hard(&self, symbols: &[f64]) -> Vec<u8> {
-        symbols.iter().map(|&s| if s >= 0.0 { 0 } else { 1 }).collect()
+        symbols
+            .iter()
+            .map(|&s| if s >= 0.0 { 0 } else { 1 })
+            .collect()
     }
 }
 

@@ -1,0 +1,575 @@
+//! The unified Monte-Carlo simulation engine behind every BER study.
+//!
+//! Historically each decode flavour (layered LDPC, flooding LDPC, bit-level
+//! turbo, symbol-level turbo) carried its own hand-written serial
+//! Monte-Carlo loop.  This module replaces all of them with one engine:
+//!
+//! * [`FecCodec`] — an object-safe encode/decode abstraction implemented by
+//!   every decoder flavour (`wimax_ldpc::codec`, `wimax_turbo::codec`);
+//! * [`SimulationEngine`] — shards frames across worker threads, gives every
+//!   shard an independent deterministic RNG stream, aggregates via
+//!   [`ErrorCounter::merge`] and stops early per [`MonteCarloConfig`];
+//! * [`BerPoint`] / [`BerCurve`] — machine-readable results
+//!   ([`fec_json::ToJson`]).
+//!
+//! # Determinism
+//!
+//! Work is split into a fixed number of *shards* (independent RNG streams),
+//! and frames are scheduled onto shards in rounds whose sizes depend only on
+//! the configuration — never on the number of worker threads.  Threads are
+//! merely executors of shards, and the aggregated [`ErrorCounter`] is a sum
+//! of integers, so a run with 8 workers produces **bit-identical** error
+//! counts to a run with 1 worker and the same seed.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_channel::sim::{DecodedFrame, EngineConfig, FecCodec, SimulationEngine};
+//! use fec_fixed::Llr;
+//!
+//! /// A rate-1/2 repetition code: good enough to show the engine at work.
+//! struct Repetition;
+//!
+//! impl FecCodec for Repetition {
+//!     fn name(&self) -> String { "repetition-2".into() }
+//!     fn info_bits(&self) -> usize { 32 }
+//!     fn codeword_bits(&self) -> usize { 64 }
+//!     fn encode(&self, info: &[u8]) -> Vec<u8> {
+//!         info.iter().chain(info).copied().collect()
+//!     }
+//!     fn decode(&self, llrs: &[Llr]) -> DecodedFrame {
+//!         let k = self.info_bits();
+//!         let bits = (0..k)
+//!             .map(|i| u8::from(llrs[i].value() + llrs[i + k].value() < 0.0))
+//!             .collect();
+//!         DecodedFrame { info_bits: bits, iterations: 1, converged: true }
+//!     }
+//! }
+//!
+//! let engine = SimulationEngine::new(EngineConfig::fixed_frames(50, 7));
+//! let point = engine.run_point(&Repetition, 4.0);
+//! assert_eq!(point.frames, 50);
+//! ```
+
+use crate::awgn::{AwgnChannel, EbN0};
+use crate::ber::{ErrorCounter, MonteCarloConfig};
+use crate::modulation::BpskModulator;
+use fec_fixed::Llr;
+use fec_json::{Json, ToJson};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The result of decoding one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFrame {
+    /// Hard decisions on the information bits.
+    pub info_bits: Vec<u8>,
+    /// Decoder iterations spent on this frame.
+    pub iterations: usize,
+    /// Whether the decoder's stopping rule fired (syndrome zero / decisions
+    /// stable) before the iteration limit.
+    pub converged: bool,
+}
+
+/// An object-safe forward-error-correction codec: everything the Monte-Carlo
+/// engine needs to close the encode → channel → decode loop.
+///
+/// Implementations must be [`Send`] + [`Sync`] so a single codec instance
+/// can be shared by all worker threads.
+pub trait FecCodec: Send + Sync {
+    /// Human-readable label used in reports ("wimax-ldpc-576-r12-layered").
+    fn name(&self) -> String;
+
+    /// Number of information bits per frame.
+    fn info_bits(&self) -> usize;
+
+    /// Number of transmitted codeword bits per frame.
+    fn codeword_bits(&self) -> usize;
+
+    /// Encodes `info_bits()` information bits into `codeword_bits()` coded
+    /// bits.
+    fn encode(&self, info: &[u8]) -> Vec<u8>;
+
+    /// Decodes one frame of channel LLRs (length `codeword_bits()`).
+    fn decode(&self, llrs: &[Llr]) -> DecodedFrame;
+
+    /// Code rate `k / n`, used to set the AWGN noise variance for a target
+    /// `Eb/N0`.
+    fn rate(&self) -> f64 {
+        self.info_bits() as f64 / self.codeword_bits() as f64
+    }
+}
+
+/// Configuration of the [`SimulationEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Number of worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Number of independent deterministic RNG streams.  Results depend on
+    /// this value (it defines the frame → stream schedule) but **not** on
+    /// `workers`.
+    pub shards: usize,
+    /// Frames each shard simulates per scheduling round; early stopping is
+    /// evaluated between rounds.
+    pub frames_per_shard_round: u64,
+    /// Base seed; each shard stream is derived from it with SplitMix64.
+    pub seed: u64,
+    /// Stopping rules (frame budget, error target, minimum frames).
+    pub stop: MonteCarloConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            shards: 32,
+            frames_per_shard_round: 8,
+            seed: 0x5EED,
+            stop: MonteCarloConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration that simulates exactly `frames` frames per point
+    /// (no early stopping), matching the historical fixed-frame BER loops.
+    pub fn fixed_frames(frames: u64, seed: u64) -> Self {
+        EngineConfig {
+            seed,
+            stop: MonteCarloConfig {
+                max_frames: frames,
+                target_frame_errors: u64::MAX,
+                min_frames: frames,
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Builder-style setter for the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder-style setter for the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the stopping rules.
+    pub fn with_stop(mut self, stop: MonteCarloConfig) -> Self {
+        self.stop = stop;
+        self
+    }
+}
+
+/// One point of a BER curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerPoint {
+    /// Eb/N0 in dB.
+    pub ebn0_db: f64,
+    /// Bit error rate.
+    pub ber: f64,
+    /// Frame error rate.
+    pub fer: f64,
+    /// Average decoder iterations per frame.
+    pub average_iterations: f64,
+    /// Frames simulated at this point.
+    pub frames: u64,
+    /// Bit errors observed.
+    pub bit_errors: u64,
+    /// Frame errors observed.
+    pub frame_errors: u64,
+}
+
+impl ToJson for BerPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ebn0_db", Json::from(self.ebn0_db)),
+            ("ber", Json::from(self.ber)),
+            ("fer", Json::from(self.fer)),
+            ("average_iterations", Json::from(self.average_iterations)),
+            ("frames", Json::from(self.frames)),
+            ("bit_errors", Json::from(self.bit_errors)),
+            ("frame_errors", Json::from(self.frame_errors)),
+        ])
+    }
+}
+
+/// A labelled BER curve: one [`BerPoint`] per simulated `Eb/N0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BerCurve {
+    /// Codec label the curve was measured for.
+    pub label: String,
+    /// The simulated points, in the order the `Eb/N0` values were given.
+    pub points: Vec<BerPoint>,
+}
+
+impl ToJson for BerCurve {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label.clone())),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
+/// Per-point aggregation state merged across shards.
+#[derive(Debug, Clone, Copy, Default)]
+struct PointAccumulator {
+    counter: ErrorCounter,
+    iterations: u64,
+}
+
+impl PointAccumulator {
+    fn merge(&mut self, other: &PointAccumulator) {
+        self.counter.merge(&other.counter);
+        self.iterations += other.iterations;
+    }
+}
+
+/// The parallel Monte-Carlo simulation engine.  See the module docs for the
+/// determinism contract and an end-to-end example.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimulationEngine {
+    config: EngineConfig,
+}
+
+impl SimulationEngine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        SimulationEngine { config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of worker threads a run will actually use.
+    pub fn effective_workers(&self) -> usize {
+        let requested = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.workers
+        };
+        requested.clamp(1, self.config.shards)
+    }
+
+    /// Simulates one `Eb/N0` point for `codec`.
+    pub fn run_point(&self, codec: &dyn FecCodec, ebn0_db: f64) -> BerPoint {
+        let cfg = &self.config;
+        let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), codec.rate());
+        let modulator = BpskModulator::new();
+        let shards = cfg.shards;
+        let mut shard_rngs: Vec<StdRng> = (0..shards)
+            .map(|i| StdRng::seed_from_u64(shard_seed(cfg.seed, i as u64, ebn0_db)))
+            .collect();
+
+        let mut total = PointAccumulator::default();
+        let round_quota = (shards as u64).saturating_mul(cfg.frames_per_shard_round);
+        while !cfg.stop.should_stop(&total.counter) {
+            let remaining = cfg.stop.max_frames - total.counter.frames();
+            let round = remaining.min(round_quota.max(1));
+            let counts = split_round(round, shards);
+            total.merge(&self.run_round(codec, &channel, &modulator, &mut shard_rngs, &counts));
+        }
+
+        let frames = total.counter.frames();
+        BerPoint {
+            ebn0_db,
+            ber: total.counter.ber(),
+            fer: total.counter.fer(),
+            average_iterations: if frames == 0 {
+                0.0
+            } else {
+                total.iterations as f64 / frames as f64
+            },
+            frames,
+            bit_errors: total.counter.bit_errors(),
+            frame_errors: total.counter.frame_errors(),
+        }
+    }
+
+    /// Simulates a full curve (one point per `Eb/N0` value, in order).
+    pub fn run_curve(&self, codec: &dyn FecCodec, ebn0_dbs: &[f64]) -> BerCurve {
+        BerCurve {
+            label: codec.name(),
+            points: ebn0_dbs.iter().map(|&e| self.run_point(codec, e)).collect(),
+        }
+    }
+
+    /// Executes one scheduling round: shard `i` simulates `counts[i]` frames
+    /// on its own RNG stream.  Shards are distributed contiguously over the
+    /// worker threads; the result is independent of the worker count.
+    fn run_round(
+        &self,
+        codec: &dyn FecCodec,
+        channel: &AwgnChannel,
+        modulator: &BpskModulator,
+        shard_rngs: &mut [StdRng],
+        counts: &[u64],
+    ) -> PointAccumulator {
+        let workers = self.effective_workers();
+        let run_shards = |rngs: &mut [StdRng], counts: &[u64]| {
+            let mut acc = PointAccumulator::default();
+            for (rng, &n) in rngs.iter_mut().zip(counts) {
+                for _ in 0..n {
+                    simulate_frame(codec, channel, modulator, rng, &mut acc);
+                }
+            }
+            acc
+        };
+
+        if workers <= 1 {
+            return run_shards(shard_rngs, counts);
+        }
+
+        let chunk = shard_rngs.len().div_ceil(workers);
+        let mut total = PointAccumulator::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_rngs
+                .chunks_mut(chunk)
+                .zip(counts.chunks(chunk))
+                .map(|(rngs, counts)| scope.spawn(move || run_shards(rngs, counts)))
+                .collect();
+            for handle in handles {
+                total.merge(&handle.join().expect("simulation worker panicked"));
+            }
+        });
+        total
+    }
+}
+
+/// Simulates one frame end to end and records it into `acc`.
+fn simulate_frame(
+    codec: &dyn FecCodec,
+    channel: &AwgnChannel,
+    modulator: &BpskModulator,
+    rng: &mut StdRng,
+    acc: &mut PointAccumulator,
+) {
+    let info: Vec<u8> = (0..codec.info_bits())
+        .map(|_| rng.gen_range(0..=1))
+        .collect();
+    let codeword = codec.encode(&info);
+    debug_assert_eq!(codeword.len(), codec.codeword_bits());
+    let received = channel.transmit(&modulator.modulate(&codeword), rng);
+    let decoded = codec.decode(&channel.llrs(&received));
+    acc.counter.record_frame(&info, &decoded.info_bits);
+    acc.iterations += decoded.iterations as u64;
+}
+
+/// Splits `round` frames over `shards` streams: low-index shards take the
+/// remainder, so the schedule is a pure function of the configuration.
+fn split_round(round: u64, shards: usize) -> Vec<u64> {
+    let base = round / shards as u64;
+    let extra = (round % shards as u64) as usize;
+    (0..shards).map(|i| base + u64::from(i < extra)).collect()
+}
+
+/// One SplitMix64 step (Steele et al.): used only for seed derivation, so
+/// the vendored `rand` facade can stay a strict subset of the real crate.
+fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the per-shard, per-point RNG seed with SplitMix64 so streams are
+/// decorrelated across shards and `Eb/N0` points.
+fn shard_seed(seed: u64, shard: u64, ebn0_db: f64) -> u64 {
+    let mut state = seed ^ ebn0_db.to_bits().rotate_left(17);
+    let mixed = split_mix64(&mut state);
+    state = mixed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    split_mix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rate-1/2 repetition code used as a cheap, error-prone test codec.
+    struct Repetition {
+        k: usize,
+    }
+
+    impl FecCodec for Repetition {
+        fn name(&self) -> String {
+            format!("repetition-2-k{}", self.k)
+        }
+
+        fn info_bits(&self) -> usize {
+            self.k
+        }
+
+        fn codeword_bits(&self) -> usize {
+            2 * self.k
+        }
+
+        fn encode(&self, info: &[u8]) -> Vec<u8> {
+            info.iter().chain(info).copied().collect()
+        }
+
+        fn decode(&self, llrs: &[Llr]) -> DecodedFrame {
+            let bits = (0..self.k)
+                .map(|i| u8::from(llrs[i].value() + llrs[i + self.k].value() < 0.0))
+                .collect();
+            DecodedFrame {
+                info_bits: bits,
+                iterations: 1,
+                converged: true,
+            }
+        }
+    }
+
+    /// A codec that always decodes to the complement: every frame errs.
+    struct AlwaysWrong;
+
+    impl FecCodec for AlwaysWrong {
+        fn name(&self) -> String {
+            "always-wrong".into()
+        }
+
+        fn info_bits(&self) -> usize {
+            8
+        }
+
+        fn codeword_bits(&self) -> usize {
+            8
+        }
+
+        fn encode(&self, info: &[u8]) -> Vec<u8> {
+            info.to_vec()
+        }
+
+        fn decode(&self, llrs: &[Llr]) -> DecodedFrame {
+            DecodedFrame {
+                info_bits: llrs.iter().map(|l| u8::from(l.value() >= 0.0)).collect(),
+                iterations: 1,
+                converged: false,
+            }
+        }
+    }
+
+    fn engine(workers: usize, stop: MonteCarloConfig) -> SimulationEngine {
+        SimulationEngine::new(EngineConfig {
+            workers,
+            shards: 8,
+            frames_per_shard_round: 4,
+            seed: 99,
+            stop,
+        })
+    }
+
+    #[test]
+    fn identical_counts_for_1_2_and_8_workers() {
+        let codec = Repetition { k: 24 };
+        let stop = MonteCarloConfig {
+            max_frames: 300,
+            target_frame_errors: 40,
+            min_frames: 50,
+        };
+        let reference = engine(1, stop).run_point(&codec, 1.0);
+        for workers in [2, 8] {
+            let point = engine(workers, stop).run_point(&codec, 1.0);
+            assert_eq!(point, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn fixed_frames_simulates_exactly_that_many() {
+        let codec = Repetition { k: 16 };
+        let eng = SimulationEngine::new(EngineConfig::fixed_frames(123, 5));
+        let point = eng.run_point(&codec, 2.0);
+        assert_eq!(point.frames, 123);
+    }
+
+    #[test]
+    fn early_stopping_never_undershoots_min_frames() {
+        // Every frame errs, so the error target is hit immediately; the
+        // engine must still simulate at least `min_frames` frames.
+        let stop = MonteCarloConfig {
+            max_frames: 10_000,
+            target_frame_errors: 1,
+            min_frames: 97,
+        };
+        let point = engine(2, stop).run_point(&AlwaysWrong, 0.0);
+        assert!(point.frames >= 97, "frames = {}", point.frames);
+        assert!(point.frames < 10_000, "early stopping should fire");
+        assert_eq!(point.fer, 1.0);
+    }
+
+    #[test]
+    fn max_frames_is_never_exceeded() {
+        let codec = Repetition { k: 8 };
+        let stop = MonteCarloConfig {
+            max_frames: 41,
+            target_frame_errors: u64::MAX,
+            min_frames: 1,
+        };
+        let point = engine(3, stop).run_point(&codec, 1.0);
+        assert_eq!(point.frames, 41);
+    }
+
+    #[test]
+    fn ber_improves_with_snr() {
+        let codec = Repetition { k: 32 };
+        let eng = SimulationEngine::new(EngineConfig::fixed_frames(200, 11));
+        let curve = eng.run_curve(&codec, &[-2.0, 6.0]);
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points[0].ber > curve.points[1].ber);
+        assert_eq!(curve.label, "repetition-2-k32");
+    }
+
+    #[test]
+    fn curve_serializes_to_json() {
+        let codec = Repetition { k: 8 };
+        let eng = SimulationEngine::new(EngineConfig::fixed_frames(10, 3));
+        let json = eng.run_curve(&codec, &[1.0]).to_json().to_string();
+        assert!(json.contains("\"label\":\"repetition-2-k8\""), "{json}");
+        assert!(json.contains("\"frames\":10"), "{json}");
+    }
+
+    #[test]
+    fn split_round_distributes_remainder_low_first() {
+        assert_eq!(split_round(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_round(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(split_round(0, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn shard_seeds_are_decorrelated() {
+        let a = shard_seed(1, 0, 2.0);
+        let b = shard_seed(1, 1, 2.0);
+        let c = shard_seed(1, 0, 2.5);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn effective_workers_is_capped_by_shards() {
+        let eng = engine(64, MonteCarloConfig::default());
+        assert_eq!(eng.effective_workers(), 8);
+        assert!(engine(0, MonteCarloConfig::default()).effective_workers() >= 1);
+    }
+}

@@ -44,7 +44,10 @@ impl BitSource {
 /// Panics if the slices have different lengths.
 pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
     assert_eq!(a.len(), b.len(), "slices must have equal length");
-    a.iter().zip(b).filter(|(x, y)| (**x & 1) != (**y & 1)).count()
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (**x & 1) != (**y & 1))
+        .count()
 }
 
 #[cfg(test)]

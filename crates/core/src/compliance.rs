@@ -13,7 +13,7 @@ use wimax_ldpc::{wimax_block_lengths, CodeRate, QcLdpcCode};
 use wimax_turbo::{CtcCode, WIMAX_FRAME_SIZES};
 
 /// The result of evaluating one code of the compliance sweep.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComplianceEntry {
     /// Human-readable code label (e.g. "LDPC 2304 r=1/2", "DBTC 4800 r=1/2").
     pub code: String,
@@ -28,7 +28,7 @@ pub struct ComplianceEntry {
 }
 
 /// The aggregate result of a compliance sweep.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComplianceReport {
     /// Per-code results, LDPC first then turbo.
     pub entries: Vec<ComplianceEntry>,
@@ -46,9 +46,11 @@ impl ComplianceReport {
 
     /// The label of the worst (lowest-throughput) code of the sweep.
     pub fn worst_code(&self) -> Option<&ComplianceEntry> {
-        self.entries
-            .iter()
-            .min_by(|a, b| a.throughput_mbps.partial_cmp(&b.throughput_mbps).expect("finite"))
+        self.entries.iter().min_by(|a, b| {
+            a.throughput_mbps
+                .partial_cmp(&b.throughput_mbps)
+                .expect("finite")
+        })
     }
 }
 
@@ -134,9 +136,10 @@ pub fn run_compliance(
 
     for &n in scope.ldpc_lengths {
         for &rate in scope.ldpc_rates {
-            let code = QcLdpcCode::wimax(n, rate).map_err(|e| DecoderError::InvalidConfiguration {
-                reason: e.to_string(),
-            })?;
+            let code =
+                QcLdpcCode::wimax(n, rate).map_err(|e| DecoderError::InvalidConfiguration {
+                    reason: e.to_string(),
+                })?;
             if code.m() < config.pes {
                 continue;
             }
@@ -155,7 +158,11 @@ pub fn run_compliance(
             continue;
         }
         match evaluate_turbo(config, &code) {
-            Ok(eval) => push(format!("DBTC {} r=1/2", 2 * couples), eval, &mut worst_turbo),
+            Ok(eval) => push(
+                format!("DBTC {} r=1/2", 2 * couples),
+                eval,
+                &mut worst_turbo,
+            ),
             Err(DecoderError::InvalidConfiguration { .. }) => continue,
             Err(e) => return Err(e),
         }
@@ -163,8 +170,16 @@ pub fn run_compliance(
 
     Ok(ComplianceReport {
         entries,
-        worst_ldpc_mbps: if worst_ldpc.is_finite() { worst_ldpc } else { 0.0 },
-        worst_turbo_mbps: if worst_turbo.is_finite() { worst_turbo } else { 0.0 },
+        worst_ldpc_mbps: if worst_ldpc.is_finite() {
+            worst_ldpc
+        } else {
+            0.0
+        },
+        worst_turbo_mbps: if worst_turbo.is_finite() {
+            worst_turbo
+        } else {
+            0.0
+        },
     })
 }
 
@@ -174,13 +189,19 @@ mod tests {
 
     #[test]
     fn corner_scope_runs_on_the_paper_design_point() {
-        let report =
-            run_compliance(&DecoderConfig::paper_design_point(), &ComplianceScope::corners())
-                .unwrap();
+        let report = run_compliance(
+            &DecoderConfig::paper_design_point(),
+            &ComplianceScope::corners(),
+        )
+        .unwrap();
         // 2 lengths x 2 rates LDPC + the 2400-couple CTC (the 24-couple frame
         // is skipped because it is smaller than P = 22... actually 24 >= 22,
         // so both CTC sizes are evaluated).
-        assert!(report.entries.len() >= 5, "{} entries", report.entries.len());
+        assert!(
+            report.entries.len() >= 5,
+            "{} entries",
+            report.entries.len()
+        );
         assert!(report.worst_ldpc_mbps > 0.0);
         assert!(report.worst_turbo_mbps > 0.0);
         assert!(report.worst_code().is_some());
@@ -215,9 +236,11 @@ mod tests {
 
     #[test]
     fn compliance_flag_follows_the_seventy_mbps_threshold() {
-        let report =
-            run_compliance(&DecoderConfig::paper_design_point(), &ComplianceScope::corners())
-                .unwrap();
+        let report = run_compliance(
+            &DecoderConfig::paper_design_point(),
+            &ComplianceScope::corners(),
+        )
+        .unwrap();
         for e in &report.entries {
             assert_eq!(e.compliant, e.throughput_mbps >= 70.0, "{}", e.code);
         }

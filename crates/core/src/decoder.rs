@@ -4,10 +4,13 @@ use crate::config::DecoderConfig;
 use crate::evaluation::{evaluate_ldpc, evaluate_turbo, DecoderError, DesignEvaluation};
 use asic_model::power::OperatingMode;
 use asic_model::{PowerModel, Technology};
+use fec_channel::sim::{BerCurve, FecCodec, SimulationEngine};
 use fec_fixed::Llr;
 use wimax_ldpc::decoder::{LayeredConfig, LayeredDecoder};
-use wimax_ldpc::{DecodeOutcome, QcLdpcCode};
-use wimax_turbo::{CtcCode, TurboDecodeOutcome, TurboDecoder, TurboDecoderConfig, TurboError};
+use wimax_ldpc::{DecodeOutcome, LayeredLdpcCodec, QcLdpcCode};
+use wimax_turbo::{
+    CtcCode, TurboCodec, TurboDecodeOutcome, TurboDecoder, TurboDecoderConfig, TurboError,
+};
 
 /// The flexible NoC-based turbo/LDPC decoder.
 ///
@@ -69,6 +72,56 @@ impl NocDecoder {
         TurboDecoder::new(code, cfg).decode(llrs)
     }
 
+    /// Runs a Monte-Carlo BER curve for an arbitrary [`FecCodec`] on the
+    /// unified parallel [`SimulationEngine`] — the single entry point behind
+    /// every BER study in this repository (bench harness, examples and this
+    /// decoder object all route through it).
+    pub fn ber_curve(
+        &self,
+        codec: &dyn FecCodec,
+        ebn0_dbs: &[f64],
+        engine: &SimulationEngine,
+    ) -> BerCurve {
+        engine.run_curve(codec, ebn0_dbs)
+    }
+
+    /// [`NocDecoder::ber_curve`] for this decoder's LDPC mode: the layered
+    /// normalized-min-sum decoder with the configured iteration limit.
+    pub fn ldpc_ber_curve(
+        &self,
+        code: &QcLdpcCode,
+        ebn0_dbs: &[f64],
+        engine: &SimulationEngine,
+    ) -> BerCurve {
+        let codec = LayeredLdpcCodec::new(
+            code,
+            LayeredConfig {
+                max_iterations: self.config.ldpc_iterations,
+                ..LayeredConfig::default()
+            },
+        );
+        self.ber_curve(&codec, ebn0_dbs, engine)
+    }
+
+    /// [`NocDecoder::ber_curve`] for this decoder's turbo mode: Max-Log-MAP
+    /// with bit-level extrinsic exchange (the paper's configuration) and the
+    /// configured iteration limit.
+    pub fn turbo_ber_curve(
+        &self,
+        code: &CtcCode,
+        ebn0_dbs: &[f64],
+        engine: &SimulationEngine,
+    ) -> BerCurve {
+        let codec = TurboCodec::new(
+            code,
+            TurboDecoderConfig {
+                max_iterations: self.config.turbo_iterations,
+                ..TurboDecoderConfig::default()
+            },
+        );
+        self.ber_curve(&codec, ebn0_dbs, engine)
+    }
+
     /// Evaluates this configuration in LDPC mode on the given code.
     ///
     /// # Errors
@@ -97,7 +150,8 @@ impl NocDecoder {
                 (0.75 * self.config.turbo_clock_mhz, OperatingMode::Turbo)
             }
         };
-        self.power.power_mw(evaluation.total_area_mm2(), f_mhz, mode)
+        self.power
+            .power_mw(evaluation.total_area_mm2(), f_mhz, mode)
     }
 
     /// Total area normalised to another technology node (Table III's `A_N`).
@@ -127,7 +181,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
         let cw = enc.encode(&info).unwrap();
-        let llrs: Vec<Llr> = cw.iter().map(|&b| Llr::new(5.0 * (1.0 - 2.0 * b as f64))).collect();
+        let llrs: Vec<Llr> = cw
+            .iter()
+            .map(|&b| Llr::new(5.0 * (1.0 - 2.0 * b as f64)))
+            .collect();
         let out = decoder.decode_ldpc_frame(&code, &llrs);
         assert!(out.converged);
         assert_eq!(out.info_bits(code.k()), &info[..]);
@@ -139,11 +196,33 @@ mod tests {
         let code = CtcCode::wimax(48).unwrap();
         let enc = TurboEncoder::new(&code);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+        let info: Vec<u8> = (0..code.info_bits())
+            .map(|_| rng.gen_range(0..=1))
+            .collect();
         let cw = enc.encode(&info).unwrap();
-        let llrs: Vec<Llr> = cw.iter().map(|&b| Llr::new(6.0 * (1.0 - 2.0 * b as f64))).collect();
+        let llrs: Vec<Llr> = cw
+            .iter()
+            .map(|&b| Llr::new(6.0 * (1.0 - 2.0 * b as f64)))
+            .collect();
         let out = decoder.decode_turbo_frame(&code, &llrs).unwrap();
         assert_eq!(out.info_bits, info);
+    }
+
+    #[test]
+    fn ber_curves_route_through_the_engine() {
+        use fec_channel::sim::EngineConfig;
+        let decoder = NocDecoder::default();
+        let engine = SimulationEngine::new(EngineConfig::fixed_frames(4, 7));
+        let ldpc = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let curve = decoder.ldpc_ber_curve(&ldpc, &[6.0], &engine);
+        assert_eq!(curve.points.len(), 1);
+        assert_eq!(curve.points[0].frames, 4);
+        assert_eq!(curve.points[0].bit_errors, 0, "6 dB should be error free");
+
+        let turbo = CtcCode::wimax(24).unwrap();
+        let curve = decoder.turbo_ber_curve(&turbo, &[6.0], &engine);
+        assert_eq!(curve.points[0].bit_errors, 0);
+        assert!(curve.label.starts_with("wimax-ctc-24c"));
     }
 
     #[test]
@@ -154,7 +233,9 @@ mod tests {
         });
         let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let llrs: Vec<Llr> = (0..code.n()).map(|_| Llr::new(rng.gen_range(-0.5..0.5))).collect();
+        let llrs: Vec<Llr> = (0..code.n())
+            .map(|_| Llr::new(rng.gen_range(-0.5..0.5)))
+            .collect();
         let out = decoder.decode_ldpc_frame(&code, &llrs);
         assert!(out.iterations <= 3);
     }

@@ -4,6 +4,7 @@
 use crate::config::DecoderConfig;
 use crate::evaluation::{evaluate_ldpc, evaluate_turbo, DecoderError, DesignEvaluation};
 use crate::throughput::WIMAX_REQUIRED_THROUGHPUT_MBPS;
+use fec_json::{Json, ToJson};
 use noc_sim::{NodeArchitecture, RoutingAlgorithm, TopologyKind};
 use wimax_ldpc::QcLdpcCode;
 use wimax_turbo::CtcCode;
@@ -23,13 +24,19 @@ pub const TABLE1_PARALLELISM: [usize; 4] = [16, 24, 32, 36];
 
 /// The (routing algorithm, node architecture) rows of Tables I and II.
 pub const TABLE_ROUTING_ROWS: [(RoutingAlgorithm, NodeArchitecture); 3] = [
-    (RoutingAlgorithm::SspRr, NodeArchitecture::PartiallyPrecalculated),
-    (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated),
+    (
+        RoutingAlgorithm::SspRr,
+        NodeArchitecture::PartiallyPrecalculated,
+    ),
+    (
+        RoutingAlgorithm::SspFl,
+        NodeArchitecture::PartiallyPrecalculated,
+    ),
     (RoutingAlgorithm::AspFt, NodeArchitecture::AllPrecalculated),
 ];
 
 /// One entry of the Table I reproduction.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Topology family name.
     pub topology: String,
@@ -47,8 +54,22 @@ pub struct Table1Row {
     pub noc_area_mm2: f64,
 }
 
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("topology", Json::str(self.topology.clone())),
+            ("degree", Json::from(self.degree)),
+            ("pes", Json::from(self.pes)),
+            ("routing", Json::str(self.routing.clone())),
+            ("architecture", Json::str(self.architecture.clone())),
+            ("throughput_mbps", Json::from(self.throughput_mbps)),
+            ("noc_area_mm2", Json::from(self.noc_area_mm2)),
+        ])
+    }
+}
+
 /// One entry of the Table II reproduction (the `P = 22` flexible decoder).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Routing algorithm name.
     pub routing: String,
@@ -62,6 +83,25 @@ pub struct Table2Row {
     pub ldpc_throughput_mbps: f64,
     /// LDPC-mode NoC area in mm².
     pub ldpc_noc_area_mm2: f64,
+}
+
+impl ToJson for Table2Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("routing", Json::str(self.routing.clone())),
+            ("architecture", Json::str(self.architecture.clone())),
+            (
+                "turbo_throughput_mbps",
+                Json::from(self.turbo_throughput_mbps),
+            ),
+            ("turbo_noc_area_mm2", Json::from(self.turbo_noc_area_mm2)),
+            (
+                "ldpc_throughput_mbps",
+                Json::from(self.ldpc_throughput_mbps),
+            ),
+            ("ldpc_noc_area_mm2", Json::from(self.ldpc_noc_area_mm2)),
+        ])
+    }
 }
 
 /// The design-space exploration driver.
@@ -218,7 +258,10 @@ mod tests {
                 &small_code(),
                 (TopologyKind::GeneralizedKautz, 3),
                 16,
-                (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated),
+                (
+                    RoutingAlgorithm::SspFl,
+                    NodeArchitecture::PartiallyPrecalculated,
+                ),
             )
             .unwrap();
         assert_eq!(row.pes, 16);
@@ -233,7 +276,10 @@ mod tests {
         // outperform the other families in throughput-to-area ratio.
         let dse = DesignSpaceExplorer::default();
         let code = small_code();
-        let row_pp = (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated);
+        let row_pp = (
+            RoutingAlgorithm::SspFl,
+            NodeArchitecture::PartiallyPrecalculated,
+        );
         let kautz = dse
             .table1_cell(&code, (TopologyKind::GeneralizedKautz, 3), 16, row_pp)
             .unwrap();
@@ -252,7 +298,10 @@ mod tests {
     fn higher_degree_increases_throughput() {
         let dse = DesignSpaceExplorer::default();
         let code = small_code();
-        let row = (RoutingAlgorithm::SspFl, NodeArchitecture::PartiallyPrecalculated);
+        let row = (
+            RoutingAlgorithm::SspFl,
+            NodeArchitecture::PartiallyPrecalculated,
+        );
         let d2 = dse
             .table1_cell(&code, (TopologyKind::GeneralizedKautz, 2), 24, row)
             .unwrap();

@@ -45,7 +45,7 @@ impl From<NocError> for DecoderError {
 }
 
 /// Operating mode of an evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// LDPC decoding mode.
     Ldpc,
@@ -54,7 +54,7 @@ pub enum Mode {
 }
 
 /// The result of evaluating one design point on one code.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignEvaluation {
     /// Operating mode.
     pub mode: Mode,
@@ -232,12 +232,7 @@ fn areas(
 ) -> (f64, f64) {
     let location_bits = (usize::BITS - address_space.saturating_sub(1).leading_zeros()).max(1);
     let messages_per_node = total_messages.div_ceil(config.pes);
-    let forwarded_max = stats
-        .forwarded_per_node
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(0) as usize;
+    let forwarded_max = stats.forwarded_per_node.iter().copied().max().unwrap_or(0) as usize;
     let crossbar_size = config.degree + 1;
     let routing_entries = match config.architecture {
         noc_sim::NodeArchitecture::AllPrecalculated => forwarded_max.max(messages_per_node),

@@ -45,12 +45,13 @@ pub use compliance::{run_compliance, ComplianceReport, ComplianceScope};
 pub use config::DecoderConfig;
 pub use decoder::NocDecoder;
 pub use dse::{DesignSpaceExplorer, Table1Row, Table2Row};
-pub use evaluation::{DesignEvaluation, DecoderError};
+pub use evaluation::{DecoderError, DesignEvaluation};
 pub use throughput::{ldpc_throughput_mbps, turbo_throughput_mbps};
 
 // Re-export the main substrate types so that downstream users (examples,
 // benches) can depend on `noc-decoder` alone.
 pub use asic_model::{PowerModel, Technology};
+pub use fec_channel::sim::{BerCurve, BerPoint, EngineConfig, FecCodec, SimulationEngine};
 pub use noc_mapping::MappingConfig;
 pub use noc_sim::{CollisionPolicy, NodeArchitecture, RoutingAlgorithm, TopologyKind};
 pub use wimax_ldpc::{CodeRate, QcLdpcCode};

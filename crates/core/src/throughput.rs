@@ -94,7 +94,10 @@ mod tests {
         };
         let rescaled = turbo_throughput_mbps(4800, 200.0, 8, 15, cycles);
         assert!(rescaled > 173.0, "rescaled throughput {rescaled}");
-        assert!((rescaled - 198.0).abs() < 8.0, "rescaled throughput {rescaled}");
+        assert!(
+            (rescaled - 198.0).abs() < 8.0,
+            "rescaled throughput {rescaled}"
+        );
     }
 
     #[test]

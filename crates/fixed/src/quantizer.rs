@@ -58,7 +58,10 @@ impl Quantizer {
     /// Panics if `bits` is not in `1..=31` or `frac_bits >= bits`.
     pub fn new(bits: u32, frac_bits: u32) -> Self {
         assert!((1..=31).contains(&bits), "bit width must be in 1..=31");
-        assert!(frac_bits < bits, "fractional bits must be less than total bits");
+        assert!(
+            frac_bits < bits,
+            "fractional bits must be less than total bits"
+        );
         Quantizer { bits, frac_bits }
     }
 
@@ -99,7 +102,8 @@ impl Quantizer {
     pub fn quantize_tracked(&self, x: f64, stats: &mut QuantStats) -> SatFixed {
         let q = self.quantize(x);
         stats.total += 1;
-        if q.value() == SatFixed::max_value(self.bits) || q.value() == SatFixed::min_value(self.bits)
+        if q.value() == SatFixed::max_value(self.bits)
+            || q.value() == SatFixed::min_value(self.bits)
         {
             stats.saturated += 1;
         }

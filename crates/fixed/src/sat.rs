@@ -22,7 +22,7 @@ use std::ops::{Add, Neg, Sub};
 /// assert_eq!((-a - b).value(), -64);        // saturates at -64
 /// assert_eq!((a - b).value(), 10);
 /// ```
-#[derive(Debug, Clone, Copy, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Eq)]
 pub struct SatFixed {
     value: i32,
     bits: u32,
@@ -36,7 +36,7 @@ impl SatFixed {
     ///
     /// Panics if `bits` is zero or greater than 31.
     pub fn new(value: i32, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 31, "bit width must be in 1..=31");
+        assert!((1..=31).contains(&bits), "bit width must be in 1..=31");
         let mut s = SatFixed { value: 0, bits };
         s.value = s.clamp_raw(value);
         s
@@ -96,6 +96,14 @@ impl fmt::Display for SatFixed {
 impl PartialEq for SatFixed {
     fn eq(&self, other: &Self) -> bool {
         self.value == other.value
+    }
+}
+
+// `Hash` must agree with the manual `PartialEq`, which compares only the
+// stored value (the bit width is metadata).
+impl std::hash::Hash for SatFixed {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.value.hash(state);
     }
 }
 

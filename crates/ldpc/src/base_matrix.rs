@@ -110,18 +110,49 @@ pub struct BaseMatrix {
 
 /// Shift coefficients of the 802.16e rate-1/2 base matrix (for `z0 = 96`).
 const RATE_12_ENTRIES: [[i32; 24]; 12] = [
-    [-1, 94, 73, -1, -1, -1, -1, -1, 55, 83, -1, -1, 7, 0, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
-    [-1, 27, -1, -1, -1, 22, 79, 9, -1, -1, -1, 12, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1, -1, -1],
-    [-1, -1, -1, 24, 22, 81, -1, 33, -1, -1, -1, 0, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1, -1],
-    [61, -1, 47, -1, -1, -1, -1, -1, 65, 25, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1],
-    [-1, -1, 39, -1, -1, -1, 84, -1, -1, 41, 72, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1],
-    [-1, -1, -1, -1, 46, 40, -1, 82, -1, -1, -1, 79, 0, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1],
-    [-1, -1, 95, 53, -1, -1, -1, -1, -1, 14, 18, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1],
-    [-1, 11, 73, -1, -1, -1, 2, -1, -1, 47, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1],
-    [12, -1, -1, -1, 83, 24, -1, 43, -1, -1, -1, 51, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1],
-    [-1, -1, -1, -1, -1, 94, -1, 59, -1, -1, 70, 72, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1],
-    [-1, -1, 7, 65, -1, -1, -1, -1, 39, 49, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0],
-    [43, -1, -1, -1, -1, 66, -1, 41, -1, -1, -1, 26, 7, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0],
+    [
+        -1, 94, 73, -1, -1, -1, -1, -1, 55, 83, -1, -1, 7, 0, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        -1,
+    ],
+    [
+        -1, 27, -1, -1, -1, 22, 79, 9, -1, -1, -1, 12, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+    ],
+    [
+        -1, -1, -1, 24, 22, 81, -1, 33, -1, -1, -1, 0, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1, -1, -1,
+    ],
+    [
+        61, -1, 47, -1, -1, -1, -1, -1, 65, 25, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1, -1,
+        -1,
+    ],
+    [
+        -1, -1, 39, -1, -1, -1, 84, -1, -1, 41, 72, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1,
+        -1,
+    ],
+    [
+        -1, -1, -1, -1, 46, 40, -1, 82, -1, -1, -1, 79, 0, -1, -1, -1, -1, 0, 0, -1, -1, -1, -1, -1,
+    ],
+    [
+        -1, -1, 95, 53, -1, -1, -1, -1, -1, 14, 18, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1,
+        -1,
+    ],
+    [
+        -1, 11, 73, -1, -1, -1, 2, -1, -1, 47, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1, -1, -1,
+    ],
+    [
+        12, -1, -1, -1, 83, 24, -1, 43, -1, -1, -1, 51, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, -1,
+        -1,
+    ],
+    [
+        -1, -1, -1, -1, -1, 94, -1, 59, -1, -1, 70, 72, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0,
+        -1,
+    ],
+    [
+        -1, -1, 7, 65, -1, -1, -1, -1, 39, 49, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 0,
+    ],
+    [
+        43, -1, -1, -1, -1, 66, -1, 41, -1, -1, -1, 26, 7, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        0,
+    ],
 ];
 
 /// Simple deterministic generator used for surrogate shift coefficients.
@@ -129,12 +160,17 @@ struct Lcg(u64);
 
 impl Lcg {
     fn new(seed: u64) -> Self {
-        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+        Lcg(seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
     }
 
     fn next_u64(&mut self) -> u64 {
         // Numerical Recipes LCG constants.
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 11
     }
 
@@ -161,7 +197,9 @@ impl BaseMatrix {
         let mb = rate.base_rows();
         let kb = BASE_COLUMNS - mb;
         let mut entries = vec![vec![-1i32; BASE_COLUMNS]; mb];
-        let mut rng = Lcg::new(0xC0DE0000 + rate.base_rows() as u64 * 131 + rate.uses_modulo_scaling() as u64);
+        let mut rng = Lcg::new(
+            0xC0DE0000 + rate.base_rows() as u64 * 131 + rate.uses_modulo_scaling() as u64,
+        );
 
         // Parity part: column kb is h_b with weight 3 (same shift at top and
         // bottom, shift 0 in the middle); columns kb+1.. form the dual
@@ -191,6 +229,7 @@ impl BaseMatrix {
         let total_sys: usize = remaining.iter().sum();
         let base_col_deg = total_sys / kb;
         let extra = total_sys % kb;
+        #[allow(clippy::needless_range_loop)] // `col` indexes the inner dim of `entries[r][col]`
         for col in 0..kb {
             let col_deg = base_col_deg + usize::from(col < extra);
             for _ in 0..col_deg {
@@ -303,7 +342,10 @@ mod tests {
     fn rate_12_parity_structure() {
         let b = BaseMatrix::wimax(CodeRate::R12);
         // h_b column (12): weight 3, equal shift at top/bottom, zero shift in the middle.
-        let hb: Vec<(usize, i32)> = (0..12).filter(|&r| b.entry(r, 12) >= 0).map(|r| (r, b.entry(r, 12))).collect();
+        let hb: Vec<(usize, i32)> = (0..12)
+            .filter(|&r| b.entry(r, 12) >= 0)
+            .map(|r| (r, b.entry(r, 12)))
+            .collect();
         assert_eq!(hb.len(), 3);
         assert_eq!(hb[0].1, hb[2].1);
         assert_eq!(hb[1].1, 0);
@@ -327,7 +369,13 @@ mod tests {
 
     #[test]
     fn surrogate_rates_have_parity_structure() {
-        for rate in [CodeRate::R23A, CodeRate::R23B, CodeRate::R34A, CodeRate::R34B, CodeRate::R56] {
+        for rate in [
+            CodeRate::R23A,
+            CodeRate::R23B,
+            CodeRate::R34A,
+            CodeRate::R34B,
+            CodeRate::R56,
+        ] {
             let b = BaseMatrix::wimax(rate);
             let mb = b.rows();
             let kb = b.systematic_cols();
@@ -345,7 +393,13 @@ mod tests {
 
     #[test]
     fn surrogate_row_degrees_match_profile() {
-        for rate in [CodeRate::R23A, CodeRate::R23B, CodeRate::R34A, CodeRate::R34B, CodeRate::R56] {
+        for rate in [
+            CodeRate::R23A,
+            CodeRate::R23B,
+            CodeRate::R34A,
+            CodeRate::R34B,
+            CodeRate::R56,
+        ] {
             let b = BaseMatrix::wimax(rate);
             let target = rate.target_row_degree();
             for r in 0..b.rows() {

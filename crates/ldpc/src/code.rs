@@ -71,7 +71,7 @@ impl QcLdpcCode {
     /// Returns [`LdpcError::InvalidBlockLength`] if `n` is not one of the 19
     /// lengths 576, 672, ..., 2304.
     pub fn wimax(n: usize, rate: CodeRate) -> Result<Self, LdpcError> {
-        if n < 576 || n > 2304 || n % 96 != 0 {
+        if !(576..=2304).contains(&n) || !n.is_multiple_of(96) {
             return Err(LdpcError::InvalidBlockLength { n });
         }
         let z = n / BASE_COLUMNS;
@@ -222,8 +222,8 @@ mod tests {
         let cols = code.parity_check().column_lists();
         for bc in 0..24 {
             let expected = code.base().col_degree(bc);
-            for c in bc * z..(bc + 1) * z {
-                assert_eq!(cols[c].len(), expected, "column {c}");
+            for (c, col) in cols.iter().enumerate().take((bc + 1) * z).skip(bc * z) {
+                assert_eq!(col.len(), expected, "column {c}");
             }
         }
     }
@@ -275,7 +275,10 @@ mod tests {
     fn error_display() {
         let e = LdpcError::InvalidBlockLength { n: 100 };
         assert!(e.to_string().contains("100"));
-        let e = LdpcError::InvalidInfoLength { expected: 10, actual: 5 };
+        let e = LdpcError::InvalidInfoLength {
+            expected: 10,
+            actual: 5,
+        };
         assert!(e.to_string().contains("expected 10"));
     }
 }

@@ -108,7 +108,11 @@ impl FloodingDecoder {
                 cols[c]
                     .iter()
                     .map(|&row| {
-                        let pos = h.row(row).iter().position(|&x| x == c).expect("entry exists");
+                        let pos = h
+                            .row(row)
+                            .iter()
+                            .position(|&x| x == c)
+                            .expect("entry exists");
                         (row, pos)
                     })
                     .collect()
@@ -152,14 +156,14 @@ impl FloodingDecoder {
                     FloodingKind::SumProduct => {
                         // tanh rule with exclusion via division-free recomputation
                         let deg = v2c[row].len();
-                        for j in 0..deg {
+                        for (j, c2v_j) in c2v[row].iter_mut().enumerate().take(deg) {
                             let mut prod = 1.0f64;
                             for (i, &v) in v2c[row].iter().enumerate() {
                                 if i != j {
                                     prod *= (v / 2.0).tanh().clamp(-0.999_999_999, 0.999_999_999);
                                 }
                             }
-                            c2v[row][j] = 2.0 * prod.atanh();
+                            *c2v_j = 2.0 * prod.atanh();
                         }
                     }
                 }
@@ -174,7 +178,10 @@ impl FloodingDecoder {
                 }
             }
 
-            let hard: Vec<u8> = posterior.iter().map(|&l| if l >= 0.0 { 0 } else { 1 }).collect();
+            let hard: Vec<u8> = posterior
+                .iter()
+                .map(|&l| if l >= 0.0 { 0 } else { 1 })
+                .collect();
             if self.config.early_termination && h.is_codeword(&hard) {
                 converged = true;
                 return DecodeOutcome {
@@ -186,7 +193,10 @@ impl FloodingDecoder {
             }
         }
 
-        let hard: Vec<u8> = posterior.iter().map(|&l| if l >= 0.0 { 0 } else { 1 }).collect();
+        let hard: Vec<u8> = posterior
+            .iter()
+            .map(|&l| if l >= 0.0 { 0 } else { 1 })
+            .collect();
         if h.is_codeword(&hard) {
             converged = true;
         }
@@ -224,7 +234,10 @@ mod tests {
     fn noiseless_all_zero_converges() {
         let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
         for kind in [FloodingKind::NormalizedMinSum, FloodingKind::SumProduct] {
-            let cfg = FloodingConfig { kind, ..FloodingConfig::default() };
+            let cfg = FloodingConfig {
+                kind,
+                ..FloodingConfig::default()
+            };
             let dec = FloodingDecoder::new(&code, cfg);
             let out = dec.decode(&vec![Llr::new(5.0); code.n()]);
             assert!(out.converged);
@@ -269,11 +282,17 @@ mod tests {
         let enc = QcEncoder::new(&code);
         let flooding = FloodingDecoder::new(
             &code,
-            FloodingConfig { max_iterations: 50, ..FloodingConfig::default() },
+            FloodingConfig {
+                max_iterations: 50,
+                ..FloodingConfig::default()
+            },
         );
         let layered = LayeredDecoder::new(
             &code,
-            LayeredConfig { max_iterations: 50, ..LayeredConfig::default() },
+            LayeredConfig {
+                max_iterations: 50,
+                ..LayeredConfig::default()
+            },
         );
         let mut rng = rand::rngs::StdRng::seed_from_u64(100);
         let mut flood_iters = 0usize;
@@ -301,10 +320,15 @@ mod tests {
     #[test]
     fn does_not_converge_on_pure_noise() {
         let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
-        let cfg = FloodingConfig { max_iterations: 3, ..FloodingConfig::default() };
+        let cfg = FloodingConfig {
+            max_iterations: 3,
+            ..FloodingConfig::default()
+        };
         let dec = FloodingDecoder::new(&code, cfg);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
-        let llrs: Vec<Llr> = (0..code.n()).map(|_| Llr::new(rng.gen_range(-1.0..1.0))).collect();
+        let llrs: Vec<Llr> = (0..code.n())
+            .map(|_| Llr::new(rng.gen_range(-1.0..1.0)))
+            .collect();
         let out = dec.decode(&llrs);
         assert!(!out.converged);
     }

@@ -121,7 +121,10 @@ impl LayeredDecoder {
                 }
             }
 
-            let hard: Vec<u8> = lambda.iter().map(|&l| if l >= 0.0 { 0 } else { 1 }).collect();
+            let hard: Vec<u8> = lambda
+                .iter()
+                .map(|&l| if l >= 0.0 { 0 } else { 1 })
+                .collect();
             if self.config.early_termination && h.is_codeword(&hard) {
                 converged = true;
                 return DecodeOutcome {
@@ -133,7 +136,10 @@ impl LayeredDecoder {
             }
         }
 
-        let hard: Vec<u8> = lambda.iter().map(|&l| if l >= 0.0 { 0 } else { 1 }).collect();
+        let hard: Vec<u8> = lambda
+            .iter()
+            .map(|&l| if l >= 0.0 { 0 } else { 1 })
+            .collect();
         if h.is_codeword(&hard) {
             converged = true;
         }
@@ -244,7 +250,7 @@ mod tests {
     fn wrong_llr_length_panics() {
         let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
         let dec = LayeredDecoder::new(&code, LayeredConfig::default());
-        let _ = dec.decode(&vec![Llr::new(1.0); 10]);
+        let _ = dec.decode(&[Llr::new(1.0); 10]);
     }
 
     #[test]

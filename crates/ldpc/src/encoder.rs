@@ -75,12 +75,12 @@ impl QcEncoder {
 
         // lambda_i = sum_j P_{s(i,j)} u_j over the systematic part.
         let mut lambda = vec![vec![0u8; z]; mb];
-        for br in 0..mb {
+        for (br, lambda_br) in lambda.iter_mut().enumerate() {
             for bc in 0..kb {
                 if let Some(s) = base.shift(br, bc, z) {
                     let block = &info[bc * z..(bc + 1) * z];
                     let shifted = shift_block(block, s);
-                    xor_into(&mut lambda[br], &shifted);
+                    xor_into(lambda_br, &shifted);
                 }
             }
         }
@@ -143,7 +143,7 @@ impl GaussianEncoder {
     pub fn new(code: &QcLdpcCode) -> Option<Self> {
         let m = code.m();
         let k = code.k();
-        let words = (m + 63) / 64;
+        let words = m.div_ceil(64);
 
         // Dense copy of the parity columns of H, augmented with the identity.
         let mut rows: Vec<(Vec<u64>, Vec<u64>)> = (0..m)
@@ -201,7 +201,7 @@ impl GaussianEncoder {
         }
         let m = code.m();
         let k = code.k();
-        let words = (m + 63) / 64;
+        let words = m.div_ceil(64);
 
         // s = H_s * u as a bit-packed vector.
         let mut s = vec![0u64; words];
@@ -324,11 +324,11 @@ mod tests {
         let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
         let enc = QcEncoder::new(&code);
         assert!(matches!(
-            enc.encode(&vec![0u8; 10]),
+            enc.encode(&[0u8; 10]),
             Err(LdpcError::InvalidInfoLength { expected, actual: 10 }) if expected == code.k()
         ));
         let ge = GaussianEncoder::new(&code).unwrap();
-        assert!(ge.encode(&vec![0u8; 10]).is_err());
+        assert!(ge.encode(&[0u8; 10]).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod base_matrix;
 pub mod code;
+pub mod codec;
 pub mod decoder;
 pub mod encoder;
 pub mod sparse;
@@ -51,6 +52,7 @@ pub mod tanner;
 
 pub use base_matrix::{BaseMatrix, CodeRate};
 pub use code::{LdpcError, QcLdpcCode};
+pub use codec::{FloodingLdpcCodec, LayeredLdpcCodec};
 pub use decoder::{DecodeOutcome, FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
 pub use encoder::{GaussianEncoder, QcEncoder};
 pub use sparse::SparseBinaryMatrix;

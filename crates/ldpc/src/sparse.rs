@@ -47,7 +47,10 @@ impl SparseBinaryMatrix {
     ///
     /// Panics if the indices are out of range.
     pub fn set(&mut self, row: usize, col: usize) {
-        assert!(row < self.num_rows() && col < self.cols, "index out of range");
+        assert!(
+            row < self.num_rows() && col < self.cols,
+            "index out of range"
+        );
         let r = &mut self.rows[row];
         if let Err(pos) = r.binary_search(&col) {
             r.insert(pos, col);
@@ -107,7 +110,7 @@ impl SparseBinaryMatrix {
     /// Computes the rank of the matrix over GF(2) (dense elimination on
     /// 64-bit words; intended for matrices up to a few thousand rows).
     pub fn rank(&self) -> usize {
-        let words = (self.cols + 63) / 64;
+        let words = self.cols.div_ceil(64);
         let mut dense: Vec<Vec<u64>> = self
             .rows
             .iter()
@@ -181,7 +184,17 @@ mod tests {
         //     [0 1 1 0 1 0]
         //     [1 0 1 0 0 1]
         let mut h = SparseBinaryMatrix::new(3, 6);
-        for (r, c) in [(0, 0), (0, 1), (0, 3), (1, 1), (1, 2), (1, 4), (2, 0), (2, 2), (2, 5)] {
+        for (r, c) in [
+            (0, 0),
+            (0, 1),
+            (0, 3),
+            (1, 1),
+            (1, 2),
+            (1, 4),
+            (2, 0),
+            (2, 2),
+            (2, 5),
+        ] {
             h.set(r, c);
         }
         h

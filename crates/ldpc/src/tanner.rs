@@ -26,8 +26,7 @@ impl TannerGraph {
 
     /// Builds the Tanner graph of an arbitrary sparse parity-check matrix.
     pub fn from_matrix(h: &SparseBinaryMatrix) -> Self {
-        let check_to_vars: Vec<Vec<usize>> =
-            (0..h.num_rows()).map(|r| h.row(r).to_vec()).collect();
+        let check_to_vars: Vec<Vec<usize>> = (0..h.num_rows()).map(|r| h.row(r).to_vec()).collect();
         let var_to_checks = h.column_lists();
         TannerGraph {
             check_to_vars,

@@ -142,12 +142,7 @@ impl Partitioner {
 
     /// Greedy region growing: pick spread-out seeds, then grow each part
     /// breadth-first in round-robin until every node is assigned.
-    fn grow_regions(
-        &self,
-        graph: &WeightedGraph,
-        parts: usize,
-        rng: &mut impl Rng,
-    ) -> Vec<usize> {
+    fn grow_regions(&self, graph: &WeightedGraph, parts: usize, rng: &mut impl Rng) -> Vec<usize> {
         let n = graph.len();
         let target = n.div_ceil(parts);
         let mut assignment = vec![usize::MAX; n];
@@ -236,7 +231,12 @@ impl Partitioner {
 
     /// Kernighan–Lin-style refinement: move boundary nodes to the neighbouring
     /// part with the largest positive gain, respecting the balance constraint.
-    fn refine(&self, graph: &WeightedGraph, mut assignment: Vec<usize>, parts: usize) -> Vec<usize> {
+    fn refine(
+        &self,
+        graph: &WeightedGraph,
+        mut assignment: Vec<usize>,
+        parts: usize,
+    ) -> Vec<usize> {
         let n = graph.len();
         let target = n.div_ceil(parts);
         let max_size = target + self.config.balance_slack;

@@ -86,7 +86,10 @@ impl TurboMapping {
 
     /// Window size of the largest window.
     pub fn max_window(&self) -> usize {
-        (0..self.pes).map(|p| self.couples_of(p).len()).max().unwrap_or(0)
+        (0..self.pes)
+            .map(|p| self.couples_of(p).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The traffic of one half iteration.
@@ -160,7 +163,11 @@ mod tests {
                 assert_eq!(w[1], w[0] + 1);
             }
             // the paper's design: 2400 couples over 22 SISOs ~ 109 each
-            assert!(couples.len() >= 109 && couples.len() <= 110, "pe {pe}: {}", couples.len());
+            assert!(
+                couples.len() >= 109 && couples.len() <= 110,
+                "pe {pe}: {}",
+                couples.len()
+            );
         }
         assert_eq!(total, 2400);
         assert_eq!(mapping.max_window(), 110);

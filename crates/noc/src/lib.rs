@@ -85,7 +85,10 @@ impl fmt::Display for NocError {
             NocError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
             NocError::NotConnected => write!(f, "topology is not strongly connected"),
             NocError::InvalidTraffic { node, nodes } => {
-                write!(f, "traffic references node {node} but the network has {nodes} nodes")
+                write!(
+                    f,
+                    "traffic references node {node} but the network has {nodes} nodes"
+                )
             }
         }
     }

@@ -88,12 +88,21 @@ impl NodeState {
     /// Creates an idle node with `ports` input/output ports
     /// (`degree + 1`, the extra one being the local PE port).
     pub fn new(ports: usize) -> Self {
+        NodeState::with_ports(ports, ports)
+    }
+
+    /// Creates an idle node with asymmetric port counts: `inputs` input
+    /// FIFOs (in-degree + 1 local injection port) and `outputs` output
+    /// registers (out-degree + 1 local delivery port).  Directed topologies
+    /// such as generalized Kautz graphs can have different in- and
+    /// out-degrees per node.
+    pub fn with_ports(inputs: usize, outputs: usize) -> Self {
         NodeState {
-            input_fifos: vec![VecDeque::new(); ports],
-            output_registers: vec![None; ports],
+            input_fifos: vec![VecDeque::new(); inputs],
+            output_registers: vec![None; outputs],
             rr_pointer: 0,
-            sent_per_port: vec![0; ports],
-            max_fifo_occupancy: vec![0; ports],
+            sent_per_port: vec![0; outputs],
+            max_fifo_occupancy: vec![0; inputs],
         }
     }
 
@@ -157,6 +166,16 @@ mod tests {
         assert_eq!(NodeArchitecture::PartiallyPrecalculated.header_bits(22), 5);
         assert_eq!(NodeArchitecture::PartiallyPrecalculated.header_bits(16), 4);
         assert_eq!(NodeArchitecture::PartiallyPrecalculated.header_bits(2), 1);
+    }
+
+    #[test]
+    fn with_ports_sizes_inputs_and_outputs_independently() {
+        let node = NodeState::with_ports(5, 3);
+        assert_eq!(node.input_fifos.len(), 5);
+        assert_eq!(node.max_fifo_occupancy.len(), 5);
+        assert_eq!(node.output_registers.len(), 3);
+        assert_eq!(node.sent_per_port.len(), 3);
+        assert_eq!(node.ports(), 5);
     }
 
     #[test]

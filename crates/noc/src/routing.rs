@@ -232,7 +232,10 @@ mod tests {
         for s in 0..24 {
             for d in 0..24 {
                 if s != d {
-                    assert_eq!(tables.single_port(s, d), tables.ports(s, d).first().copied());
+                    assert_eq!(
+                        tables.single_port(s, d),
+                        tables.ports(s, d).first().copied()
+                    );
                 }
             }
         }

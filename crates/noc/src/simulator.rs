@@ -115,14 +115,14 @@ impl NocSimulator {
         // Build the link map and per-node input port counts.
         let mut in_count = vec![0usize; p];
         let mut link: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
-        for u in 0..p {
+        for (u, link_u) in link.iter_mut().enumerate() {
             for &v in topo.neighbors(u) {
                 let input_port = in_count[v];
                 in_count[v] += 1;
-                link[u].push((v, input_port));
+                link_u.push((v, input_port));
             }
         }
-        if in_count.iter().any(|&c| c == 0) {
+        if in_count.contains(&0) {
             return Err(NocError::InvalidTopology {
                 reason: "a node has no incoming links".to_string(),
             });
@@ -161,22 +161,22 @@ impl NocSimulator {
             trace.nodes()
         );
         if let Some(max_dst) = trace.max_destination() {
-            assert!(max_dst < p, "trace destination {max_dst} outside network of {p} nodes");
+            assert!(
+                max_dst < p,
+                "trace destination {max_dst} outside network of {p} nodes"
+            );
         }
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
         let mut nodes: Vec<NodeState> = (0..p)
             .map(|i| {
-                // input ports: in-degree + 1 local; output ports: out-degree + 1 local
-                let inputs = self.input_ports[i].max(topo.neighbors(i).len() + 1);
-                NodeState::new(inputs.max(topo.neighbors(i).len() + 1))
+                // input ports: in-degree + 1 local (but at least as many as
+                // the output side, preserving the round-robin rotation
+                // period); output ports: out-degree + 1 local.
+                let outputs = topo.neighbors(i).len() + 1;
+                NodeState::with_ports(self.input_ports[i].max(outputs), outputs)
             })
             .collect();
-        // output registers sized separately (out-degree + 1)
-        for (i, n) in nodes.iter_mut().enumerate() {
-            n.output_registers = vec![None; topo.neighbors(i).len() + 1];
-            n.sent_per_port = vec![0; topo.neighbors(i).len() + 1];
-        }
 
         let total = trace.total_messages();
         let mut next_to_inject = vec![0usize; p];
@@ -219,6 +219,7 @@ impl NocSimulator {
             }
 
             // -------- 2. routing / crossbar arbitration --------
+            #[allow(clippy::needless_range_loop)] // `nodes` is indexed mutably at several spots
             for node_idx in 0..p {
                 let out_ports = topo.neighbors(node_idx).len();
                 let local_out = out_ports; // delivery port index
@@ -394,12 +395,14 @@ mod tests {
     #[test]
     fn lower_output_rate_stretches_the_phase() {
         let trace = TrafficTrace::uniform_random(16, 30, 9);
-        let fast = NocSimulator::new(kautz_config(16, 3, RoutingAlgorithm::SspFl).with_output_rate(1.0))
-            .unwrap()
-            .run(&trace);
-        let slow = NocSimulator::new(kautz_config(16, 3, RoutingAlgorithm::SspFl).with_output_rate(0.25))
-            .unwrap()
-            .run(&trace);
+        let fast =
+            NocSimulator::new(kautz_config(16, 3, RoutingAlgorithm::SspFl).with_output_rate(1.0))
+                .unwrap()
+                .run(&trace);
+        let slow =
+            NocSimulator::new(kautz_config(16, 3, RoutingAlgorithm::SspFl).with_output_rate(0.25))
+                .unwrap()
+                .run(&trace);
         assert!(slow.cycles > fast.cycles);
         // with R = 0.25 a PE needs at least 4 cycles per message
         assert!(slow.cycles >= 30 * 4);

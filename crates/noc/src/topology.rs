@@ -144,7 +144,7 @@ impl Topology {
     }
 
     fn spidergon(p: usize) -> Result<Vec<Vec<usize>>, NocError> {
-        if p % 2 != 0 {
+        if !p.is_multiple_of(2) {
             return Err(NocError::InvalidTopology {
                 reason: format!("spidergon needs an even node count, got {p}"),
             });
@@ -159,7 +159,7 @@ impl Topology {
         let mut best = (1, p);
         let mut r = 1;
         while r * r <= p {
-            if p % r == 0 {
+            if p.is_multiple_of(r) {
                 best = (r, p / r);
             }
             r += 1;
@@ -207,7 +207,7 @@ impl Topology {
     }
 
     fn honeycomb(p: usize) -> Result<Vec<Vec<usize>>, NocError> {
-        if p % 2 != 0 {
+        if !p.is_multiple_of(2) {
             return Err(NocError::InvalidTopology {
                 reason: format!("honeycomb needs an even node count, got {p}"),
             });
@@ -329,7 +329,7 @@ impl Topology {
 
     fn is_strongly_connected(&self) -> bool {
         // forward reachability from node 0
-        if self.distances_from(0).iter().any(|&d| d == usize::MAX) {
+        if self.distances_from(0).contains(&usize::MAX) {
             return false;
         }
         // backward reachability: build reverse adjacency

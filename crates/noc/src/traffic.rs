@@ -184,10 +184,7 @@ mod tests {
 
     #[test]
     fn per_source_std_dev_detects_imbalance() {
-        let msgs = vec![
-            (0..10).map(|s| Message::new(0, 1, s, s)).collect(),
-            vec![],
-        ];
+        let msgs = vec![(0..10).map(|s| Message::new(0, 1, s, s)).collect(), vec![]];
         let t = TrafficTrace::new(msgs);
         assert!(t.per_source_std_dev() > 4.9);
     }

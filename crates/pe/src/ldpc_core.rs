@@ -97,9 +97,15 @@ mod tests {
 
     #[test]
     fn injection_cycles_inverse_to_rate() {
-        let m = LdpcCoreModel { output_rate: 0.5, ..LdpcCoreModel::default() };
+        let m = LdpcCoreModel {
+            output_rate: 0.5,
+            ..LdpcCoreModel::default()
+        };
         assert_eq!(m.injection_cycles(100), 200);
-        let m = LdpcCoreModel { output_rate: 1.0, ..LdpcCoreModel::default() };
+        let m = LdpcCoreModel {
+            output_rate: 1.0,
+            ..LdpcCoreModel::default()
+        };
         assert_eq!(m.injection_cycles(100), 100);
     }
 

@@ -96,7 +96,11 @@ mod tests {
     fn wimax_plan_for_22_pes() {
         let plan = SharedMemoryPlan::wimax(22);
         // 7296 edges of the worst-case code over 22 PEs ~ 332, plus 48 state metrics
-        assert!(plan.lambda_words > 300 && plan.lambda_words < 450, "{}", plan.lambda_words);
+        assert!(
+            plan.lambda_words > 300 && plan.lambda_words < 450,
+            "{}",
+            plan.lambda_words
+        );
         // turbo branch metrics dominate the 5-bit memory: 2400*4/22 ~ 437
         assert!(plan.r_words >= 400, "{}", plan.r_words);
         assert_eq!(plan.lambda_bits, 7);

@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn noc_cycles_account_for_clock_ratio() {
         let m = SisoCoreModel::default();
-        assert_eq!(m.half_iteration_noc_cycles(110), 2 * m.half_iteration_cycles(110));
+        assert_eq!(
+            m.half_iteration_noc_cycles(110),
+            2 * m.half_iteration_cycles(110)
+        );
     }
 
     #[test]

@@ -111,10 +111,10 @@ mod tests {
     fn roundtrip_preserves_hard_decision() {
         let ms = exact();
         for (idx, sym) in [
-            [5.0, -2.0, -3.0],   // favours u=1
-            [-2.0, 6.0, -1.0],   // favours u=2
-            [-1.0, -2.0, 7.0],   // favours u=3
-            [-4.0, -5.0, -6.0],  // favours u=0
+            [5.0, -2.0, -3.0],  // favours u=1
+            [-2.0, 6.0, -1.0],  // favours u=2
+            [-1.0, -2.0, 7.0],  // favours u=3
+            [-4.0, -5.0, -6.0], // favours u=0
         ]
         .iter()
         .enumerate()
@@ -128,13 +128,15 @@ mod tests {
 
     fn best_symbol(s: &SymbolLlr) -> usize {
         let m = [0.0, s[0], s[1], s[2]];
-        (0..4).max_by(|&a, &b| m[a].partial_cmp(&m[b]).unwrap()).unwrap()
+        (0..4)
+            .max_by(|&a, &b| m[a].partial_cmp(&m[b]).unwrap())
+            .unwrap()
     }
 
     #[test]
     fn payload_reduction_is_one_third() {
-        let reduction = 1.0
-            - BIT_LEVEL_VALUES_PER_COUPLE as f64 / SYMBOL_LEVEL_VALUES_PER_COUPLE as f64;
+        let reduction =
+            1.0 - BIT_LEVEL_VALUES_PER_COUPLE as f64 / SYMBOL_LEVEL_VALUES_PER_COUPLE as f64;
         assert!((reduction - 1.0 / 3.0).abs() < 1e-12);
     }
 

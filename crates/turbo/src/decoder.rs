@@ -126,7 +126,13 @@ impl TurboDecoder {
         let sys_b: Vec<f64> = (0..n).map(|_| it.next().expect("length checked")).collect();
         let mut take_kept = |keep: &dyn Fn(usize) -> bool| -> Vec<f64> {
             (0..n)
-                .map(|j| if keep(j) { it.next().expect("length checked") } else { 0.0 })
+                .map(|j| {
+                    if keep(j) {
+                        it.next().expect("length checked")
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         };
         let par_y1 = take_kept(&|j| rate.keeps_y1(j));
@@ -199,7 +205,11 @@ impl TurboDecoder {
             for j in 0..n {
                 let ext = self.exchange(&out1.extrinsic[j], &ms);
                 let p = pi.permute(j);
-                apriori2[p] = if pi.swaps_couple(j) { swap_symbol(&ext) } else { ext };
+                apriori2[p] = if pi.swaps_couple(j) {
+                    swap_symbol(&ext)
+                } else {
+                    ext
+                };
             }
 
             // ---- SISO 2: interleaved order ----
@@ -213,13 +223,18 @@ impl TurboDecoder {
             let out2 = self.siso.run(&input2);
 
             // extrinsic 2 -> a-priori 1 (de-interleave)
-            for j in 0..n {
+            for (j, apriori) in apriori1.iter_mut().enumerate() {
                 let p = pi.permute(j);
                 let ext = self.exchange(&out2.extrinsic[p], &ms);
-                apriori1[j] = if pi.swaps_couple(j) { swap_symbol(&ext) } else { ext };
+                *apriori = if pi.swaps_couple(j) {
+                    swap_symbol(&ext)
+                } else {
+                    ext
+                };
             }
 
             // decisions from SISO2's a-posteriori, mapped back to natural order
+            #[allow(clippy::needless_range_loop)] // `j` also feeds `pi.permute(j)`
             for j in 0..n {
                 let p = pi.permute(j);
                 let apo = if pi.swaps_couple(j) {
@@ -310,9 +325,14 @@ mod tests {
         let enc = TurboEncoder::new(&code);
         let dec = TurboDecoder::new(&code, TurboDecoderConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+        let info: Vec<u8> = (0..code.info_bits())
+            .map(|_| rng.gen_range(0..=1))
+            .collect();
         let cw = enc.encode(&info).unwrap();
-        let llrs: Vec<Llr> = cw.iter().map(|&b| Llr::new(8.0 * (1.0 - 2.0 * b as f64))).collect();
+        let llrs: Vec<Llr> = cw
+            .iter()
+            .map(|&b| Llr::new(8.0 * (1.0 - 2.0 * b as f64)))
+            .collect();
         let out = dec.decode(&llrs).unwrap();
         assert_eq!(out.info_bits, info);
     }
@@ -323,7 +343,9 @@ mod tests {
         let enc = TurboEncoder::new(&code);
         let dec = TurboDecoder::new(&code, TurboDecoderConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+        let info: Vec<u8> = (0..code.info_bits())
+            .map(|_| rng.gen_range(0..=1))
+            .collect();
         let cw = enc.encode(&info).unwrap();
         // Eb/N0 = 3 dB at rate 1/2 -> sigma^2 = 1/(2*0.5*10^0.3) ~ 0.5
         let llrs = noisy_llrs(&cw, 0.5f64.sqrt(), 33);
@@ -341,7 +363,9 @@ mod tests {
         };
         let dec = TurboDecoder::new(&code, cfg);
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+        let info: Vec<u8> = (0..code.info_bits())
+            .map(|_| rng.gen_range(0..=1))
+            .collect();
         let cw = enc.encode(&info).unwrap();
         let llrs = noisy_llrs(&cw, 0.5f64.sqrt(), 44);
         let out = dec.decode(&llrs).unwrap();
@@ -360,7 +384,9 @@ mod tests {
             let dec = TurboDecoder::new(&code, TurboDecoderConfig::default());
             let mut rng = rand::rngs::StdRng::seed_from_u64(123);
             for seed in 0..6 {
-                let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+                let info: Vec<u8> = (0..code.info_bits())
+                    .map(|_| rng.gen_range(0..=1))
+                    .collect();
                 let cw = enc.encode(&info).unwrap();
                 let llrs = noisy_llrs(&cw, sigma, 1000 + seed);
                 let out = dec.decode(&llrs).unwrap();
@@ -372,7 +398,12 @@ mod tests {
                     .count();
             }
         }
-        assert!(errors[0] <= errors[1], "R13 errors {} > R12 errors {}", errors[0], errors[1]);
+        assert!(
+            errors[0] <= errors[1],
+            "R13 errors {} > R12 errors {}",
+            errors[0],
+            errors[1]
+        );
     }
 
     #[test]
@@ -382,7 +413,10 @@ mod tests {
         let dec = TurboDecoder::new(&code, TurboDecoderConfig::default());
         let info = vec![0u8; code.info_bits()];
         let cw = enc.encode(&info).unwrap();
-        let llrs: Vec<Llr> = cw.iter().map(|&b| Llr::new(9.0 * (1.0 - 2.0 * b as f64))).collect();
+        let llrs: Vec<Llr> = cw
+            .iter()
+            .map(|&b| Llr::new(9.0 * (1.0 - 2.0 * b as f64)))
+            .collect();
         let out = dec.decode(&llrs).unwrap();
         assert!(out.converged);
         assert!(out.iterations < 8);
@@ -418,11 +452,18 @@ mod tests {
         let enc = TurboEncoder::new(&code);
         let dec = TurboDecoder::new(&code, TurboDecoderConfig::default());
         let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
-        let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+        let info: Vec<u8> = (0..code.info_bits())
+            .map(|_| rng.gen_range(0..=1))
+            .collect();
         let cw = enc.encode(&info).unwrap();
         let llrs = noisy_llrs(&cw, 0.55f64.sqrt(), 77);
         let out = dec.decode(&llrs).unwrap();
-        let errs = out.info_bits.iter().zip(&info).filter(|(a, b)| a != b).count();
+        let errs = out
+            .info_bits
+            .iter()
+            .zip(&info)
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(errs, 0, "bit errors at 2.6 dB: {errs}");
     }
 }

@@ -37,8 +37,8 @@ impl PunctureRate {
     pub fn keeps_y1(&self, j: usize) -> bool {
         match self {
             PunctureRate::R13 | PunctureRate::R12 => true,
-            PunctureRate::R23 => j % 2 == 0,
-            PunctureRate::R34 => j % 4 == 0,
+            PunctureRate::R23 => j.is_multiple_of(2),
+            PunctureRate::R34 => j.is_multiple_of(4),
         }
     }
 
@@ -102,7 +102,7 @@ impl CtcCode {
         if !WIMAX_FRAME_SIZES.contains(&couples) {
             return Err(TurboError::UnsupportedFrameSize { couples });
         }
-        if couples % 7 == 0 {
+        if couples.is_multiple_of(7) {
             return Err(TurboError::InvalidCirculation { couples });
         }
         let interleaver = ArpInterleaver::wimax(couples)?;
@@ -178,8 +178,8 @@ pub fn encode_constituent(couples: &[(u8, u8)]) -> Result<ConstituentOutput, Tur
     for &(a, b) in couples {
         state = step(state, ((a & 1) << 1) | (b & 1)).next_state;
     }
-    let sc = CirculationState::compute(n, state)
-        .ok_or(TurboError::InvalidCirculation { couples: n })?;
+    let sc =
+        CirculationState::compute(n, state).ok_or(TurboError::InvalidCirculation { couples: n })?;
     // Pass 2: encode from the circulation state.
     let mut parity_y = Vec::with_capacity(n);
     let mut parity_w = Vec::with_capacity(n);
@@ -233,7 +233,9 @@ impl TurboEncoder {
                 actual: info.len(),
             });
         }
-        let couples: Vec<(u8, u8)> = (0..n).map(|j| (info[2 * j] & 1, info[2 * j + 1] & 1)).collect();
+        let couples: Vec<(u8, u8)> = (0..n)
+            .map(|j| (info[2 * j] & 1, info[2 * j + 1] & 1))
+            .collect();
         let enc1 = encode_constituent(&couples)?;
         let interleaved = self.code.interleaved_couples(&couples);
         let enc2 = encode_constituent(&interleaved)?;
@@ -242,10 +244,26 @@ impl TurboEncoder {
         let mut out = Vec::with_capacity(self.code.coded_bits());
         out.extend(couples.iter().map(|&(a, _)| a));
         out.extend(couples.iter().map(|&(_, b)| b));
-        out.extend((0..n).filter(|&j| rate.keeps_y1(j)).map(|j| enc1.parity_y[j]));
-        out.extend((0..n).filter(|&j| rate.keeps_w1(j)).map(|j| enc1.parity_w[j]));
-        out.extend((0..n).filter(|&j| rate.keeps_y2(j)).map(|j| enc2.parity_y[j]));
-        out.extend((0..n).filter(|&j| rate.keeps_w2(j)).map(|j| enc2.parity_w[j]));
+        out.extend(
+            (0..n)
+                .filter(|&j| rate.keeps_y1(j))
+                .map(|j| enc1.parity_y[j]),
+        );
+        out.extend(
+            (0..n)
+                .filter(|&j| rate.keeps_w1(j))
+                .map(|j| enc1.parity_w[j]),
+        );
+        out.extend(
+            (0..n)
+                .filter(|&j| rate.keeps_y2(j))
+                .map(|j| enc2.parity_y[j]),
+        );
+        out.extend(
+            (0..n)
+                .filter(|&j| rate.keeps_w2(j))
+                .map(|j| enc2.parity_w[j]),
+        );
         Ok(out)
     }
 }
@@ -284,7 +302,9 @@ mod tests {
     #[test]
     fn constituent_encoding_is_circular() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let couples: Vec<(u8, u8)> = (0..48).map(|_| (rng.gen_range(0..=1), rng.gen_range(0..=1))).collect();
+        let couples: Vec<(u8, u8)> = (0..48)
+            .map(|_| (rng.gen_range(0..=1), rng.gen_range(0..=1)))
+            .collect();
         let out = encode_constituent(&couples).unwrap();
         assert_eq!(out.parity_y.len(), 48);
         assert_eq!(out.parity_w.len(), 48);
@@ -309,7 +329,7 @@ mod tests {
     fn all_zero_info_encodes_to_all_zero() {
         let code = CtcCode::wimax(24).unwrap();
         let enc = TurboEncoder::new(&code);
-        let cw = enc.encode(&vec![0u8; 48]).unwrap();
+        let cw = enc.encode(&[0u8; 48]).unwrap();
         assert!(cw.iter().all(|&b| b == 0));
         assert_eq!(cw.len(), code.coded_bits());
     }
@@ -333,8 +353,12 @@ mod tests {
         let code = CtcCode::wimax(24).unwrap();
         let enc = TurboEncoder::new(&code);
         assert!(matches!(
-            enc.encode(&vec![0u8; 10]),
-            Err(TurboError::InvalidLength { expected: 48, actual: 10, .. })
+            enc.encode(&[0u8; 10]),
+            Err(TurboError::InvalidLength {
+                expected: 48,
+                actual: 10,
+                ..
+            })
         ));
     }
 
@@ -342,8 +366,12 @@ mod tests {
     fn encoding_is_deterministic_and_rate_dependent() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let info: Vec<u8> = (0..96).map(|_| rng.gen_range(0..=1)).collect();
-        let c12 = TurboEncoder::new(&CtcCode::wimax(48).unwrap()).encode(&info).unwrap();
-        let c12b = TurboEncoder::new(&CtcCode::wimax(48).unwrap()).encode(&info).unwrap();
+        let c12 = TurboEncoder::new(&CtcCode::wimax(48).unwrap())
+            .encode(&info)
+            .unwrap();
+        let c12b = TurboEncoder::new(&CtcCode::wimax(48).unwrap())
+            .encode(&info)
+            .unwrap();
         assert_eq!(c12, c12b);
         let c13 = TurboEncoder::new(&CtcCode::with_rate(48, PunctureRate::R13).unwrap())
             .encode(&info)

@@ -36,23 +36,125 @@ pub struct ArpParameters {
 
 /// The WiMAX CTC interleaver parameter table (frame size in couples).
 pub const WIMAX_ARP_TABLE: [ArpParameters; 17] = [
-    ArpParameters { couples: 24, p0: 5, p1: 0, p2: 0, p3: 0 },
-    ArpParameters { couples: 36, p0: 11, p1: 18, p2: 0, p3: 18 },
-    ArpParameters { couples: 48, p0: 13, p1: 24, p2: 0, p3: 24 },
-    ArpParameters { couples: 72, p0: 11, p1: 6, p2: 0, p3: 6 },
-    ArpParameters { couples: 96, p0: 7, p1: 48, p2: 24, p3: 72 },
-    ArpParameters { couples: 108, p0: 11, p1: 54, p2: 56, p3: 2 },
-    ArpParameters { couples: 120, p0: 13, p1: 60, p2: 0, p3: 60 },
-    ArpParameters { couples: 144, p0: 17, p1: 74, p2: 72, p3: 2 },
-    ArpParameters { couples: 180, p0: 23, p1: 90, p2: 0, p3: 90 },
-    ArpParameters { couples: 192, p0: 11, p1: 96, p2: 48, p3: 144 },
-    ArpParameters { couples: 216, p0: 13, p1: 108, p2: 0, p3: 108 },
-    ArpParameters { couples: 240, p0: 13, p1: 120, p2: 60, p3: 180 },
-    ArpParameters { couples: 480, p0: 53, p1: 62, p2: 12, p3: 2 },
-    ArpParameters { couples: 960, p0: 43, p1: 64, p2: 300, p3: 824 },
-    ArpParameters { couples: 1440, p0: 43, p1: 720, p2: 360, p3: 540 },
-    ArpParameters { couples: 1920, p0: 31, p1: 8, p2: 24, p3: 16 },
-    ArpParameters { couples: 2400, p0: 53, p1: 66, p2: 24, p3: 2 },
+    ArpParameters {
+        couples: 24,
+        p0: 5,
+        p1: 0,
+        p2: 0,
+        p3: 0,
+    },
+    ArpParameters {
+        couples: 36,
+        p0: 11,
+        p1: 18,
+        p2: 0,
+        p3: 18,
+    },
+    ArpParameters {
+        couples: 48,
+        p0: 13,
+        p1: 24,
+        p2: 0,
+        p3: 24,
+    },
+    ArpParameters {
+        couples: 72,
+        p0: 11,
+        p1: 6,
+        p2: 0,
+        p3: 6,
+    },
+    ArpParameters {
+        couples: 96,
+        p0: 7,
+        p1: 48,
+        p2: 24,
+        p3: 72,
+    },
+    ArpParameters {
+        couples: 108,
+        p0: 11,
+        p1: 54,
+        p2: 56,
+        p3: 2,
+    },
+    ArpParameters {
+        couples: 120,
+        p0: 13,
+        p1: 60,
+        p2: 0,
+        p3: 60,
+    },
+    ArpParameters {
+        couples: 144,
+        p0: 17,
+        p1: 74,
+        p2: 72,
+        p3: 2,
+    },
+    ArpParameters {
+        couples: 180,
+        p0: 23,
+        p1: 90,
+        p2: 0,
+        p3: 90,
+    },
+    ArpParameters {
+        couples: 192,
+        p0: 11,
+        p1: 96,
+        p2: 48,
+        p3: 144,
+    },
+    ArpParameters {
+        couples: 216,
+        p0: 13,
+        p1: 108,
+        p2: 0,
+        p3: 108,
+    },
+    ArpParameters {
+        couples: 240,
+        p0: 13,
+        p1: 120,
+        p2: 60,
+        p3: 180,
+    },
+    ArpParameters {
+        couples: 480,
+        p0: 53,
+        p1: 62,
+        p2: 12,
+        p3: 2,
+    },
+    ArpParameters {
+        couples: 960,
+        p0: 43,
+        p1: 64,
+        p2: 300,
+        p3: 824,
+    },
+    ArpParameters {
+        couples: 1440,
+        p0: 43,
+        p1: 720,
+        p2: 360,
+        p3: 540,
+    },
+    ArpParameters {
+        couples: 1920,
+        p0: 31,
+        p1: 8,
+        p2: 24,
+        p3: 16,
+    },
+    ArpParameters {
+        couples: 2400,
+        p0: 53,
+        p1: 66,
+        p2: 24,
+        p3: 2,
+    },
 ];
 
 /// A validated ARP interleaver: a couple-level permutation plus the per-couple
@@ -105,7 +207,7 @@ impl ArpInterleaver {
     /// yield a bijection.
     pub fn from_parameters(params: ArpParameters) -> Result<Self, TurboError> {
         let n = params.couples;
-        if n == 0 || n % 4 != 0 {
+        if n == 0 || !n.is_multiple_of(4) {
             return Err(TurboError::InvalidInterleaver);
         }
         let mut forward = vec![0usize; n];
@@ -238,7 +340,13 @@ mod tests {
 
     #[test]
     fn non_multiple_of_four_is_rejected() {
-        let params = ArpParameters { couples: 26, p0: 5, p1: 0, p2: 0, p3: 0 };
+        let params = ArpParameters {
+            couples: 26,
+            p0: 5,
+            p1: 0,
+            p2: 0,
+            p3: 0,
+        };
         assert_eq!(
             ArpInterleaver::from_parameters(params),
             Err(TurboError::InvalidInterleaver)
@@ -247,7 +355,13 @@ mod tests {
 
     #[test]
     fn even_p0_is_not_a_permutation() {
-        let params = ArpParameters { couples: 24, p0: 6, p1: 0, p2: 0, p3: 0 };
+        let params = ArpParameters {
+            couples: 24,
+            p0: 6,
+            p1: 0,
+            p2: 0,
+            p3: 0,
+        };
         assert_eq!(
             ArpInterleaver::from_parameters(params),
             Err(TurboError::InvalidInterleaver)

@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod bitlevel;
+pub mod codec;
 pub mod decoder;
 pub mod encoder;
 pub mod interleaver;
 pub mod siso;
 pub mod trellis;
 
+pub use codec::TurboCodec;
 pub use decoder::{ExtrinsicExchange, TurboDecodeOutcome, TurboDecoder, TurboDecoderConfig};
 pub use encoder::{CtcCode, PunctureRate, TurboEncoder};
 pub use interleaver::{ArpInterleaver, ArpParameters};
@@ -100,7 +102,9 @@ impl fmt::Display for TurboError {
                 f,
                 "frame size {couples} couples is a multiple of the CRSC period 7"
             ),
-            TurboError::InvalidInterleaver => write!(f, "ARP parameters do not yield a permutation"),
+            TurboError::InvalidInterleaver => {
+                write!(f, "ARP parameters do not yield a permutation")
+            }
             TurboError::InvalidLength {
                 what,
                 expected,

@@ -81,7 +81,12 @@ impl SisoOutput {
     /// Hard decision for couple `j`: the symbol with the largest
     /// a-posteriori metric.
     pub fn hard_symbol(&self, j: usize) -> u8 {
-        let m = [0.0, self.aposteriori[j][0], self.aposteriori[j][1], self.aposteriori[j][2]];
+        let m = [
+            0.0,
+            self.aposteriori[j][0],
+            self.aposteriori[j][1],
+            self.aposteriori[j][2],
+        ];
         (0..4)
             .max_by(|&a, &b| m[a].partial_cmp(&m[b]).expect("metrics are finite"))
             .expect("non-empty") as u8
@@ -135,7 +140,11 @@ impl SisoUnit {
         for (idx, br) in self.trellis.branches().iter().enumerate() {
             let a = (br.symbol >> 1) & 1;
             let b = br.symbol & 1;
-            let apr_m = if br.symbol == 0 { 0.0 } else { apr[br.symbol as usize - 1] };
+            let apr_m = if br.symbol == 0 {
+                0.0
+            } else {
+                apr[br.symbol as usize - 1]
+            };
             let sys = 0.5 * ((1.0 - 2.0 * a as f64) * la + (1.0 - 2.0 * b as f64) * lb);
             let par = 0.5
                 * ((1.0 - 2.0 * br.parity_y as f64) * ly + (1.0 - 2.0 * br.parity_w as f64) * lw);
@@ -280,7 +289,9 @@ mod tests {
     fn noiseless_random_frame_is_recovered() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let n = 48;
-        let couples: Vec<(u8, u8)> = (0..n).map(|_| (rng.gen_range(0..=1), rng.gen_range(0..=1))).collect();
+        let couples: Vec<(u8, u8)> = (0..n)
+            .map(|_| (rng.gen_range(0..=1), rng.gen_range(0..=1)))
+            .collect();
         let enc = encode_constituent(&couples).unwrap();
         let snr = 6.0;
         let input = SisoInput::new(
@@ -300,7 +311,9 @@ mod tests {
         // With erased systematic bits the SISO must still prefer the
         // transmitted sequence thanks to the parity LLRs.
         let n = 24;
-        let couples: Vec<(u8, u8)> = (0..n).map(|j| (((j / 3) % 2) as u8, (j % 2) as u8)).collect();
+        let couples: Vec<(u8, u8)> = (0..n)
+            .map(|j| (((j / 3) % 2) as u8, (j % 2) as u8))
+            .collect();
         let enc = encode_constituent(&couples).unwrap();
         let snr = 8.0;
         let input = SisoInput::new(
@@ -311,7 +324,12 @@ mod tests {
         );
         let out = siso().run(&input);
         // the extrinsic must be non-trivial
-        let energy: f64 = out.extrinsic.iter().flat_map(|e| e.iter()).map(|v| v.abs()).sum();
+        let energy: f64 = out
+            .extrinsic
+            .iter()
+            .flat_map(|e| e.iter())
+            .map(|v| v.abs())
+            .sum();
         assert!(energy > 1.0, "extrinsic energy {energy}");
     }
 
@@ -332,7 +350,10 @@ mod tests {
     fn max_log_and_log_map_agree_on_strong_llrs() {
         let n = 20;
         let mk = |mode| {
-            let cfg = SisoConfig { max_star: mode, ..SisoConfig::default() };
+            let cfg = SisoConfig {
+                max_star: mode,
+                ..SisoConfig::default()
+            };
             let unit = SisoUnit::new(cfg);
             let input = SisoInput::new(vec![9.0; n], vec![9.0; n], vec![9.0; n], vec![9.0; n]);
             unit.run(&input)
@@ -363,7 +384,9 @@ mod tests {
         // wrap-around pass on a circularly-encoded frame.
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let n = 36;
-        let couples: Vec<(u8, u8)> = (0..n).map(|_| (rng.gen_range(0..=1), rng.gen_range(0..=1))).collect();
+        let couples: Vec<(u8, u8)> = (0..n)
+            .map(|_| (rng.gen_range(0..=1), rng.gen_range(0..=1)))
+            .collect();
         let enc = encode_constituent(&couples).unwrap();
         let snr = 1.2;
         let mk_input = || {
@@ -374,8 +397,16 @@ mod tests {
                 enc.parity_w.iter().map(|&w| bpsk_llr(w, snr)).collect(),
             )
         };
-        let with = SisoUnit::new(SisoConfig { wraparound: true, ..SisoConfig::default() }).run(&mk_input());
-        let without = SisoUnit::new(SisoConfig { wraparound: false, ..SisoConfig::default() }).run(&mk_input());
+        let with = SisoUnit::new(SisoConfig {
+            wraparound: true,
+            ..SisoConfig::default()
+        })
+        .run(&mk_input());
+        let without = SisoUnit::new(SisoConfig {
+            wraparound: false,
+            ..SisoConfig::default()
+        })
+        .run(&mk_input());
         let rel = |out: &SisoOutput| -> f64 {
             let m = &out.aposteriori[0];
             m.iter().map(|v| v.abs()).fold(0.0, f64::max)

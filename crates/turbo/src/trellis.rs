@@ -110,8 +110,12 @@ impl DuoBinaryTrellis {
     /// Builds the trellis from the constituent-encoder transition function.
     pub fn new() -> Self {
         let mut branches = Vec::with_capacity(NUM_STATES * SYMBOLS);
-        let mut outgoing = vec![Vec::with_capacity(SYMBOLS); NUM_STATES];
-        let mut incoming = vec![Vec::with_capacity(SYMBOLS); NUM_STATES];
+        let mut outgoing: Vec<Vec<usize>> = (0..NUM_STATES)
+            .map(|_| Vec::with_capacity(SYMBOLS))
+            .collect();
+        let mut incoming: Vec<Vec<usize>> = (0..NUM_STATES)
+            .map(|_| Vec::with_capacity(SYMBOLS))
+            .collect();
         for state in 0..NUM_STATES as u8 {
             for symbol in 0..SYMBOLS as u8 {
                 let out = step(state, symbol);
@@ -292,7 +296,11 @@ mod tests {
             assert_eq!(t.outgoing(s).len(), 4);
             assert_eq!(t.incoming(s).len(), 4);
             // the four outgoing branches carry the four distinct symbols
-            let mut symbols: Vec<u8> = t.outgoing(s).iter().map(|&i| t.branches()[i].symbol).collect();
+            let mut symbols: Vec<u8> = t
+                .outgoing(s)
+                .iter()
+                .map(|&i| t.branches()[i].symbol)
+                .collect();
             symbols.sort_unstable();
             assert_eq!(symbols, vec![0, 1, 2, 3]);
             // and reach four distinct next states (the code is recursive and non-catastrophic)

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let cell = dse.table1_cell(&code, family, pes, row)?;
             println!(
                 "{:<16} {:>2} {:>3} {:>8} {:>12.2} {:>12.3}",
-                cell.topology, cell.degree, cell.pes, cell.routing, cell.throughput_mbps,
+                cell.topology,
+                cell.degree,
+                cell.pes,
+                cell.routing,
+                cell.throughput_mbps,
                 cell.noc_area_mm2
             );
         }

@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     let turbo_code = CtcCode::wimax(2400)?;
     let turbo_encoder = TurboEncoder::new(&turbo_code);
-    let info: Vec<u8> = (0..turbo_code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
+    let info: Vec<u8> = (0..turbo_code.info_bits())
+        .map(|_| rng.gen_range(0..=1))
+        .collect();
     let coded = turbo_encoder.encode(&info)?;
 
     let channel = AwgnChannel::for_code_rate(EbN0::from_db(2.5), 0.5);

@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "fully WiMAX compliant       : {}",
-        if report.fully_compliant() { "yes" } else { "no (see EXPERIMENTS.md, small frames are latency-bound)" }
+        if report.fully_compliant() {
+            "yes"
+        } else {
+            "no (see EXPERIMENTS.md, small frames are latency-bound)"
+        }
     );
     Ok(())
 }

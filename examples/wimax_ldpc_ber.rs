@@ -1,64 +1,49 @@
 //! BER study of the WiMAX LDPC decoders: layered normalized-min-sum versus
 //! two-phase flooding, over a small Eb/N0 sweep.
 //!
+//! Both curves run on the unified parallel Monte-Carlo engine
+//! (`fec_channel::sim::SimulationEngine`) — this example only selects the
+//! two codec flavours and formats the comparison table.
+//!
 //! Run with `cargo run --example wimax_ldpc_ber --release -- [frames]`.
 
-use fec_channel::{AwgnChannel, BpskModulator, EbN0, ErrorCounter};
-use rand::{Rng, SeedableRng};
-use wimax_ldpc::decoder::{FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
-use wimax_ldpc::{CodeRate, QcEncoder, QcLdpcCode};
+use fec_channel::sim::{EngineConfig, SimulationEngine};
+use wimax_ldpc::decoder::{FloodingConfig, LayeredConfig};
+use wimax_ldpc::{CodeRate, FloodingLdpcCodec, LayeredLdpcCodec, QcLdpcCode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let frames: usize = std::env::args()
+    let frames: u64 = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(40);
 
     let code = QcLdpcCode::wimax(576, CodeRate::R12)?;
-    let encoder = QcEncoder::new(&code);
-    let layered = LayeredDecoder::new(&code, LayeredConfig::default());
-    let flooding = FloodingDecoder::new(
+    let layered = LayeredLdpcCodec::new(&code, LayeredConfig::default());
+    let flooding = FloodingLdpcCodec::new(
         &code,
         FloodingConfig {
             max_iterations: 10,
             ..FloodingConfig::default()
         },
     );
-    let modulator = BpskModulator::new();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 
-    println!("WiMAX LDPC N=576 r=1/2, {} frames per point", frames);
-    println!("{:>8} {:>14} {:>14} {:>10} {:>10}", "Eb/N0", "BER layered", "BER flooding", "it lay", "it flood");
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 42));
+    let snrs = [1.0f64, 1.5, 2.0, 2.5];
+    let lay = engine.run_curve(&layered, &snrs);
+    let flo = engine.run_curve(&flooding, &snrs);
 
-    for ebn0_db in [1.0f64, 1.5, 2.0, 2.5] {
-        let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), 0.5);
-        let mut layered_counter = ErrorCounter::new();
-        let mut flooding_counter = ErrorCounter::new();
-        let mut layered_iters = 0usize;
-        let mut flooding_iters = 0usize;
-
-        for _ in 0..frames {
-            let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
-            let cw = encoder.encode(&info)?;
-            let rx = channel.transmit(&modulator.modulate(&cw), &mut rng);
-            let llrs = channel.llrs(&rx);
-
-            let l = layered.decode(&llrs);
-            layered_counter.record_frame(&info, l.info_bits(code.k()));
-            layered_iters += l.iterations;
-
-            let f = flooding.decode(&llrs);
-            flooding_counter.record_frame(&info, f.info_bits(code.k()));
-            flooding_iters += f.iterations;
-        }
-
+    println!(
+        "WiMAX LDPC N=576 r=1/2, {frames} frames per point, {} worker threads",
+        engine.effective_workers()
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>10}",
+        "Eb/N0", "BER layered", "BER flooding", "it lay", "it flood"
+    );
+    for (l, f) in lay.points.iter().zip(&flo.points) {
         println!(
             "{:>7.1}  {:>14.3e} {:>14.3e} {:>10.1} {:>10.1}",
-            ebn0_db,
-            layered_counter.ber(),
-            flooding_counter.ber(),
-            layered_iters as f64 / frames as f64,
-            flooding_iters as f64 / frames as f64,
+            l.ebn0_db, l.ber, f.ber, l.average_iterations, f.average_iterations,
         );
     }
     println!("\nLayered scheduling converges in roughly half the iterations of two-phase");

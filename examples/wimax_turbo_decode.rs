@@ -1,71 +1,51 @@
 //! Double-binary turbo decoding example: compares symbol-level and bit-level
 //! extrinsic exchange (the paper's NoC payload reduction, Section IV.B).
 //!
+//! Both curves run on the unified parallel Monte-Carlo engine
+//! (`fec_channel::sim::SimulationEngine`) — this example only selects the
+//! two exchange modes and formats the comparison table.
+//!
 //! Run with `cargo run --example wimax_turbo_decode --release -- [frames]`.
 
-use fec_channel::{AwgnChannel, BpskModulator, EbN0, ErrorCounter};
-use rand::{Rng, SeedableRng};
-use wimax_turbo::{
-    CtcCode, ExtrinsicExchange, TurboDecoder, TurboDecoderConfig, TurboEncoder,
-};
+use fec_channel::sim::{EngineConfig, SimulationEngine};
+use wimax_turbo::{CtcCode, ExtrinsicExchange, TurboCodec, TurboDecoderConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let frames: usize = std::env::args()
+    let frames: u64 = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(30);
 
     let code = CtcCode::wimax(240)?; // 480 information bits, rate 1/2
-    let encoder = TurboEncoder::new(&code);
-    let modulator = BpskModulator::new();
+    let codec_for = |exchange| {
+        TurboCodec::new(
+            &code,
+            TurboDecoderConfig {
+                exchange,
+                ..TurboDecoderConfig::default()
+            },
+        )
+    };
+    let symbol = codec_for(ExtrinsicExchange::SymbolLevel);
+    let bit = codec_for(ExtrinsicExchange::BitLevel);
 
-    let symbol_decoder = TurboDecoder::new(
-        &code,
-        TurboDecoderConfig {
-            exchange: ExtrinsicExchange::SymbolLevel,
-            ..TurboDecoderConfig::default()
-        },
-    );
-    let bit_decoder = TurboDecoder::new(
-        &code,
-        TurboDecoderConfig {
-            exchange: ExtrinsicExchange::BitLevel,
-            ..TurboDecoderConfig::default()
-        },
-    );
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 7));
+    let snrs = [1.0f64, 1.5, 2.0, 2.5];
+    let sym_curve = engine.run_curve(&symbol, &snrs);
+    let bit_curve = engine.run_curve(&bit, &snrs);
 
     println!(
-        "WiMAX DBTC, {} couples ({} info bits), rate 1/2, {frames} frames per point",
+        "WiMAX DBTC, {} couples ({} info bits), rate 1/2, {frames} frames per point, {} worker threads",
         code.couples(),
-        code.info_bits()
+        code.info_bits(),
+        engine.effective_workers()
     );
     println!(
         "{:>8} {:>16} {:>16}",
         "Eb/N0", "BER symbol-level", "BER bit-level"
     );
-
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    for ebn0_db in [1.0f64, 1.5, 2.0, 2.5] {
-        let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), 0.5);
-        let mut symbol_counter = ErrorCounter::new();
-        let mut bit_counter = ErrorCounter::new();
-        for _ in 0..frames {
-            let info: Vec<u8> = (0..code.info_bits()).map(|_| rng.gen_range(0..=1)).collect();
-            let cw = encoder.encode(&info)?;
-            let rx = channel.transmit(&modulator.modulate(&cw), &mut rng);
-            let llrs = channel.llrs(&rx);
-
-            let s = symbol_decoder.decode(&llrs)?;
-            symbol_counter.record_frame(&info, &s.info_bits);
-            let b = bit_decoder.decode(&llrs)?;
-            bit_counter.record_frame(&info, &b.info_bits);
-        }
-        println!(
-            "{:>7.1}  {:>16.3e} {:>16.3e}",
-            ebn0_db,
-            symbol_counter.ber(),
-            bit_counter.ber()
-        );
+    for (s, b) in sym_curve.points.iter().zip(&bit_curve.points) {
+        println!("{:>7.1}  {:>16.3e} {:>16.3e}", s.ebn0_db, s.ber, b.ber);
     }
     println!("\nBit-level exchange cuts the NoC payload per couple from 3 to 2 values");
     println!("(a ~1/3 reduction) at a small BER penalty (~0.2 dB per refs [23][24]).");

@@ -51,7 +51,9 @@ fn turbo_frames_survive_a_three_db_awgn_channel() {
         let info = random_bits(code.info_bits(), &mut rng);
         let cw = encoder.encode(&info).unwrap();
         let rx = channel.transmit(&modulator.modulate(&cw), &mut rng);
-        let out = decoder.decode_turbo_frame(&code, &channel.llrs(&rx)).unwrap();
+        let out = decoder
+            .decode_turbo_frame(&code, &channel.llrs(&rx))
+            .unwrap();
         counter.record_frame(&info, &out.info_bits);
     }
     assert_eq!(
@@ -108,7 +110,9 @@ fn both_modes_share_the_same_configuration() {
     let ldpc = decoder
         .evaluate_ldpc(&QcLdpcCode::wimax(1152, CodeRate::R12).unwrap())
         .unwrap();
-    let turbo = decoder.evaluate_turbo(&CtcCode::wimax(960).unwrap()).unwrap();
+    let turbo = decoder
+        .evaluate_turbo(&CtcCode::wimax(960).unwrap())
+        .unwrap();
     assert_eq!(ldpc.pes, turbo.pes);
     assert_eq!(ldpc.topology, turbo.topology);
     assert_eq!(ldpc.routing, turbo.routing);

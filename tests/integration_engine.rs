@@ -1,0 +1,128 @@
+//! Integration tests of the unified Monte-Carlo simulation engine with the
+//! real WiMAX codecs: worker-count invariance (the determinism contract of
+//! `fec_channel::sim`), early-stopping bounds, and the `NocDecoder`
+//! BER entry point.
+
+use fec_channel::sim::{EngineConfig, FecCodec, SimulationEngine};
+use fec_channel::MonteCarloConfig;
+use noc_decoder::{DecoderConfig, NocDecoder};
+use wimax_ldpc::decoder::LayeredConfig;
+use wimax_ldpc::{CodeRate, LayeredLdpcCodec, QcLdpcCode};
+use wimax_turbo::{CtcCode, ExtrinsicExchange, TurboCodec, TurboDecoderConfig};
+
+fn ldpc_codec() -> LayeredLdpcCodec {
+    let code = QcLdpcCode::wimax(576, CodeRate::R12).expect("valid WiMAX length");
+    LayeredLdpcCodec::new(&code, LayeredConfig::default())
+}
+
+fn turbo_codec() -> TurboCodec {
+    let code = CtcCode::wimax(24).expect("valid WiMAX frame size");
+    TurboCodec::new(
+        &code,
+        TurboDecoderConfig {
+            exchange: ExtrinsicExchange::BitLevel,
+            ..TurboDecoderConfig::default()
+        },
+    )
+}
+
+fn engine(workers: usize, stop: MonteCarloConfig) -> SimulationEngine {
+    SimulationEngine::new(
+        EngineConfig {
+            shards: 16,
+            frames_per_shard_round: 2,
+            seed: 2012,
+            stop,
+            ..EngineConfig::default()
+        }
+        .with_workers(workers),
+    )
+}
+
+/// Same seed => bit-identical error counts for 1, 2 and 8 worker threads,
+/// with the real layered LDPC decoder in the loop.
+#[test]
+fn ldpc_counts_are_identical_for_1_2_and_8_workers() {
+    let codec = ldpc_codec();
+    let stop = MonteCarloConfig {
+        max_frames: 60,
+        target_frame_errors: 10,
+        min_frames: 20,
+    };
+    let reference = engine(1, stop).run_point(&codec, 1.5);
+    for workers in [2, 8] {
+        let point = engine(workers, stop).run_point(&codec, 1.5);
+        assert_eq!(point, reference, "workers = {workers}");
+    }
+}
+
+/// The turbo codec satisfies the same worker-count invariance.
+#[test]
+fn turbo_counts_are_identical_for_1_2_and_8_workers() {
+    let codec = turbo_codec();
+    let stop = MonteCarloConfig {
+        max_frames: 40,
+        target_frame_errors: 8,
+        min_frames: 10,
+    };
+    let reference = engine(1, stop).run_point(&codec, 0.5);
+    for workers in [2, 8] {
+        let point = engine(workers, stop).run_point(&codec, 0.5);
+        assert_eq!(point, reference, "workers = {workers}");
+    }
+}
+
+/// Early stopping must never undershoot `min_frames`, even when the error
+/// target is reached in the very first scheduling round.
+#[test]
+fn early_stopping_respects_min_frames_with_a_real_codec() {
+    let codec = ldpc_codec();
+    let stop = MonteCarloConfig {
+        max_frames: 5_000,
+        target_frame_errors: 1,
+        min_frames: 48,
+    };
+    // 0 dB is noisy enough that frame errors appear almost immediately.
+    let point = engine(2, stop).run_point(&codec, 0.0);
+    assert!(point.frames >= 48, "frames = {}", point.frames);
+    assert!(
+        point.frames < 5_000,
+        "early stopping should fire long before max_frames"
+    );
+}
+
+/// A full curve through the `NocDecoder` entry point is reproducible and
+/// worker-count independent end to end.
+#[test]
+fn noc_decoder_ber_curve_is_reproducible() {
+    let decoder = NocDecoder::new(DecoderConfig::paper_design_point());
+    let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+    let snrs = [1.0, 2.0];
+    let run = |workers| {
+        let engine = SimulationEngine::new(EngineConfig::fixed_frames(30, 9).with_workers(workers));
+        decoder.ldpc_ber_curve(&code, &snrs, &engine)
+    };
+    let single = run(1);
+    assert_eq!(single, run(4));
+    assert_eq!(single.points.len(), 2);
+    assert!(single.points.iter().all(|p| p.frames == 30));
+    assert!(single.points[0].ber >= single.points[1].ber);
+}
+
+/// The object-safe `FecCodec` interface reports consistent dimensions for
+/// every adapter.
+#[test]
+fn codec_dimensions_are_consistent() {
+    let codecs: Vec<Box<dyn FecCodec>> = vec![Box::new(ldpc_codec()), Box::new(turbo_codec())];
+    for codec in &codecs {
+        assert!(codec.info_bits() > 0);
+        assert!(codec.codeword_bits() >= codec.info_bits());
+        let info = vec![0u8; codec.info_bits()];
+        assert_eq!(
+            codec.encode(&info).len(),
+            codec.codeword_bits(),
+            "{}",
+            codec.name()
+        );
+    }
+}

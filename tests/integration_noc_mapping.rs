@@ -5,9 +5,7 @@
 
 use noc_decoder::MappingConfig;
 use noc_mapping::{LdpcMapping, TurboMapping};
-use noc_sim::{
-    CollisionPolicy, NocConfig, NocSimulator, RoutingAlgorithm, Topology, TopologyKind,
-};
+use noc_sim::{CollisionPolicy, NocConfig, NocSimulator, RoutingAlgorithm, Topology, TopologyKind};
 use wimax_ldpc::{CodeRate, QcLdpcCode};
 use wimax_turbo::CtcCode;
 

@@ -10,8 +10,8 @@ use wimax_turbo::{ArpInterleaver, CtcCode, TurboEncoder, WIMAX_FRAME_SIZES};
 fn every_wimax_ldpc_code_is_constructible_and_encodable() {
     for &n in &wimax_block_lengths() {
         for rate in CodeRate::all() {
-            let code = QcLdpcCode::wimax(n, rate)
-                .unwrap_or_else(|e| panic!("N={n} rate {rate}: {e}"));
+            let code =
+                QcLdpcCode::wimax(n, rate).unwrap_or_else(|e| panic!("N={n} rate {rate}: {e}"));
             assert_eq!(code.n(), n);
             // spot-check the encoder on the all-one word
             let encoder = QcEncoder::new(&code);
@@ -48,7 +48,11 @@ fn worst_case_ldpc_code_is_the_rate_half_n2304() {
     for &n in &wimax_block_lengths() {
         for rate in CodeRate::all() {
             let code = QcLdpcCode::wimax(n, rate).unwrap();
-            assert!(code.m() <= worst.m(), "N={n} rate {rate} has {} checks", code.m());
+            assert!(
+                code.m() <= worst.m(),
+                "N={n} rate {rate} has {} checks",
+                code.m()
+            );
         }
     }
 }
@@ -97,7 +101,9 @@ fn turbo_mode_consumes_less_power_than_ldpc_mode() {
     let ldpc = decoder
         .evaluate_ldpc(&QcLdpcCode::wimax(2304, CodeRate::R12).unwrap())
         .unwrap();
-    let turbo = decoder.evaluate_turbo(&CtcCode::wimax(2400).unwrap()).unwrap();
+    let turbo = decoder
+        .evaluate_turbo(&CtcCode::wimax(2400).unwrap())
+        .unwrap();
     let p_ldpc = decoder.power_mw(&ldpc);
     let p_turbo = decoder.power_mw(&turbo);
     assert!(
