@@ -1,17 +1,27 @@
 //! Micro-benchmarks of the computational kernels: one layered LDPC
-//! iteration, one flooding iteration, one SISO half iteration, one NoC
-//! message-passing phase and one graph partitioning run.
+//! iteration (scalar f64 baseline vs the fixed-point CSR datapath), the MEU
+//! two-minimum extraction (sequential push vs batch scan), one flooding
+//! iteration, one SISO half iteration, one NoC message-passing phase and one
+//! graph partitioning run.
 //!
 //! Uses the crate's own timing harness (`decoder_bench::harness`); the
 //! workspace builds offline, so criterion is unavailable.
+//!
+//! Pass `--json <path>` to additionally emit the rows as machine-readable
+//! JSON (`BENCH_kernels.json` in CI) for trajectory tracking.
 
-use decoder_bench::harness::{bench, print_header};
+use decoder_bench::harness::{bench, print_header, BenchReport};
+use decoder_bench::{json_flag_from_args, write_json};
 use fec_fixed::Llr;
+use fec_json::{Json, ToJson};
 use noc_decoder::MappingConfig;
 use noc_mapping::LdpcMapping;
 use noc_sim::{NocConfig, NocSimulator, RoutingAlgorithm, Topology, TopologyKind};
 use rand::{Rng, SeedableRng};
-use wimax_ldpc::decoder::{FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
+use wimax_ldpc::decoder::{
+    FixedLayeredConfig, FixedLayeredDecoder, FloodingConfig, FloodingDecoder, LayeredConfig,
+    LayeredDecoder, MinimumExtractionUnit,
+};
 use wimax_ldpc::{CodeRate, QcEncoder, QcLdpcCode};
 use wimax_turbo::siso::SisoInput;
 use wimax_turbo::{SisoConfig, SisoUnit};
@@ -32,19 +42,40 @@ fn noisy_ldpc_llrs(code: &QcLdpcCode, seed: u64) -> Vec<Llr> {
         .collect()
 }
 
-fn main() {
-    print_header();
-
-    let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
-    let llrs = noisy_ldpc_llrs(&code, 1);
-    let layered = LayeredDecoder::new(
-        &code,
+/// One-iteration float and fixed layered decoders for `code`.
+fn layered_pair(code: &QcLdpcCode) -> (LayeredDecoder, FixedLayeredDecoder) {
+    let float = LayeredDecoder::new(
+        code,
         LayeredConfig {
             max_iterations: 1,
             early_termination: false,
             ..LayeredConfig::default()
         },
     );
+    let fixed = FixedLayeredDecoder::new(
+        code,
+        FixedLayeredConfig {
+            max_iterations: 1,
+            early_termination: false,
+            ..FixedLayeredConfig::default()
+        },
+    );
+    (float, fixed)
+}
+
+fn run(reports: &mut Vec<BenchReport>, report: BenchReport) {
+    println!("{}", report.line());
+    reports.push(report);
+}
+
+fn main() {
+    let (json_path, _rest) = json_flag_from_args(std::env::args().skip(1));
+    let mut reports = Vec::new();
+    print_header();
+
+    let code = QcLdpcCode::wimax(2304, CodeRate::R12).expect("valid code");
+    let llrs = noisy_ldpc_llrs(&code, 1);
+    let (layered, layered_fixed) = layered_pair(&code);
     let flooding = FloodingDecoder::new(
         &code,
         FloodingConfig {
@@ -53,54 +84,114 @@ fn main() {
             ..FloodingConfig::default()
         },
     );
-    println!(
-        "{}",
-        bench("ldpc_iteration_n2304/layered_nms", 2, 20, || {
+    run(
+        &mut reports,
+        bench("ldpc_iteration_n2304/layered_nms_f64", 2, 20, || {
             std::hint::black_box(layered.decode(&llrs));
-        })
-        .line()
+        }),
     );
-    println!(
-        "{}",
+    run(
+        &mut reports,
+        bench("ldpc_iteration_n2304/layered_fixed_q7", 2, 20, || {
+            std::hint::black_box(layered_fixed.decode(&llrs));
+        }),
+    );
+    run(
+        &mut reports,
         bench("ldpc_iteration_n2304/flooding_nms", 2, 20, || {
             std::hint::black_box(flooding.decode(&llrs));
-        })
-        .line()
+        }),
+    );
+
+    // The acceptance comparison of the fixed-point datapath: one layered
+    // iteration on the 576/R12 code (fixed iteration count so both paths do
+    // identical work), float vs fixed.
+    let code576 = QcLdpcCode::wimax(576, CodeRate::R12).expect("valid code");
+    let llrs576 = noisy_ldpc_llrs(&code576, 2);
+    let (layered576, fixed576) = layered_pair(&code576);
+    let float_report = bench("ldpc_iteration_n576_r12/layered_nms_f64", 10, 200, || {
+        std::hint::black_box(layered576.decode(&llrs576));
+    });
+    let fixed_report = bench("ldpc_iteration_n576_r12/layered_fixed_q7", 10, 200, || {
+        std::hint::black_box(fixed576.decode(&llrs576));
+    });
+    // Fastest-iteration ratio: the mean is too sensitive to scheduler noise
+    // on shared CI runners.
+    let speedup = float_report.min_ns / fixed_report.min_ns;
+    run(&mut reports, float_report);
+    run(&mut reports, fixed_report);
+    println!("    -> fixed-point layered speedup over f64 on n576/R12: {speedup:.2}x (min/min)");
+
+    // The MEU two-minimum extraction in isolation: sequential scalar pushes
+    // vs the branch-light batch scan, over WiMAX-typical degree-7 rows.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let q_fixed: Vec<i16> = (0..7 * 4096).map(|_| rng.gen_range(-64i16..=63)).collect();
+    let q_float: Vec<f64> = q_fixed.iter().map(|&v| f64::from(v)).collect();
+    run(
+        &mut reports,
+        bench("meu_two_min_deg7_x4096/scalar_f64_push", 3, 40, || {
+            let mut acc = 0.0f64;
+            for row in q_float.chunks_exact(7) {
+                let mut meu = MinimumExtractionUnit::new();
+                for (i, &v) in row.iter().enumerate() {
+                    meu.push(i, v);
+                }
+                acc += meu.min1() + meu.min2();
+            }
+            std::hint::black_box(acc);
+        }),
+    );
+    run(
+        &mut reports,
+        bench("meu_two_min_deg7_x4096/batch_scan_i16", 3, 40, || {
+            let mut acc = 0i32;
+            for row in q_fixed.chunks_exact(7) {
+                let scan = MinimumExtractionUnit::scan(row);
+                acc += i32::from(scan.min1) + i32::from(scan.min2);
+            }
+            std::hint::black_box(acc);
+        }),
     );
 
     let n = 2400usize;
     let input = SisoInput::new(vec![1.0; n], vec![-1.0; n], vec![0.7; n], vec![0.0; n]);
     let siso = SisoUnit::new(SisoConfig::default());
-    println!(
-        "{}",
+    run(
+        &mut reports,
         bench("turbo_siso_half_iteration_n2400/max_log_map", 2, 20, || {
             std::hint::black_box(siso.run(&input));
-        })
-        .line()
+        }),
     );
 
     let mapping = LdpcMapping::new(&code, 22, MappingConfig::default());
     let topology = Topology::new(TopologyKind::GeneralizedKautz, 22, 3).expect("valid topology");
     let sim = NocSimulator::new(NocConfig::new(topology, RoutingAlgorithm::SspFl)).expect("sim");
     let trace = mapping.traffic_trace().clone();
-    println!(
-        "{}",
+    run(
+        &mut reports,
         bench("noc_phase_p22_kautz_d3/ssp_fl_scm", 2, 20, || {
             std::hint::black_box(sim.run(&trace));
-        })
-        .line()
+        }),
     );
 
-    println!(
-        "{}",
+    run(
+        &mut reports,
         bench(
             "ldpc_mapping_n2304_p22/partition_and_interleaver",
             1,
             10,
             || {
                 std::hint::black_box(LdpcMapping::new(&code, 22, MappingConfig::default()));
-            }
-        )
-        .line()
+            },
+        ),
     );
+
+    if let Some(path) = json_path {
+        let json = Json::obj([
+            ("table", Json::str("kernels")),
+            ("fixed_vs_f64_speedup_n576", Json::from(speedup)),
+            ("rows", reports.to_json()),
+        ]);
+        write_json(&path, &json);
+    }
 }

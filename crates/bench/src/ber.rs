@@ -9,21 +9,27 @@
 
 pub use fec_channel::sim::{BerCurve, BerPoint};
 use fec_channel::sim::{EngineConfig, FecCodec, SimulationEngine};
-use wimax_ldpc::decoder::{FloodingConfig, LayeredConfig};
-use wimax_ldpc::{CodeRate, FloodingLdpcCodec, LayeredLdpcCodec, QcLdpcCode};
+use wimax_ldpc::decoder::{FixedLayeredConfig, FloodingConfig, LayeredConfig};
+use wimax_ldpc::{
+    CodeRate, FloodingLdpcCodec, LayeredLdpcCodec, QcLdpcCode, QuantizedLayeredLdpcCodec,
+};
 use wimax_turbo::{CtcCode, ExtrinsicExchange, TurboCodec, TurboDecoderConfig};
 
 /// LDPC decoder flavour for the BER study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LdpcFlavor {
-    /// Layered normalized min-sum (the paper's hardware algorithm).
+    /// Layered normalized min-sum (the paper's hardware algorithm),
+    /// floating-point reference datapath.
     Layered,
     /// Two-phase flooding normalized min-sum (baseline scheduling).
     Flooding,
+    /// Fixed-point layered normalized min-sum (the hardware datapath model,
+    /// 7-bit λ quantization).
+    Quantized,
 }
 
 /// Builds the [`FecCodec`] for the WiMAX `r = 1/2` LDPC code of length `n`
-/// with the study's iteration budget (`Itmax = 10` for both schedules).
+/// with the study's iteration budget (`Itmax = 10` for every schedule).
 ///
 /// # Panics
 ///
@@ -39,7 +45,26 @@ pub fn ldpc_codec(n: usize, flavor: LdpcFlavor) -> Box<dyn FecCodec> {
                 ..FloodingConfig::default()
             },
         )),
+        LdpcFlavor::Quantized => Box::new(QuantizedLayeredLdpcCodec::new(
+            &code,
+            FixedLayeredConfig::default(),
+        )),
     }
+}
+
+/// Builds the fixed-point layered [`FecCodec`] with a custom λ bit width
+/// (the `R` message memory follows the λ width), for quantization-loss
+/// sweeps.
+///
+/// # Panics
+///
+/// Panics if `n` is not a WiMAX length or `lambda_bits` is outside `2..=15`.
+pub fn quantized_ldpc_codec(n: usize, lambda_bits: u32) -> Box<dyn FecCodec> {
+    let code = QcLdpcCode::wimax(n, CodeRate::R12).expect("valid WiMAX length");
+    Box::new(QuantizedLayeredLdpcCodec::new(
+        &code,
+        FixedLayeredConfig::default().with_lambda_bits(lambda_bits),
+    ))
 }
 
 /// Builds the [`FecCodec`] for the WiMAX CTC with `couples` couples and the
@@ -138,6 +163,16 @@ mod tests {
         let lay = run_ldpc_ber(576, LdpcFlavor::Layered, &[2.0], 10, 3);
         let flo = run_ldpc_ber(576, LdpcFlavor::Flooding, &[2.0], 10, 3);
         assert!(lay[0].average_iterations <= flo[0].average_iterations);
+    }
+
+    #[test]
+    fn quantized_flavor_tracks_the_float_reference() {
+        let float = run_ldpc_ber(576, LdpcFlavor::Layered, &[3.0], 10, 1);
+        let fixed = run_ldpc_ber(576, LdpcFlavor::Quantized, &[3.0], 10, 1);
+        assert_eq!(float[0].frames, fixed[0].frames);
+        assert_eq!(fixed[0].ber, 0.0, "7-bit datapath must be clean at 3 dB");
+        let custom = quantized_ldpc_codec(576, 6);
+        assert_eq!(custom.name(), "wimax-ldpc-n576-layered-q6");
     }
 
     #[test]

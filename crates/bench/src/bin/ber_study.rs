@@ -5,13 +5,18 @@
 //! * bit-level vs symbol-level turbo extrinsic exchange (Section IV.B:
 //!   ~0.2 dB penalty for a 1/3 payload reduction).
 //!
-//! All four studies run on the unified parallel simulation engine.
+//! All studies run on the unified parallel simulation engine.
 //!
 //! Usage: `cargo run -p decoder-bench --bin ber_study --release --
-//! [frames] [--json <path>]`
+//! [frames] [--quantized] [--lambda-bits <n>] [--json <path>]`
+//!
+//! `--quantized` adds the fixed-point layered LDPC curve (the hardware
+//! datapath model) next to the floating-point reference, quantizing channel
+//! LLRs to `--lambda-bits` bits (default 7, the paper's λ width).
 
 use decoder_bench::{
-    json_flag_from_args, ldpc_codec, print_curve, turbo_codec, write_json, LdpcFlavor,
+    json_flag_from_args, ldpc_codec, print_curve, quantized_ldpc_codec, turbo_codec, write_json,
+    LdpcFlavor,
 };
 use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_json::{Json, ToJson};
@@ -19,7 +24,25 @@ use wimax_turbo::ExtrinsicExchange;
 
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
-    let frames: u64 = rest.first().and_then(|a| a.parse().ok()).unwrap_or(60);
+    let mut quantized = false;
+    let mut lambda_bits: u32 = 7;
+    let mut frames: u64 = 60;
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--quantized" => quantized = true,
+            "--lambda-bits" => {
+                let value = rest.next().expect("--lambda-bits requires a bit width");
+                lambda_bits = value.parse().expect("--lambda-bits takes an integer");
+                quantized = true;
+            }
+            other => {
+                frames = other
+                    .parse()
+                    .unwrap_or_else(|_| panic!("unrecognised argument: {other}"));
+            }
+        }
+    }
     let snrs = [1.0, 1.5, 2.0, 2.5];
 
     let ldpc_engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 11));
@@ -33,6 +56,14 @@ fn main() {
         "Two-phase (flooding) normalized min-sum (Itmax = 10)",
         &flooding.points,
     );
+    let quantized_curve = quantized.then(|| {
+        let curve = ldpc_engine.run_curve(quantized_ldpc_codec(576, lambda_bits).as_ref(), &snrs);
+        print_curve(
+            &format!("Fixed-point layered min-sum, {lambda_bits}-bit lambda (Itmax = 10)"),
+            &curve.points,
+        );
+        curve
+    });
 
     println!("WiMAX DBTC 240 couples, rate 1/2 ({frames} frames per point)\n");
     let symbol = turbo_engine.run_curve(
@@ -53,13 +84,14 @@ fn main() {
     );
 
     if let Some(path) = json_path {
+        let mut curves = vec![layered, flooding];
+        curves.extend(quantized_curve);
+        curves.push(symbol);
+        curves.push(bit);
         let json = Json::obj([
             ("study", Json::str("ber_study")),
             ("frames_per_point", Json::from(frames)),
-            (
-                "curves",
-                Json::arr([layered, flooding, symbol, bit].iter().map(ToJson::to_json)),
-            ),
+            ("curves", Json::arr(curves.iter().map(ToJson::to_json))),
         ]);
         write_json(&path, &json);
     }

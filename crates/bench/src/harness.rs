@@ -4,6 +4,7 @@
 //! targets are plain `fn main` binaries (`harness = false`) that use this
 //! module for warmed-up, repeated measurements.
 
+use fec_json::{Json, ToJson};
 use std::time::Instant;
 
 /// Timing summary of one benchmarked closure.
@@ -17,6 +18,17 @@ pub struct BenchReport {
     pub mean_ns: f64,
     /// Fastest iteration, in nanoseconds.
     pub min_ns: f64,
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            ("iterations", Json::from(u64::from(self.iterations))),
+            ("mean_ns", Json::from(self.mean_ns)),
+            ("min_ns", Json::from(self.min_ns)),
+        ])
+    }
 }
 
 impl BenchReport {

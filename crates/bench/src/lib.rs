@@ -18,8 +18,8 @@ pub mod table2;
 pub mod table3;
 
 pub use ber::{
-    ldpc_codec, print_curve, run_ldpc_ber, run_turbo_ber, turbo_codec, BerCurve, BerPoint,
-    LdpcFlavor,
+    ldpc_codec, print_curve, quantized_ldpc_codec, run_ldpc_ber, run_turbo_ber, turbo_codec,
+    BerCurve, BerPoint, LdpcFlavor,
 };
 pub use harness::{bench, BenchReport};
 pub use results::{json_flag_from_args, rows_json, write_json};

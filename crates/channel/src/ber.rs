@@ -117,6 +117,31 @@ impl Default for MonteCarloConfig {
 }
 
 impl MonteCarloConfig {
+    /// Checks the configuration for internal consistency.
+    ///
+    /// `min_frames > max_frames` is rejected rather than silently capped at
+    /// `max_frames` (the frame budget always wins in [`should_stop`], which
+    /// would contradict the `min_frames` documentation), and a zero frame
+    /// budget is rejected because a run could never record anything.
+    ///
+    /// [`should_stop`]: MonteCarloConfig::should_stop
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_frames == 0 {
+            return Err("max_frames must be at least 1".into());
+        }
+        if self.min_frames > self.max_frames {
+            return Err(format!(
+                "min_frames ({}) exceeds max_frames ({}): the minimum could never be honoured",
+                self.min_frames, self.max_frames
+            ));
+        }
+        Ok(())
+    }
+
     /// Returns `true` when a run with the given counter state should stop.
     pub fn should_stop(&self, counter: &ErrorCounter) -> bool {
         if counter.frames() >= self.max_frames {
@@ -218,6 +243,24 @@ mod tests {
         assert!(!cfg.should_stop(&c));
         c.record_frame(&[0], &[0]);
         assert!(cfg.should_stop(&c));
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_inconsistency() {
+        assert!(MonteCarloConfig::default().validate().is_ok());
+        let inconsistent = MonteCarloConfig {
+            max_frames: 10,
+            target_frame_errors: 5,
+            min_frames: 11,
+        };
+        let err = inconsistent.validate().unwrap_err();
+        assert!(err.contains("min_frames"), "{err}");
+        let empty = MonteCarloConfig {
+            max_frames: 0,
+            target_frame_errors: 5,
+            min_frames: 0,
+        };
+        assert!(empty.validate().is_err());
     }
 
     #[test]

@@ -252,9 +252,13 @@ impl SimulationEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `config.shards` is zero.
+    /// Panics if `config.shards` is zero or the stopping rules are
+    /// inconsistent (see [`MonteCarloConfig::validate`]).
     pub fn new(config: EngineConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
+        if let Err(message) = config.stop.validate() {
+            panic!("invalid MonteCarloConfig: {message}");
+        }
         SimulationEngine { config }
     }
 
@@ -286,7 +290,10 @@ impl SimulationEngine {
         let mut total = PointAccumulator::default();
         let round_quota = (shards as u64).saturating_mul(cfg.frames_per_shard_round);
         while !cfg.stop.should_stop(&total.counter) {
-            let remaining = cfg.stop.max_frames - total.counter.frames();
+            // `should_stop` guarantees frames < max_frames here, but keep the
+            // subtraction saturating so a future stopping rule cannot turn an
+            // off-by-one into a u64 underflow and a near-infinite round.
+            let remaining = cfg.stop.max_frames.saturating_sub(total.counter.frames());
             let round = remaining.min(round_quota.max(1));
             let counts = split_round(round, shards);
             total.merge(&self.run_round(codec, &channel, &modulator, &mut shard_rngs, &counts));
@@ -564,6 +571,34 @@ mod tests {
         let c = shard_seed(1, 0, 2.5);
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_frames (50) exceeds max_frames (10)")]
+    fn engine_rejects_min_frames_above_max_frames() {
+        // Regression: this configuration used to be accepted and silently
+        // capped at `max_frames`, contradicting the `min_frames` contract.
+        let _ = engine(
+            1,
+            MonteCarloConfig {
+                max_frames: 10,
+                target_frame_errors: 5,
+                min_frames: 50,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max_frames must be at least 1")]
+    fn engine_rejects_zero_frame_budget() {
+        let _ = engine(
+            1,
+            MonteCarloConfig {
+                max_frames: 0,
+                target_frame_errors: 5,
+                min_frames: 0,
+            },
+        );
     }
 
     #[test]

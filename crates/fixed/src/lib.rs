@@ -8,10 +8,30 @@
 //!   configurable bit width, mirroring what a datapath register would hold.
 //! * [`Quantizer`] — converts floating-point log-likelihood ratios (LLRs) into
 //!   quantized integers and back, with saturation statistics.
+//! * [`minsum`] — saturating integer message arithmetic for the
+//!   normalized-min-sum check-node update (Eq. (11)), the substrate of the
+//!   fixed-point layered decoder.
 //! * [`maxstar`] — the `max*` operator family used by the BCJR recursion:
 //!   exact (Log-MAP), look-up-table corrected, and plain `max` (Max-Log-MAP).
 //! * [`Llr`] — a thin newtype over `f64` used throughout the algorithmic
 //!   (floating-point) reference decoders.
+//!
+//! # The two datapaths
+//!
+//! The workspace carries **two parallel decode datapaths** built on this
+//! crate:
+//!
+//! 1. the **floating-point reference** — decoders operating on [`Llr`]
+//!    (`f64`), used to validate algorithms against textbook behaviour; and
+//! 2. the **fixed hardware model** — decoders operating on quantized
+//!    integers, mirroring what the paper's silicon computes: channel LLRs
+//!    pass through the λ [`Quantizer`] ([`LAMBDA_BITS`]-bit with one
+//!    fractional bit, NaN mapping to 0), every message add/subtract saturates
+//!    at the register width ([`SatFixed`] semantics, [`minsum::MinSumArith`])
+//!    and the `3/4` min-sum normalization is a shift-add.
+//!
+//! Comparing the two (see the `wimax_ldpc_quantization` example) yields the
+//! quantization-loss curves the hardware evaluation relies on.
 //!
 //! # Example
 //!
@@ -34,11 +54,13 @@
 
 pub mod llr;
 pub mod maxstar;
+pub mod minsum;
 pub mod quantizer;
 pub mod sat;
 
 pub use llr::Llr;
 pub use maxstar::{max_log, max_star_exact, max_star_lut, MaxStar, MaxStarMode};
+pub use minsum::MinSumArith;
 pub use quantizer::{QuantStats, Quantizer};
 pub use sat::SatFixed;
 

@@ -26,6 +26,16 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 pub struct Llr(pub f64);
 
 impl Llr {
+    /// Magnitude of the [`certain_zero`](Llr::certain_zero) /
+    /// [`certain_one`](Llr::certain_one) constants.
+    ///
+    /// Deliberately a *large finite, addition-safe* value rather than
+    /// `f64::MAX / 4.0`: the old constant overflowed to `±inf` after a
+    /// handful of additions, and `inf - inf` in the `max*` recursion then
+    /// produced `NaN`.  At `1e12` it still dominates any realistic channel
+    /// LLR while billions of accumulations stay comfortably finite.
+    pub const CERTAIN_MAGNITUDE: f64 = 1.0e12;
+
     /// Creates a new LLR from a raw floating-point value.
     pub fn new(value: f64) -> Self {
         Llr(value)
@@ -33,12 +43,12 @@ impl Llr {
 
     /// The LLR corresponding to a perfectly known `0` bit (large positive).
     pub fn certain_zero() -> Self {
-        Llr(f64::MAX / 4.0)
+        Llr(Self::CERTAIN_MAGNITUDE)
     }
 
     /// The LLR corresponding to a perfectly known `1` bit (large negative).
     pub fn certain_one() -> Self {
-        Llr(-f64::MAX / 4.0)
+        Llr(-Self::CERTAIN_MAGNITUDE)
     }
 
     /// Returns the inner floating-point value.
@@ -46,13 +56,14 @@ impl Llr {
         self.0
     }
 
-    /// Hard decision: `0` if the LLR is non-negative, `1` otherwise.
+    /// Hard decision: `1` if the LLR is strictly negative, `0` otherwise.
+    ///
+    /// This is **the** hard-decision convention of the workspace: every
+    /// decoder routes its final decisions through this method.  `NaN` decodes
+    /// as `0`, consistent with [`Llr::signum`] (which maps `NaN` to `+1.0`)
+    /// and with [`crate::Quantizer`] (which quantizes `NaN` to `0`).
     pub fn hard_bit(self) -> u8 {
-        if self.0 >= 0.0 {
-            0
-        } else {
-            1
-        }
+        u8::from(self.0 < 0.0)
     }
 
     /// Magnitude (reliability) of the LLR.
@@ -162,6 +173,35 @@ mod tests {
         assert_eq!(Llr::new(-0.5).hard_bit(), 1);
         assert_eq!(Llr::certain_zero().hard_bit(), 0);
         assert_eq!(Llr::certain_one().hard_bit(), 1);
+    }
+
+    #[test]
+    fn nan_decodes_as_zero_like_the_quantizer() {
+        // One convention for NaN everywhere: hard bit 0, sign +1, quantizer 0.
+        assert_eq!(Llr::new(f64::NAN).hard_bit(), 0);
+        assert_eq!(Llr::new(f64::NAN).signum(), 1.0);
+    }
+
+    #[test]
+    fn certain_llrs_survive_repeated_addition() {
+        // Regression: `f64::MAX / 4.0` overflowed to +inf after four
+        // additions, and `inf - inf` produced NaN further down the chain.
+        let mut acc = Llr::new(0.0);
+        for _ in 0..1_000 {
+            acc += Llr::certain_zero();
+        }
+        assert!(acc.is_finite(), "accumulated certain LLR must stay finite");
+        let diff = acc + Llr::certain_one() - Llr::certain_zero();
+        assert!(diff.is_finite());
+        assert_eq!(diff.hard_bit(), 0);
+    }
+
+    #[test]
+    fn certain_llrs_are_maxstar_safe() {
+        use crate::max_star_exact;
+        let v = max_star_exact(Llr::certain_zero().value(), Llr::certain_one().value());
+        assert!(v.is_finite());
+        assert!((v - Llr::certain_zero().value()).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Saturating fixed-point message arithmetic for the normalized-min-sum
+//! check-node update (Eq. (11) of the paper).
+//!
+//! The hardware datapath never touches floating point: channel LLRs enter as
+//! `lambda_bits`-bit integers (see [`crate::Quantizer`]), the `Q_lk = lambda -
+//! R_lk` subtraction saturates at the register width, the two-minimum
+//! magnitude is scaled by the hardware-friendly factor `3/4` with a single
+//! shift-add, and the resulting `R_lk` is saturated to `r_bits` bits before
+//! being written back to the message memory.  [`MinSumArith`] models exactly
+//! that pipeline; `wimax_ldpc::decoder::FixedLayeredDecoder` is built on it.
+//!
+//! All values are plain integers in units of one LSB (`2^-frac_bits` in real
+//! terms); the fractional position only matters when converting to or from
+//! floating point, which this module never does.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_fixed::minsum::MinSumArith;
+//!
+//! let a = MinSumArith::new(7, 7);
+//! assert_eq!(a.q_message(60, -10), 63);      // saturates at the 7-bit rail
+//! assert_eq!(a.scale_magnitude(8), 6);       // 3/4 scaling, round to nearest
+//! assert_eq!(a.r_message(8, true), -6);
+//! assert_eq!(a.lambda_update(-62, -6), -64); // saturates at the negative rail
+//! ```
+
+use crate::SatFixed;
+
+/// Numerator of the fixed normalization factor `sigma = 3/4` of Eq. (11).
+pub const NMS_SCALE_NUM: i32 = 3;
+
+/// Shift implementing the division of the normalization factor (`>> 2`).
+pub const NMS_SCALE_SHIFT: u32 = 2;
+
+/// Saturating integer arithmetic for normalized-min-sum messages at fixed
+/// register widths.
+///
+/// `lambda_bits` is the width of the bit-LLR registers (`lambda`, `Q_lk`),
+/// `r_bits` the width of the check-to-variable message memory (`R_lk`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinSumArith {
+    lambda_min: i32,
+    lambda_max: i32,
+    r_max: i32,
+}
+
+impl MinSumArith {
+    /// Creates the arithmetic model for the given register widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is outside `2..=15` (values must fit an `i16`
+    /// datapath with headroom for the intermediate `i32` sums).
+    pub fn new(lambda_bits: u32, r_bits: u32) -> Self {
+        assert!(
+            (2..=15).contains(&lambda_bits),
+            "lambda bit width must be in 2..=15"
+        );
+        assert!((2..=15).contains(&r_bits), "R bit width must be in 2..=15");
+        MinSumArith {
+            lambda_min: SatFixed::min_value(lambda_bits),
+            lambda_max: SatFixed::max_value(lambda_bits),
+            r_max: SatFixed::max_value(r_bits),
+        }
+    }
+
+    /// Largest representable bit-LLR value.
+    pub fn lambda_max(&self) -> i32 {
+        self.lambda_max
+    }
+
+    /// Smallest representable bit-LLR value.
+    pub fn lambda_min(&self) -> i32 {
+        self.lambda_min
+    }
+
+    /// Largest representable `R_lk` magnitude (sign-magnitude datapath: the
+    /// negative rail is `-r_max`, keeping the message symmetric).
+    pub fn r_max(&self) -> i32 {
+        self.r_max
+    }
+
+    /// `Q_lk = lambda - R_lk`, saturated to the bit-LLR register width
+    /// (Eq. (6)).
+    #[inline]
+    pub fn q_message(&self, lambda: i32, r: i32) -> i16 {
+        (lambda - r).clamp(self.lambda_min, self.lambda_max) as i16
+    }
+
+    /// The `3/4` normalization of Eq. (11) as the hardware computes it: one
+    /// shift-add with round-to-nearest (`(3·m + 2) >> 2`).
+    #[inline]
+    pub fn scale_magnitude(&self, magnitude: i32) -> i32 {
+        debug_assert!(magnitude >= 0);
+        (NMS_SCALE_NUM * magnitude + (1 << (NMS_SCALE_SHIFT - 1))) >> NMS_SCALE_SHIFT
+    }
+
+    /// Builds the outgoing `R_lk` from a two-minimum magnitude and the
+    /// excluded sign: scaled by `3/4`, saturated to the message width.
+    #[inline]
+    pub fn r_message(&self, magnitude: i32, negative: bool) -> i16 {
+        let mag = self.scale_magnitude(magnitude).min(self.r_max);
+        (if negative { -mag } else { mag }) as i16
+    }
+
+    /// `lambda = Q_lk + R_lk(new)`, saturated to the bit-LLR register width
+    /// (Eq. (10)).
+    #[inline]
+    pub fn lambda_update(&self, q: i32, r_new: i32) -> i16 {
+        (q + r_new).clamp(self.lambda_min, self.lambda_max) as i16
+    }
+}
+
+impl Default for MinSumArith {
+    /// The paper's widths: 7-bit bit LLRs, with the full-width `R` memory the
+    /// BER studies default to (use [`MinSumArith::new`] with
+    /// [`crate::R_BITS`] for the compressed 5-bit message memory).
+    fn default() -> Self {
+        MinSumArith::new(crate::LAMBDA_BITS, crate::LAMBDA_BITS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn q_message_saturates_at_both_rails() {
+        let a = MinSumArith::new(7, 7);
+        assert_eq!(a.q_message(63, -63), 63);
+        assert_eq!(a.q_message(-64, 63), -64);
+        assert_eq!(a.q_message(10, 3), 7);
+    }
+
+    #[test]
+    fn scaling_rounds_to_nearest() {
+        let a = MinSumArith::new(7, 7);
+        // 3/4 of 1, 2, 3, 4 = 0.75, 1.5, 2.25, 3 -> 1, 2, 2, 3
+        assert_eq!(a.scale_magnitude(1), 1);
+        assert_eq!(a.scale_magnitude(2), 2);
+        assert_eq!(a.scale_magnitude(3), 2);
+        assert_eq!(a.scale_magnitude(4), 3);
+        assert_eq!(a.scale_magnitude(0), 0);
+    }
+
+    #[test]
+    fn r_message_saturates_to_message_width() {
+        let a = MinSumArith::new(7, 5);
+        // 3/4 of 63 = 47, saturated to the 5-bit magnitude 15.
+        assert_eq!(a.r_message(63, false), 15);
+        assert_eq!(a.r_message(63, true), -15);
+        assert_eq!(a.r_message(4, true), -3);
+    }
+
+    #[test]
+    fn default_matches_paper_lambda_width() {
+        let a = MinSumArith::default();
+        assert_eq!(a.lambda_max(), 63);
+        assert_eq!(a.lambda_min(), -64);
+        assert_eq!(a.r_max(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda bit width")]
+    fn too_wide_lambda_panics() {
+        let _ = MinSumArith::new(16, 7);
+    }
+
+    /// Floating-point reference of the same message chain, quantized back to
+    /// the integer grid with round-half-away-from-zero (matching
+    /// `f64::round`).
+    fn float_reference_r(magnitude: i32, negative: bool, r_max: i32) -> f64 {
+        let mag = (0.75 * f64::from(magnitude)).round().min(f64::from(r_max));
+        if negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    proptest! {
+        /// Satellite regression: the saturating integer min-sum arithmetic
+        /// matches the f64 reference within one LSB for in-range inputs.
+        #[test]
+        fn r_message_matches_f64_reference_within_one_lsb(
+            magnitude in 0i32..=63,
+            neg in 0u8..=1,
+            r_bits in 2u32..=7,
+        ) {
+            let negative = neg == 1;
+            let a = MinSumArith::new(7, r_bits);
+            let fixed = f64::from(a.r_message(magnitude, negative));
+            let reference = float_reference_r(magnitude, negative, a.r_max());
+            prop_assert!(
+                (fixed - reference).abs() <= 1.0,
+                "fixed {fixed} vs reference {reference} for magnitude {magnitude}"
+            );
+        }
+
+        /// Q and lambda updates are exact integer arithmetic up to the
+        /// saturation rails, so they agree with the clamped f64 reference
+        /// exactly.
+        #[test]
+        fn q_and_lambda_updates_match_clamped_f64(
+            lambda in -200i32..=200,
+            r in -63i32..=63,
+            r_new in -63i32..=63,
+        ) {
+            let a = MinSumArith::new(7, 7);
+            let q = a.q_message(lambda, r);
+            let q_ref = (f64::from(lambda) - f64::from(r)).clamp(-64.0, 63.0);
+            prop_assert_eq!(f64::from(q), q_ref);
+            let l = a.lambda_update(i32::from(q), r_new);
+            let l_ref = (f64::from(q) + f64::from(r_new)).clamp(-64.0, 63.0);
+            prop_assert_eq!(f64::from(l), l_ref);
+        }
+
+        /// The full check-node chain (Q -> scale -> R -> lambda) stays within
+        /// one LSB of the f64 reference when nothing saturates.
+        #[test]
+        fn full_chain_within_one_lsb_when_in_range(
+            lambda in -40i32..=40,
+            r_old in -20i32..=20,
+            min_mag in 0i32..=40,
+            neg in 0u8..=1,
+        ) {
+            let negative = neg == 1;
+            let a = MinSumArith::new(7, 7);
+            let q = a.q_message(lambda, r_old);
+            let r_new = a.r_message(min_mag, negative);
+            let l = a.lambda_update(i32::from(q), i32::from(r_new));
+
+            let q_ref = f64::from(lambda) - f64::from(r_old);
+            let sign = if negative { -1.0 } else { 1.0 };
+            let r_ref = sign * 0.75 * f64::from(min_mag);
+            let l_ref = (q_ref + r_ref).clamp(-64.0, 63.0);
+            prop_assert!(
+                (f64::from(l) - l_ref).abs() <= 1.0,
+                "lambda {l} vs reference {l_ref}"
+            );
+        }
+    }
+}

@@ -2,7 +2,10 @@
 //! Monte-Carlo simulation engine (`fec_channel::sim`).
 
 use crate::code::QcLdpcCode;
-use crate::decoder::{FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
+use crate::decoder::{
+    FixedLayeredConfig, FixedLayeredDecoder, FloodingConfig, FloodingDecoder, LayeredConfig,
+    LayeredDecoder,
+};
 use crate::encoder::QcEncoder;
 use fec_channel::sim::{DecodedFrame, FecCodec};
 use fec_fixed::Llr;
@@ -109,6 +112,68 @@ impl FecCodec for FloodingLdpcCodec {
     }
 }
 
+/// The fixed-point layered decoder (quantized λ, saturating message
+/// arithmetic — the hardware datapath model) behind the [`FecCodec`]
+/// interface, so the [`fec_channel::sim::SimulationEngine`] can run
+/// hardware-faithful quantized Monte-Carlo unchanged.
+#[derive(Debug, Clone)]
+pub struct QuantizedLayeredLdpcCodec {
+    n: usize,
+    k: usize,
+    encoder: QcEncoder,
+    decoder: FixedLayeredDecoder,
+}
+
+impl QuantizedLayeredLdpcCodec {
+    /// Builds the codec for `code` with the given decoder configuration.
+    pub fn new(code: &QcLdpcCode, config: FixedLayeredConfig) -> Self {
+        QuantizedLayeredLdpcCodec {
+            n: code.n(),
+            k: code.k(),
+            encoder: QcEncoder::new(code),
+            decoder: FixedLayeredDecoder::new(code, config),
+        }
+    }
+
+    /// The underlying fixed-point decoder.
+    pub fn decoder(&self) -> &FixedLayeredDecoder {
+        &self.decoder
+    }
+}
+
+impl FecCodec for QuantizedLayeredLdpcCodec {
+    fn name(&self) -> String {
+        format!(
+            "wimax-ldpc-n{}-layered-q{}",
+            self.n,
+            self.decoder.config().lambda_bits
+        )
+    }
+
+    fn info_bits(&self) -> usize {
+        self.k
+    }
+
+    fn codeword_bits(&self) -> usize {
+        self.n
+    }
+
+    fn encode(&self, info: &[u8]) -> Vec<u8> {
+        self.encoder
+            .encode(info)
+            .expect("info length matches the code")
+    }
+
+    fn decode(&self, llrs: &[Llr]) -> DecodedFrame {
+        let out = self.decoder.decode(llrs);
+        DecodedFrame {
+            info_bits: out.hard_bits[..self.k].to_vec(),
+            iterations: out.iterations,
+            converged: out.converged,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +214,24 @@ mod tests {
     #[test]
     fn engine_runs_the_ldpc_codec_error_free_at_high_snr() {
         let codec = LayeredLdpcCodec::new(&code(), LayeredConfig::default());
+        let engine = SimulationEngine::new(EngineConfig::fixed_frames(5, 1));
+        let point = engine.run_point(&codec, 6.0);
+        assert_eq!(point.frames, 5);
+        assert_eq!(point.bit_errors, 0);
+    }
+
+    #[test]
+    fn quantized_codec_reports_dimensions_and_width_in_name() {
+        let codec = QuantizedLayeredLdpcCodec::new(&code(), FixedLayeredConfig::default());
+        assert_eq!(codec.info_bits(), 288);
+        assert_eq!(codec.codeword_bits(), 576);
+        assert_eq!(codec.name(), "wimax-ldpc-n576-layered-q7");
+        assert_eq!(codec.decoder().config().lambda_bits, 7);
+    }
+
+    #[test]
+    fn engine_runs_the_quantized_codec_error_free_at_high_snr() {
+        let codec = QuantizedLayeredLdpcCodec::new(&code(), FixedLayeredConfig::default());
         let engine = SimulationEngine::new(EngineConfig::fixed_frames(5, 1));
         let point = engine.run_point(&codec, 6.0);
         assert_eq!(point.frames, 5);

@@ -178,10 +178,7 @@ impl FloodingDecoder {
                 }
             }
 
-            let hard: Vec<u8> = posterior
-                .iter()
-                .map(|&l| if l >= 0.0 { 0 } else { 1 })
-                .collect();
+            let hard: Vec<u8> = posterior.iter().map(|&l| Llr::new(l).hard_bit()).collect();
             if self.config.early_termination && h.is_codeword(&hard) {
                 converged = true;
                 return DecodeOutcome {
@@ -193,10 +190,7 @@ impl FloodingDecoder {
             }
         }
 
-        let hard: Vec<u8> = posterior
-            .iter()
-            .map(|&l| if l >= 0.0 { 0 } else { 1 })
-            .collect();
+        let hard: Vec<u8> = posterior.iter().map(|&l| Llr::new(l).hard_bit()).collect();
         if h.is_codeword(&hard) {
             converged = true;
         }
@@ -339,5 +333,22 @@ mod tests {
         let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
         let dec = FloodingDecoder::new(&code, FloodingConfig::default());
         let _ = dec.decode(&[]);
+    }
+
+    #[test]
+    fn nan_llr_decodes_as_zero_bit() {
+        // Same NaN hard-decision convention as the layered decoder: a NaN
+        // posterior must decode as bit 0, not silently as bit 1.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let cfg = FloodingConfig {
+            max_iterations: 1,
+            early_termination: false,
+            ..FloodingConfig::default()
+        };
+        let dec = FloodingDecoder::new(&code, cfg);
+        let mut llrs = vec![Llr::new(6.0); code.n()];
+        llrs[11] = Llr::new(f64::NAN);
+        let out = dec.decode(&llrs);
+        assert_eq!(out.hard_bits[11], 0, "NaN LLR must decode as bit 0");
     }
 }

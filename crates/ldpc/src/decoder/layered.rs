@@ -121,10 +121,7 @@ impl LayeredDecoder {
                 }
             }
 
-            let hard: Vec<u8> = lambda
-                .iter()
-                .map(|&l| if l >= 0.0 { 0 } else { 1 })
-                .collect();
+            let hard: Vec<u8> = lambda.iter().map(|&l| Llr::new(l).hard_bit()).collect();
             if self.config.early_termination && h.is_codeword(&hard) {
                 converged = true;
                 return DecodeOutcome {
@@ -136,10 +133,7 @@ impl LayeredDecoder {
             }
         }
 
-        let hard: Vec<u8> = lambda
-            .iter()
-            .map(|&l| if l >= 0.0 { 0 } else { 1 })
-            .collect();
+        let hard: Vec<u8> = lambda.iter().map(|&l| Llr::new(l).hard_bit()).collect();
         if h.is_codeword(&hard) {
             converged = true;
         }
@@ -243,6 +237,25 @@ mod tests {
         let out = dec.decode(&vec![Llr::new(5.0); code.n()]);
         assert!(out.converged);
         assert_eq!(out.iterations, 4);
+    }
+
+    #[test]
+    fn nan_llr_decodes_as_zero_bit() {
+        // Regression: the old inline `l >= 0.0` hard decision silently mapped
+        // NaN to bit 1.  The shared `Llr::hard_bit` convention maps NaN to 0
+        // (matching the quantizer's NaN -> 0), so a single NaN in an
+        // otherwise clean all-zero frame must not flip its bit.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let cfg = LayeredConfig {
+            max_iterations: 1,
+            early_termination: false,
+            ..LayeredConfig::default()
+        };
+        let dec = LayeredDecoder::new(&code, cfg);
+        let mut llrs = vec![Llr::new(6.0); code.n()];
+        llrs[37] = Llr::new(f64::NAN);
+        let out = dec.decode(&llrs);
+        assert_eq!(out.hard_bits[37], 0, "NaN LLR must decode as bit 0");
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Fixed-point layered normalized-min-sum decoder — the hardware datapath
+//! model of the paper's LDPC mode.
+//!
+//! Where [`super::LayeredDecoder`] is the floating-point algorithmic
+//! reference, this decoder computes exactly what the silicon computes:
+//! channel LLRs are quantized to `lambda_bits` (7 in the paper, one
+//! fractional bit), every message addition saturates at the register width,
+//! the `3/4` normalization of Eq. (11) is a shift-add, and the `R_lk`
+//! messages are saturated to `r_bits` before being written back.
+//!
+//! It is also the workspace's fast path.  The per-row `Vec<Vec<f64>>`
+//! message storage of the reference decoder is flattened into contiguous
+//! CSR-style buffers (`row_ptr`/`cols`/`r`), and the two-minimum extraction
+//! runs through the branch-light batch kernel
+//! [`MinimumExtractionUnit::scan`], so the hot loop is pure integer
+//! compare/select arithmetic over dense slices — autovectorizer food.  See
+//! `cargo bench -p decoder-bench --bench kernels` for the comparison against
+//! the scalar f64 baseline.
+
+use super::{DecodeOutcome, MinimumExtractionUnit};
+use crate::code::QcLdpcCode;
+use fec_fixed::{Llr, MinSumArith, Quantizer, LAMBDA_BITS, R_BITS};
+
+/// Configuration of the fixed-point layered decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedLayeredConfig {
+    /// Maximum number of iterations (the paper uses 10 for LDPC mode).
+    pub max_iterations: usize,
+    /// Bit width of the channel/bit-LLR registers (λ); the paper uses 7.
+    pub lambda_bits: u32,
+    /// Bit width of the check-to-variable message memory (`R_lk`).  Defaults
+    /// to the λ width for a near-lossless datapath; set it to
+    /// [`fec_fixed::R_BITS`] (5) to model the paper's compressed message
+    /// memory.
+    pub r_bits: u32,
+    /// Fractional bits of the λ quantizer (the paper uses 1).
+    pub frac_bits: u32,
+    /// Stop as soon as the hard decisions satisfy all parity checks.
+    pub early_termination: bool,
+}
+
+impl Default for FixedLayeredConfig {
+    fn default() -> Self {
+        FixedLayeredConfig {
+            max_iterations: 10,
+            lambda_bits: LAMBDA_BITS,
+            r_bits: LAMBDA_BITS,
+            frac_bits: 1,
+            early_termination: true,
+        }
+    }
+}
+
+impl FixedLayeredConfig {
+    /// The paper's exact register widths (Section IV): 7-bit λ with one
+    /// fractional bit and the compressed 5-bit `R` memory.
+    pub fn paper() -> Self {
+        FixedLayeredConfig {
+            r_bits: R_BITS,
+            ..FixedLayeredConfig::default()
+        }
+    }
+
+    /// Builder-style setter tying the λ width (and the `R` width) to
+    /// `bits`, for quantization-loss sweeps.
+    pub fn with_lambda_bits(mut self, bits: u32) -> Self {
+        self.lambda_bits = bits;
+        self.r_bits = bits;
+        self
+    }
+}
+
+/// Fixed-point layered normalized-min-sum decoder operating on one code.
+///
+/// # Example
+///
+/// ```
+/// use wimax_ldpc::{CodeRate, QcLdpcCode};
+/// use wimax_ldpc::decoder::{FixedLayeredConfig, FixedLayeredDecoder};
+/// use fec_fixed::Llr;
+///
+/// let code = QcLdpcCode::wimax(576, CodeRate::R12)?;
+/// let decoder = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+/// let out = decoder.decode(&vec![Llr::new(4.0); code.n()]);
+/// assert!(out.converged);
+/// # Ok::<(), wimax_ldpc::LdpcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedLayeredDecoder {
+    code: QcLdpcCode,
+    config: FixedLayeredConfig,
+    arith: MinSumArith,
+    quantizer: Quantizer,
+    /// CSR row pointers into `cols` (length `m + 1`).  Rows are stored in
+    /// natural order, which *is* the layered schedule: each block row of the
+    /// base matrix occupies one contiguous run of `z` rows.
+    row_ptr: Vec<u32>,
+    /// Flattened column indices of every parity-check entry.
+    cols: Vec<u32>,
+    /// Largest check-node degree (scratch-buffer size).
+    max_degree: usize,
+}
+
+impl FixedLayeredDecoder {
+    /// Creates a decoder for `code` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register widths are outside `2..=15` or if any parity
+    /// check has degree below 2 (a degree-1 check carries no extrinsic
+    /// information and indicates a malformed code).
+    pub fn new(code: &QcLdpcCode, config: FixedLayeredConfig) -> Self {
+        let h = code.parity_check();
+        let m = code.m();
+        let mut row_ptr = Vec::with_capacity(m + 1);
+        let mut cols = Vec::with_capacity(code.edge_count());
+        let mut max_degree = 0;
+        row_ptr.push(0);
+        for row in 0..m {
+            let entries = h.row(row);
+            assert!(
+                entries.len() >= 2,
+                "check row {row} has degree {} (< 2): the min-sum update needs \
+                 a leave-one-out partner",
+                entries.len()
+            );
+            max_degree = max_degree.max(entries.len());
+            cols.extend(entries.iter().map(|&c| c as u32));
+            row_ptr.push(cols.len() as u32);
+        }
+        FixedLayeredDecoder {
+            code: code.clone(),
+            arith: MinSumArith::new(config.lambda_bits, config.r_bits),
+            quantizer: Quantizer::new(config.lambda_bits, config.frac_bits),
+            config,
+            row_ptr,
+            cols,
+            max_degree,
+        }
+    }
+
+    /// The decoder configuration.
+    pub fn config(&self) -> &FixedLayeredConfig {
+        &self.config
+    }
+
+    /// The λ quantizer in front of the datapath.
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// Quantizes floating-point channel LLRs and decodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != code.n()`.
+    pub fn decode(&self, channel: &[Llr]) -> DecodeOutcome {
+        assert_eq!(
+            channel.len(),
+            self.code.n(),
+            "LLR vector length must equal the code length"
+        );
+        let mut lambda: Vec<i16> = channel
+            .iter()
+            .map(|l| self.quantizer.quantize(l.value()).value() as i16)
+            .collect();
+        self.decode_lambda(&mut lambda)
+    }
+
+    /// Decodes already-quantized channel LLRs (integer λ values in LSB
+    /// units).  Out-of-range inputs are saturated to the register width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantized.len() != code.n()`.
+    pub fn decode_quantized(&self, quantized: &[i16]) -> DecodeOutcome {
+        assert_eq!(
+            quantized.len(),
+            self.code.n(),
+            "LLR vector length must equal the code length"
+        );
+        let lo = self.arith.lambda_min() as i16;
+        let hi = self.arith.lambda_max() as i16;
+        let mut lambda: Vec<i16> = quantized.iter().map(|&v| v.clamp(lo, hi)).collect();
+        self.decode_lambda(&mut lambda)
+    }
+
+    /// The fixed-point layered iteration over the CSR message buffers.
+    fn decode_lambda(&self, lambda: &mut [i16]) -> DecodeOutcome {
+        let m = self.code.m();
+        let h = self.code.parity_check();
+        let arith = &self.arith;
+
+        // Contiguous R message memory, one entry per parity-check edge
+        // (i16: `r_bits` may legally be up to 15).
+        let mut r = vec![0i16; self.cols.len()];
+        // Scratch Q_lk buffer, reused across rows.
+        let mut q = vec![0i16; self.max_degree];
+        let mut hard = vec![0u8; lambda.len()];
+
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for it in 0..self.config.max_iterations {
+            iterations = it + 1;
+            // Natural row order == layered schedule (see `row_ptr` docs).
+            for row in 0..m {
+                let start = self.row_ptr[row] as usize;
+                let end = self.row_ptr[row + 1] as usize;
+                let cols = &self.cols[start..end];
+                let r_row = &mut r[start..end];
+                let q_row = &mut q[..cols.len()];
+
+                // Q_lk = lambda_old - R_old, Eq. (6), saturated.
+                for ((qj, &col), &rj) in q_row.iter_mut().zip(cols).zip(r_row.iter()) {
+                    *qj = arith.q_message(i32::from(lambda[col as usize]), i32::from(rj));
+                }
+
+                // Two-minimum extraction, Eq. (11), as one batch scan.
+                let scan = MinimumExtractionUnit::scan(q_row);
+                let mag1 = arith.r_message(i32::from(scan.min1), false);
+                let mag2 = arith.r_message(i32::from(scan.min2), false);
+
+                // R_new and lambda update, Eq. (9)-(10).
+                for (j, ((&qj, &col), rj)) in
+                    q_row.iter().zip(cols).zip(r_row.iter_mut()).enumerate()
+                {
+                    let mag = if j as u32 == scan.min1_pos {
+                        mag2
+                    } else {
+                        mag1
+                    };
+                    let negative = (qj < 0) != scan.negative_parity;
+                    let r_new = if negative { -mag } else { mag };
+                    lambda[col as usize] = arith.lambda_update(i32::from(qj), i32::from(r_new));
+                    *rj = r_new;
+                }
+            }
+
+            for (hb, &l) in hard.iter_mut().zip(lambda.iter()) {
+                *hb = u8::from(l < 0);
+            }
+            if self.config.early_termination && h.is_codeword(&hard) {
+                converged = true;
+                break;
+            }
+        }
+
+        if !converged {
+            for (hb, &l) in hard.iter_mut().zip(lambda.iter()) {
+                *hb = u8::from(l < 0);
+            }
+            converged = h.is_codeword(&hard);
+        }
+        let scale = self.quantizer.scale();
+        DecodeOutcome {
+            hard_bits: hard,
+            posterior: lambda.iter().map(|&l| f64::from(l) / scale).collect(),
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base_matrix::CodeRate;
+    use crate::decoder::{LayeredConfig, LayeredDecoder};
+    use crate::encoder::QcEncoder;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_llrs(cw: &[u8], sigma: f64, seed: u64) -> Vec<Llr> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        cw.iter()
+            .map(|&b| {
+                let s = if b == 0 { 1.0 } else { -1.0 };
+                let u1: f64 = rng.gen::<f64>().max(1e-12);
+                let u2: f64 = rng.gen();
+                let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                Llr::new(2.0 * (s + sigma * n) / (sigma * sigma))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noiseless_all_zero_converges_in_one_iteration() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let out = dec.decode(&vec![Llr::new(6.0); code.n()]);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 1);
+        assert!(out.hard_bits.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn decodes_random_codeword_with_moderate_noise() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+        let cw = enc.encode(&info).unwrap();
+        let out = dec.decode(&noisy_llrs(&cw, 0.63f64.sqrt(), 9));
+        assert!(out.converged, "decoder did not converge");
+        assert_eq!(out.hard_bits, cw);
+        assert_eq!(out.info_bits(code.k()), &info[..]);
+    }
+
+    #[test]
+    fn wide_registers_decode_without_wrapping() {
+        // Regression: R messages used to be stored as i8, silently wrapping
+        // (sign-flipping) for r_bits >= 9 instead of saturating.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        let cfg = FixedLayeredConfig {
+            frac_bits: 3,
+            ..FixedLayeredConfig::default().with_lambda_bits(10)
+        };
+        let dec = FixedLayeredDecoder::new(&code, cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+        let cw = enc.encode(&info).unwrap();
+        let out = dec.decode(&noisy_llrs(&cw, 0.63f64.sqrt(), 41));
+        assert!(out.converged, "10-bit datapath did not converge");
+        assert_eq!(out.hard_bits, cw);
+    }
+
+    #[test]
+    fn paper_widths_also_decode() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::paper());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+        let cw = enc.encode(&info).unwrap();
+        let out = dec.decode(&noisy_llrs(&cw, 0.63f64.sqrt(), 14));
+        assert!(out.converged, "paper-width decoder did not converge");
+        assert_eq!(out.hard_bits, cw);
+    }
+
+    #[test]
+    fn tracks_float_decoder_frame_for_frame_at_moderate_noise() {
+        // The quantized datapath must agree with the f64 reference on the
+        // overwhelming majority of moderately noisy frames: this is the
+        // unit-level face of the "within 0.2 dB" quantization-loss claim.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        let float_dec = LayeredDecoder::new(&code, LayeredConfig::default());
+        let fixed_dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut agree = 0;
+        let frames = 20;
+        for seed in 0..frames {
+            let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+            let cw = enc.encode(&info).unwrap();
+            let llrs = noisy_llrs(&cw, 0.63f64.sqrt(), 300 + seed);
+            let f = float_dec.decode(&llrs);
+            let x = fixed_dec.decode(&llrs);
+            if f.hard_bits == x.hard_bits {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree >= frames - 2,
+            "fixed datapath agreed on only {agree}/{frames} frames"
+        );
+    }
+
+    #[test]
+    fn decode_quantized_saturates_out_of_range_inputs() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        // +1000 saturates to +63: still a confident zero bit.
+        let out = dec.decode_quantized(&vec![1000i16; code.n()]);
+        assert!(out.converged);
+        assert!(out.hard_bits.iter().all(|&b| b == 0));
+        assert!(out.posterior.iter().all(|&p| p == 31.5)); // 63 / 2^1
+    }
+
+    #[test]
+    fn nan_channel_llr_decodes_as_zero_bit() {
+        // The quantizer maps NaN to 0, so a NaN input behaves like an erased
+        // bit and the surrounding checks pull it to the right value.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let mut llrs = vec![Llr::new(6.0); code.n()];
+        llrs[100] = Llr::new(f64::NAN);
+        let out = dec.decode(&llrs);
+        assert!(out.converged);
+        assert!(out.hard_bits.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn corrects_a_few_flipped_bits() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let mut llrs = vec![Llr::new(4.0); code.n()];
+        for i in 0..10 {
+            llrs[i * 53] = Llr::new(-4.0);
+        }
+        let out = dec.decode(&llrs);
+        assert!(out.converged);
+        assert!(out.hard_bits.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn works_for_all_rates() {
+        for rate in CodeRate::all() {
+            let code = QcLdpcCode::wimax(576, rate).unwrap();
+            let enc = QcEncoder::new(&code);
+            let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+            let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+            let cw = enc.encode(&info).unwrap();
+            let out = dec.decode(&noisy_llrs(&cw, 0.4, 3));
+            assert!(out.converged, "rate {rate}");
+            assert_eq!(out.hard_bits, cw, "rate {rate}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn wrong_llr_length_panics() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let _ = dec.decode(&[Llr::new(1.0); 10]);
+    }
+
+    #[test]
+    fn csr_layout_matches_the_sparse_matrix() {
+        let code = QcLdpcCode::wimax(672, CodeRate::R34A).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        assert_eq!(dec.row_ptr.len(), code.m() + 1);
+        assert_eq!(dec.cols.len(), code.edge_count());
+        let h = code.parity_check();
+        for row in 0..code.m() {
+            let s = dec.row_ptr[row] as usize;
+            let e = dec.row_ptr[row + 1] as usize;
+            let cols: Vec<usize> = dec.cols[s..e].iter().map(|&c| c as usize).collect();
+            assert_eq!(&cols[..], h.row(row));
+        }
+        assert!(dec.max_degree >= 2);
+    }
+}

@@ -102,8 +102,103 @@ impl MinimumExtractionUnit {
     /// The outgoing message magnitude for input position `index`
     /// (min-sum exclusion rule: the position holding the minimum receives the
     /// second minimum, every other position receives the minimum).
+    ///
+    /// A degree-1 check (or an empty unit) has no leave-one-out partner: the
+    /// corresponding minimum is still at its `INFINITY` sentinel, and
+    /// propagating it would inject non-finite `R` messages into the decoder.
+    /// Such positions receive a `0.0` message instead (the check carries no
+    /// extrinsic information).
     pub fn magnitude_for(&self, index: usize) -> f64 {
-        if Some(index) == self.min1_index {
+        let magnitude = if Some(index) == self.min1_index {
+            self.min2
+        } else {
+            self.min1
+        };
+        if magnitude.is_finite() {
+            magnitude
+        } else {
+            0.0
+        }
+    }
+
+    /// Batch two-minimum extraction over a quantized check row — the
+    /// fixed-point, SIMD-friendly counterpart of feeding every `Q_lk` through
+    /// [`push`](MinimumExtractionUnit::push).
+    ///
+    /// The scan is written as two branch-light reduction passes (min/select
+    /// and compare/count) so the autovectorizer can emit packed integer
+    /// min/cmp instructions; `cargo bench -p decoder-bench --bench kernels`
+    /// compares it against the sequential scalar unit.
+    ///
+    /// Degenerate rows follow the same convention as
+    /// [`magnitude_for`](MinimumExtractionUnit::magnitude_for): a degree-1
+    /// row reports `min2 = 0`, an empty row reports all-zero results.
+    #[inline]
+    pub fn scan(q: &[i16]) -> TwoMinScan {
+        if q.is_empty() {
+            return TwoMinScan {
+                min1: 0,
+                min2: 0,
+                min1_pos: 0,
+                negative_parity: false,
+            };
+        }
+        // Pass 1: global minimum magnitude and the parity of the signs.
+        let mut min1 = i16::MAX;
+        let mut negatives = 0u32;
+        for &v in q {
+            min1 = min1.min(v.saturating_abs());
+            negatives += u32::from(v < 0);
+        }
+        // Pass 2: second minimum, first position of the minimum, and the
+        // number of entries tied at the minimum (select-based, no branches).
+        let mut min2 = i16::MAX;
+        let mut ties = 0u32;
+        let mut pos = u32::MAX;
+        for (i, &v) in q.iter().enumerate() {
+            let mag = v.saturating_abs();
+            let at_min = mag == min1;
+            min2 = min2.min(if at_min { i16::MAX } else { mag });
+            ties += u32::from(at_min);
+            pos = pos.min(if at_min { i as u32 } else { u32::MAX });
+        }
+        let min2 = if ties > 1 {
+            min1
+        } else if q.len() < 2 {
+            0 // degree-1 row: no leave-one-out partner
+        } else {
+            min2
+        };
+        TwoMinScan {
+            min1,
+            min2,
+            min1_pos: pos,
+            negative_parity: negatives % 2 == 1,
+        }
+    }
+}
+
+/// Result of [`MinimumExtractionUnit::scan`]: the four quantities the
+/// hardware MEU keeps per check row (paper Fig. 2), on the integer datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoMinScan {
+    /// Smallest input magnitude.
+    pub min1: i16,
+    /// Second-smallest input magnitude (equal to `min1` on ties; `0` for
+    /// degree-1 rows, which have no leave-one-out partner).
+    pub min2: i16,
+    /// Position (within the scanned slice) of the first input holding `min1`.
+    pub min1_pos: u32,
+    /// `true` if an odd number of inputs were negative (sign product `-1`).
+    pub negative_parity: bool,
+}
+
+impl TwoMinScan {
+    /// Min-sum exclusion rule: the position holding the minimum receives the
+    /// second minimum, every other position receives the minimum.
+    #[inline]
+    pub fn magnitude_for(&self, pos: usize) -> i16 {
+        if pos as u32 == self.min1_pos {
             self.min2
         } else {
             self.min1
@@ -161,7 +256,86 @@ mod tests {
         assert_eq!(meu.sign_product(), 1.0);
     }
 
+    #[test]
+    fn degree_one_check_yields_zero_magnitude() {
+        // Regression: a degree-1 row used to return `f64::INFINITY` from
+        // `magnitude_for`, making the layered/flooding update emit
+        // non-finite R messages.
+        let mut meu = MinimumExtractionUnit::new();
+        meu.push(0, -3.5);
+        assert_eq!(meu.magnitude_for(0), 0.0);
+        // Positions other than the single entry still see the plain minimum.
+        assert_eq!(meu.magnitude_for(1), 3.5);
+        // An empty unit is fully degenerate: every position gets zero.
+        let empty = MinimumExtractionUnit::new();
+        assert_eq!(empty.magnitude_for(0), 0.0);
+    }
+
+    #[test]
+    fn scan_matches_sequential_unit() {
+        let values: [i16; 6] = [12, -3, 7, -3, 20, 5];
+        let scan = MinimumExtractionUnit::scan(&values);
+        let mut meu = MinimumExtractionUnit::new();
+        for (i, &v) in values.iter().enumerate() {
+            meu.push(i, f64::from(v));
+        }
+        assert_eq!(f64::from(scan.min1), meu.min1());
+        assert_eq!(f64::from(scan.min2), meu.min2());
+        assert_eq!(scan.min1_pos as usize, meu.min1_index().unwrap());
+        assert_eq!(scan.negative_parity, meu.sign_product() < 0.0);
+        for i in 0..values.len() {
+            assert_eq!(f64::from(scan.magnitude_for(i)), meu.magnitude_for(i));
+        }
+    }
+
+    #[test]
+    fn scan_handles_degenerate_rows() {
+        let empty = MinimumExtractionUnit::scan(&[]);
+        assert_eq!((empty.min1, empty.min2), (0, 0));
+        assert!(!empty.negative_parity);
+
+        let single = MinimumExtractionUnit::scan(&[-9]);
+        assert_eq!(single.min1, 9);
+        assert_eq!(single.min2, 0, "degree-1 rows carry no extrinsic message");
+        assert_eq!(single.min1_pos, 0);
+        assert!(single.negative_parity);
+    }
+
+    #[test]
+    fn scan_tie_at_minimum_uses_min1_for_everyone() {
+        let scan = MinimumExtractionUnit::scan(&[4, -4, 10]);
+        assert_eq!(scan.min1, 4);
+        assert_eq!(scan.min2, 4);
+        assert_eq!(scan.min1_pos, 0);
+        for i in 0..3 {
+            assert_eq!(scan.magnitude_for(i), 4);
+        }
+    }
+
+    #[test]
+    fn scan_saturates_i16_min_magnitude() {
+        let scan = MinimumExtractionUnit::scan(&[i16::MIN, 5]);
+        assert_eq!(scan.min1, 5);
+        assert_eq!(scan.min2, i16::MAX);
+        assert!(scan.negative_parity);
+    }
+
     proptest! {
+        #[test]
+        fn scan_agrees_with_sequential_unit(values in proptest::collection::vec(-64i16..=63, 1..24)) {
+            let scan = MinimumExtractionUnit::scan(&values);
+            let mut meu = MinimumExtractionUnit::new();
+            for (i, &v) in values.iter().enumerate() {
+                meu.push(i, f64::from(v));
+            }
+            prop_assert_eq!(f64::from(scan.min1), meu.min1());
+            prop_assert_eq!(scan.min1_pos as usize, meu.min1_index().unwrap());
+            prop_assert_eq!(scan.negative_parity, meu.sign_product() < 0.0);
+            for i in 0..values.len() {
+                prop_assert_eq!(f64::from(scan.magnitude_for(i)), meu.magnitude_for(i));
+            }
+        }
+
         #[test]
         fn matches_naive_two_minimum(values in proptest::collection::vec(-10.0f64..10.0, 2..20)) {
             let mut meu = MinimumExtractionUnit::new();

@@ -1,13 +1,17 @@
 //! LDPC decoders: two-phase (flooding) belief propagation and the layered
-//! normalized-min-sum decoder used by the paper's processing element.
+//! normalized-min-sum decoder used by the paper's processing element, in
+//! both a floating-point reference flavour ([`LayeredDecoder`]) and the
+//! fixed-point hardware-datapath flavour ([`FixedLayeredDecoder`]).
 
 mod flooding;
 mod layered;
+mod layered_fixed;
 mod meu;
 
 pub use flooding::{FloodingConfig, FloodingDecoder, FloodingKind};
 pub use layered::{LayeredConfig, LayeredDecoder};
-pub use meu::MinimumExtractionUnit;
+pub use layered_fixed::{FixedLayeredConfig, FixedLayeredDecoder};
+pub use meu::{MinimumExtractionUnit, TwoMinScan};
 
 /// Result of a decoding attempt.
 #[derive(Debug, Clone, PartialEq)]

@@ -15,7 +15,11 @@
 //!   encoder used for cross-validation.
 //! * [`decoder`] — two-phase (flooding) belief propagation and the layered
 //!   normalized-min-sum decoder of the paper (Eq. 6–11), including the
-//!   two-minimum extraction performed by the hardware MEU.
+//!   two-minimum extraction performed by the hardware MEU.  The layered
+//!   decoder exists in two flavours: the floating-point reference
+//!   ([`LayeredDecoder`]) and the fixed-point hardware-datapath model
+//!   ([`FixedLayeredDecoder`]: quantized λ, saturating arithmetic,
+//!   contiguous CSR message buffers and the batch two-minimum scan kernel).
 //! * [`tanner`] — Tanner-graph views and the row-adjacency graph used for
 //!   mapping check nodes onto NoC nodes.
 //!
@@ -52,8 +56,11 @@ pub mod tanner;
 
 pub use base_matrix::{BaseMatrix, CodeRate};
 pub use code::{LdpcError, QcLdpcCode};
-pub use codec::{FloodingLdpcCodec, LayeredLdpcCodec};
-pub use decoder::{DecodeOutcome, FloodingConfig, FloodingDecoder, LayeredConfig, LayeredDecoder};
+pub use codec::{FloodingLdpcCodec, LayeredLdpcCodec, QuantizedLayeredLdpcCodec};
+pub use decoder::{
+    DecodeOutcome, FixedLayeredConfig, FixedLayeredDecoder, FloodingConfig, FloodingDecoder,
+    LayeredConfig, LayeredDecoder,
+};
 pub use encoder::{GaussianEncoder, QcEncoder};
 pub use sparse::SparseBinaryMatrix;
 pub use tanner::TannerGraph;

@@ -1,0 +1,97 @@
+//! Quantization-loss study: floating-point layered min-sum versus the
+//! fixed-point hardware datapath at several λ bit widths.
+//!
+//! The paper's decoder quantizes channel LLRs on 7 bits (one fractional
+//! bit) and runs the whole layered min-sum update on saturating integer
+//! arithmetic.  This example measures what that costs: it simulates the
+//! same Eb/N0 sweep through the floating-point reference decoder and
+//! through `FixedLayeredDecoder` at 7-, 6- and 5-bit λ, then prints the
+//! BER table and an ASCII log-BER chart of the quantization loss.
+//!
+//! Run with `cargo run --example wimax_ldpc_quantization --release -- [frames]`.
+
+use fec_channel::sim::{BerPoint, EngineConfig, SimulationEngine};
+use wimax_ldpc::decoder::{FixedLayeredConfig, LayeredConfig};
+use wimax_ldpc::{CodeRate, LayeredLdpcCodec, QcLdpcCode, QuantizedLayeredLdpcCodec};
+
+/// Swept (λ bits, fractional bits) pairs.  The fractional allocation shrinks
+/// with the width: a 5-bit λ with one fractional bit would only span ±8 in
+/// real terms, and channel LLRs beyond that rail saturate at full confidence
+/// — the decoder then amplifies those errors instead of correcting them.
+const LAMBDA_FORMATS: [(u32, u32); 3] = [(7, 1), (6, 1), (5, 0)];
+
+fn ascii_bar(ber: f64) -> String {
+    // Map BER in [1e-6, 1] to a 0..=36 character bar on a log scale.
+    let log = ber.max(1e-6).log10(); // in [-6, 0]
+    let len = ((log + 6.0) * 6.0).round() as usize;
+    "#".repeat(len.min(36))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frames: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+
+    let code = QcLdpcCode::wimax(576, CodeRate::R12)?;
+    let float_codec = LayeredLdpcCodec::new(&code, LayeredConfig::default());
+    let fixed_codecs: Vec<QuantizedLayeredLdpcCodec> = LAMBDA_FORMATS
+        .iter()
+        .map(|&(bits, frac)| {
+            QuantizedLayeredLdpcCodec::new(
+                &code,
+                FixedLayeredConfig {
+                    frac_bits: frac,
+                    ..FixedLayeredConfig::default().with_lambda_bits(bits)
+                },
+            )
+        })
+        .collect();
+
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 2012));
+    let snrs = [1.0f64, 1.5, 2.0, 2.5];
+    let float_curve = engine.run_curve(&float_codec, &snrs);
+    let fixed_curves: Vec<Vec<BerPoint>> = fixed_codecs
+        .iter()
+        .map(|codec| engine.run_curve(codec, &snrs).points)
+        .collect();
+
+    println!(
+        "WiMAX LDPC N=576 r=1/2, layered min-sum, {frames} frames per point, {} workers",
+        engine.effective_workers()
+    );
+    println!("float reference vs fixed-point hardware datapath (lambda quantization)\n");
+    print!("{:>8} {:>14}", "Eb/N0", "BER float");
+    for (bits, _) in LAMBDA_FORMATS {
+        print!(" {:>13}", format!("BER q{bits}"));
+    }
+    println!();
+    for (i, f) in float_curve.points.iter().enumerate() {
+        print!("{:>7.1}  {:>14.3e}", f.ebn0_db, f.ber);
+        for curve in &fixed_curves {
+            print!(" {:>13.3e}", curve[i].ber);
+        }
+        println!();
+    }
+
+    println!("\nlog-BER chart (each '#' is ~1/6 decade; shorter is better):");
+    for (i, f) in float_curve.points.iter().enumerate() {
+        println!("  Eb/N0 = {:.1} dB", f.ebn0_db);
+        println!("    float {:>10.3e} |{}", f.ber, ascii_bar(f.ber));
+        for ((bits, _), curve) in LAMBDA_FORMATS.iter().zip(&fixed_curves) {
+            println!(
+                "    q{bits}    {:>10.3e} |{}",
+                curve[i].ber,
+                ascii_bar(curve[i].ber)
+            );
+        }
+    }
+
+    println!(
+        "\nThe 7-bit datapath tracks the float reference closely (within the paper's\n\
+         ~0.1-0.2 dB quantization loss); narrower lambdas trade resolution (fewer\n\
+         fractional bits) against range (saturation of confident LLRs) and visibly\n\
+         cost BER."
+    );
+    Ok(())
+}

@@ -6,13 +6,18 @@
 use fec_channel::sim::{EngineConfig, FecCodec, SimulationEngine};
 use fec_channel::MonteCarloConfig;
 use noc_decoder::{DecoderConfig, NocDecoder};
-use wimax_ldpc::decoder::LayeredConfig;
-use wimax_ldpc::{CodeRate, LayeredLdpcCodec, QcLdpcCode};
+use wimax_ldpc::decoder::{FixedLayeredConfig, LayeredConfig};
+use wimax_ldpc::{CodeRate, LayeredLdpcCodec, QcLdpcCode, QuantizedLayeredLdpcCodec};
 use wimax_turbo::{CtcCode, ExtrinsicExchange, TurboCodec, TurboDecoderConfig};
 
 fn ldpc_codec() -> LayeredLdpcCodec {
     let code = QcLdpcCode::wimax(576, CodeRate::R12).expect("valid WiMAX length");
     LayeredLdpcCodec::new(&code, LayeredConfig::default())
+}
+
+fn quantized_ldpc_codec() -> QuantizedLayeredLdpcCodec {
+    let code = QcLdpcCode::wimax(576, CodeRate::R12).expect("valid WiMAX length");
+    QuantizedLayeredLdpcCodec::new(&code, FixedLayeredConfig::default())
 }
 
 fn turbo_codec() -> TurboCodec {
@@ -44,6 +49,23 @@ fn engine(workers: usize, stop: MonteCarloConfig) -> SimulationEngine {
 #[test]
 fn ldpc_counts_are_identical_for_1_2_and_8_workers() {
     let codec = ldpc_codec();
+    let stop = MonteCarloConfig {
+        max_frames: 60,
+        target_frame_errors: 10,
+        min_frames: 20,
+    };
+    let reference = engine(1, stop).run_point(&codec, 1.5);
+    for workers in [2, 8] {
+        let point = engine(workers, stop).run_point(&codec, 1.5);
+        assert_eq!(point, reference, "workers = {workers}");
+    }
+}
+
+/// The fixed-point (quantized) layered codec satisfies the same determinism
+/// contract: bit-identical counts for 1, 2 and 8 workers.
+#[test]
+fn quantized_ldpc_counts_are_identical_for_1_2_and_8_workers() {
+    let codec = quantized_ldpc_codec();
     let stop = MonteCarloConfig {
         max_frames: 60,
         target_frame_errors: 10,
@@ -113,7 +135,11 @@ fn noc_decoder_ber_curve_is_reproducible() {
 /// every adapter.
 #[test]
 fn codec_dimensions_are_consistent() {
-    let codecs: Vec<Box<dyn FecCodec>> = vec![Box::new(ldpc_codec()), Box::new(turbo_codec())];
+    let codecs: Vec<Box<dyn FecCodec>> = vec![
+        Box::new(ldpc_codec()),
+        Box::new(quantized_ldpc_codec()),
+        Box::new(turbo_codec()),
+    ];
     for codec in &codecs {
         assert!(codec.info_bits() > 0);
         assert!(codec.codeword_bits() >= codec.info_bits());
