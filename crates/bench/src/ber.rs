@@ -7,6 +7,9 @@
 //! and formats results.  The historical per-flavour Monte-Carlo loops are
 //! gone.
 
+use code_tables::{
+    wifi_ldpc, LteTurboCode, LteTurboCodec, LteTurboDecoderConfig, NamedCodec, Standard,
+};
 pub use fec_channel::sim::{BerCurve, BerPoint};
 use fec_channel::sim::{EngineConfig, FecCodec, SimulationEngine};
 use wimax_ldpc::decoder::{FixedLayeredConfig, FloodingConfig, LayeredConfig};
@@ -65,6 +68,59 @@ pub fn quantized_ldpc_codec(n: usize, lambda_bits: u32) -> Box<dyn FecCodec> {
         &code,
         FixedLayeredConfig::default().with_lambda_bits(lambda_bits),
     ))
+}
+
+/// Builds the [`FecCodec`] for the 802.11n `r = 1/2` LDPC code of length `n`
+/// (648, 1296 or 1944) in the requested decoder flavour — the new tables run
+/// on both decode datapaths through the engine unchanged.
+///
+/// # Panics
+///
+/// Panics if `n` is not an 802.11n length.
+pub fn wifi_ldpc_codec(n: usize, flavor: LdpcFlavor) -> Box<dyn FecCodec> {
+    let code = wifi_ldpc(n, CodeRate::R12).expect("valid 802.11n length");
+    match flavor {
+        LdpcFlavor::Layered => Box::new(NamedCodec::new(
+            LayeredLdpcCodec::new(&code, LayeredConfig::default()),
+            format!("80211n-ldpc-n{n}-layered"),
+        )),
+        LdpcFlavor::Flooding => Box::new(NamedCodec::new(
+            FloodingLdpcCodec::new(
+                &code,
+                FloodingConfig {
+                    max_iterations: 10,
+                    ..FloodingConfig::default()
+                },
+            ),
+            format!("80211n-ldpc-n{n}-flooding"),
+        )),
+        LdpcFlavor::Quantized => Box::new(NamedCodec::new(
+            QuantizedLayeredLdpcCodec::new(&code, FixedLayeredConfig::default()),
+            format!("80211n-ldpc-n{n}-layered-q7"),
+        )),
+    }
+}
+
+/// Builds the [`FecCodec`] for the LTE rate-1/3 turbo code with block size
+/// `k` (Max-Log-MAP, 8 iterations).
+///
+/// # Panics
+///
+/// Panics if `k` is not in the LTE QPP table.
+pub fn lte_turbo_codec(k: usize) -> Box<dyn FecCodec> {
+    let code = LteTurboCode::new(k).expect("valid LTE block size");
+    Box::new(LteTurboCodec::new(&code, LteTurboDecoderConfig::default()))
+}
+
+/// The `Eb/N0` grid (dB) a standard's BER study sweeps: chosen so the
+/// waterfall of the study's default codes falls inside the grid and the
+/// error rate decreases monotonically over it at modest frame budgets.
+pub fn standard_snrs(standard: Standard) -> &'static [f64] {
+    match standard {
+        Standard::Wimax => &[1.0, 1.5, 2.0, 2.5],
+        Standard::Wifi80211n => &[0.0, 1.0, 2.0, 3.0],
+        Standard::Lte => &[0.0, 0.5, 1.0, 1.5],
+    }
 }
 
 /// Builds the [`FecCodec`] for the WiMAX CTC with `couples` couples and the
@@ -173,6 +229,38 @@ mod tests {
         assert_eq!(fixed[0].ber, 0.0, "7-bit datapath must be clean at 3 dB");
         let custom = quantized_ldpc_codec(576, 6);
         assert_eq!(custom.name(), "wimax-ldpc-n576-layered-q6");
+    }
+
+    #[test]
+    fn wifi_codecs_run_on_both_datapaths() {
+        for flavor in [LdpcFlavor::Layered, LdpcFlavor::Quantized] {
+            let codec = wifi_ldpc_codec(648, flavor);
+            let engine = SimulationEngine::new(EngineConfig::fixed_frames(5, 4));
+            let point = engine.run_point(codec.as_ref(), 6.0);
+            assert_eq!(point.bit_errors, 0, "{}", codec.name());
+        }
+        assert_eq!(
+            wifi_ldpc_codec(1296, LdpcFlavor::Quantized).name(),
+            "80211n-ldpc-n1296-layered-q7"
+        );
+    }
+
+    #[test]
+    fn lte_codec_runs_through_the_engine() {
+        let codec = lte_turbo_codec(104);
+        let engine = SimulationEngine::new(EngineConfig::fixed_frames(5, 6));
+        let point = engine.run_point(codec.as_ref(), 4.0);
+        assert_eq!(point.bit_errors, 0);
+        assert_eq!(codec.name(), "lte-turbo-k104");
+    }
+
+    #[test]
+    fn snr_grids_are_increasing() {
+        for standard in Standard::all() {
+            let snrs = standard_snrs(standard);
+            assert!(snrs.len() >= 4);
+            assert!(snrs.windows(2).all(|w| w[1] > w[0]), "{standard}");
+        }
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Compares two `BENCH_*.json` result files (as emitted by
+//! `--bench kernels -- --json ...`) and fails on kernel-throughput
+//! regressions, so CI can track the performance trajectory across commits.
+//!
+//! Usage: `cargo run -p decoder-bench --bin bench_diff --
+//! <baseline.json> <current.json> [--threshold <fraction>]`
+//!
+//! Rows are matched by `name`; a kernel regresses when its best-case
+//! (`min_ns`) time grows by more than the threshold (default 0.15 = 15%).
+//! The mean is reported for context but never gates: on shared CI runners
+//! only the fastest iteration is scheduler-noise-resistant.  Rows present in
+//! only one file are reported but do not fail the diff.  Exit code: 0 when
+//! clean, 1 on any regression, 2 on unreadable/unparsable input.
+
+use fec_json::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Row {
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+fn load_rows(path: &str) -> Result<BTreeMap<String, Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let rows = json
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no \"rows\" array"))?;
+    let mut out = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: row {i} has no \"name\""))?;
+        let field = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: row {name:?} has no numeric {key:?}"))
+        };
+        out.insert(
+            name.to_string(),
+            Row {
+                mean_ns: field("mean_ns")?,
+                min_ns: field("min_ns")?,
+            },
+        );
+    }
+    Ok(out)
+}
+
+fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, String> {
+    let baseline = load_rows(baseline_path)?;
+    let current = load_rows(current_path)?;
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}  verdict",
+        "kernel", "base min", "curr min", "delta"
+    );
+    let mut regressions = 0usize;
+    for (name, base) in &baseline {
+        let Some(curr) = current.get(name) else {
+            println!(
+                "{name:<44} {:>12.0} {:>12} {:>9}  missing in current",
+                base.min_ns, "-", "-"
+            );
+            continue;
+        };
+        let delta = if base.min_ns > 0.0 {
+            curr.min_ns / base.min_ns - 1.0
+        } else {
+            0.0
+        };
+        let regressed = delta > threshold;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{name:<44} {:>12.0} {:>12.0} {:>+8.1}%  {} (mean {:+.1}%)",
+            base.min_ns,
+            curr.min_ns,
+            100.0 * delta,
+            if regressed { "REGRESSED" } else { "ok" },
+            100.0 * (curr.mean_ns / base.mean_ns.max(1e-9) - 1.0),
+        );
+    }
+    for name in current.keys() {
+        if !baseline.contains_key(name) {
+            println!("{name:<44} {:>12} {:>12} {:>9}  new kernel", "-", "-", "-");
+        }
+    }
+
+    if regressions > 0 {
+        println!(
+            "\n{regressions} kernel(s) slower than the {:.0}% threshold",
+            100.0 * threshold
+        );
+    } else {
+        println!("\nno kernel regression above {:.0}%", 100.0 * threshold);
+    }
+    Ok(regressions == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.15f64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let value = it.next().expect("--threshold requires a fraction");
+                threshold = value.parse().expect("--threshold takes a number");
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json> [--threshold <fraction>]");
+        return ExitCode::from(2);
+    };
+
+    match run(baseline, current, threshold) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

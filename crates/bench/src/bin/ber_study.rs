@@ -1,21 +1,29 @@
-//! BER studies backing the paper's algorithmic statements:
+//! BER studies backing the paper's algorithmic statements, now per
+//! standard:
 //!
-//! * layered vs two-phase LDPC scheduling (Section II.B: layered roughly
-//!   halves the iteration count);
-//! * bit-level vs symbol-level turbo extrinsic exchange (Section IV.B:
-//!   ~0.2 dB penalty for a 1/3 payload reduction).
+//! * `--standard wimax` (default) — layered vs two-phase LDPC scheduling
+//!   (Section II.B) and bit-level vs symbol-level turbo extrinsic exchange
+//!   (Section IV.B) on the 802.16e codes;
+//! * `--standard 80211n` — the 802.11n LDPC codes on both decode datapaths
+//!   (f64 layered reference and the fixed-point hardware model) plus the
+//!   flooding baseline;
+//! * `--standard lte` — the LTE rate-1/3 binary turbo code at two block
+//!   sizes.
 //!
 //! All studies run on the unified parallel simulation engine.
 //!
 //! Usage: `cargo run -p decoder-bench --bin ber_study --release --
-//! [frames] [--quantized] [--lambda-bits <n>] [--json <path>]`
+//! [frames] [--standard wimax|80211n|lte] [--quantized] [--lambda-bits <n>]
+//! [--json <path>]`
 //!
 //! `--quantized` adds the fixed-point layered LDPC curve (the hardware
 //! datapath model) next to the floating-point reference, quantizing channel
 //! LLRs to `--lambda-bits` bits (default 7, the paper's λ width).
 
+use code_tables::Standard;
 use decoder_bench::{
-    json_flag_from_args, ldpc_codec, print_curve, quantized_ldpc_codec, turbo_codec, write_json,
+    json_flag_from_args, ldpc_codec, lte_turbo_codec, print_curve, quantized_ldpc_codec,
+    standard_flag_from_args, standard_snrs, turbo_codec, wifi_ldpc_codec, write_json, BerCurve,
     LdpcFlavor,
 };
 use fec_channel::sim::{EngineConfig, SimulationEngine};
@@ -24,6 +32,8 @@ use wimax_turbo::ExtrinsicExchange;
 
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let (standard, rest) = standard_flag_from_args(rest.into_iter());
+    let standard = standard.unwrap_or(Standard::Wimax);
     let mut quantized = false;
     let mut lambda_bits: u32 = 7;
     let mut frames: u64 = 60;
@@ -43,21 +53,39 @@ fn main() {
             }
         }
     }
-    let snrs = [1.0, 1.5, 2.0, 2.5];
 
+    let curves = match standard {
+        Standard::Wimax => wimax_study(frames, quantized, lambda_bits),
+        Standard::Wifi80211n => wifi_study(frames),
+        Standard::Lte => lte_study(frames),
+    };
+
+    if let Some(path) = json_path {
+        let json = Json::obj([
+            ("study", Json::str("ber_study")),
+            ("standard", Json::str(standard.name())),
+            ("frames_per_point", Json::from(frames)),
+            ("curves", Json::arr(curves.iter().map(ToJson::to_json))),
+        ]);
+        write_json(&path, &json);
+    }
+}
+
+fn wimax_study(frames: u64, quantized: bool, lambda_bits: u32) -> Vec<BerCurve> {
+    let snrs = standard_snrs(Standard::Wimax);
     let ldpc_engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 11));
     let turbo_engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 13));
 
     println!("WiMAX LDPC N = 576, r = 1/2 ({frames} frames per point)\n");
-    let layered = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Layered).as_ref(), &snrs);
+    let layered = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Layered).as_ref(), snrs);
     print_curve("Layered normalized min-sum (Itmax = 10)", &layered.points);
-    let flooding = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Flooding).as_ref(), &snrs);
+    let flooding = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Flooding).as_ref(), snrs);
     print_curve(
         "Two-phase (flooding) normalized min-sum (Itmax = 10)",
         &flooding.points,
     );
     let quantized_curve = quantized.then(|| {
-        let curve = ldpc_engine.run_curve(quantized_ldpc_codec(576, lambda_bits).as_ref(), &snrs);
+        let curve = ldpc_engine.run_curve(quantized_ldpc_codec(576, lambda_bits).as_ref(), snrs);
         print_curve(
             &format!("Fixed-point layered min-sum, {lambda_bits}-bit lambda (Itmax = 10)"),
             &curve.points,
@@ -68,31 +96,67 @@ fn main() {
     println!("WiMAX DBTC 240 couples, rate 1/2 ({frames} frames per point)\n");
     let symbol = turbo_engine.run_curve(
         turbo_codec(240, ExtrinsicExchange::SymbolLevel).as_ref(),
-        &snrs,
+        snrs,
     );
     print_curve(
         "Symbol-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
         &symbol.points,
     );
-    let bit = turbo_engine.run_curve(
-        turbo_codec(240, ExtrinsicExchange::BitLevel).as_ref(),
-        &snrs,
-    );
+    let bit = turbo_engine.run_curve(turbo_codec(240, ExtrinsicExchange::BitLevel).as_ref(), snrs);
     print_curve(
         "Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
         &bit.points,
     );
 
-    if let Some(path) = json_path {
-        let mut curves = vec![layered, flooding];
-        curves.extend(quantized_curve);
-        curves.push(symbol);
-        curves.push(bit);
-        let json = Json::obj([
-            ("study", Json::str("ber_study")),
-            ("frames_per_point", Json::from(frames)),
-            ("curves", Json::arr(curves.iter().map(ToJson::to_json))),
-        ]);
-        write_json(&path, &json);
-    }
+    let mut curves = vec![layered, flooding];
+    curves.extend(quantized_curve);
+    curves.push(symbol);
+    curves.push(bit);
+    curves
+}
+
+fn wifi_study(frames: u64) -> Vec<BerCurve> {
+    let snrs = standard_snrs(Standard::Wifi80211n);
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 17));
+
+    println!("802.11n LDPC N = 648, r = 1/2 ({frames} frames per point)\n");
+    let layered = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Layered).as_ref(), snrs);
+    print_curve(
+        "Layered normalized min-sum, f64 reference (Itmax = 10)",
+        &layered.points,
+    );
+    let fixed = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Quantized).as_ref(), snrs);
+    print_curve(
+        "Fixed-point layered min-sum, 7-bit lambda (Itmax = 10)",
+        &fixed.points,
+    );
+    let flooding = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Flooding).as_ref(), snrs);
+    print_curve(
+        "Two-phase (flooding) normalized min-sum (Itmax = 10)",
+        &flooding.points,
+    );
+
+    println!("802.11n LDPC N = 1296, r = 1/2 ({frames} frames per point)\n");
+    let layered_1296 = engine.run_curve(wifi_ldpc_codec(1296, LdpcFlavor::Layered).as_ref(), snrs);
+    print_curve(
+        "Layered normalized min-sum, f64 reference (Itmax = 10)",
+        &layered_1296.points,
+    );
+
+    vec![layered, fixed, flooding, layered_1296]
+}
+
+fn lte_study(frames: u64) -> Vec<BerCurve> {
+    let snrs = standard_snrs(Standard::Lte);
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 19));
+
+    println!("LTE turbo K = 1024, r = 1/3 ({frames} frames per point)\n");
+    let k1024 = engine.run_curve(lte_turbo_codec(1024).as_ref(), snrs);
+    print_curve("QPP + binary Max-Log-MAP (Itmax = 8)", &k1024.points);
+
+    println!("LTE turbo K = 104, r = 1/3 ({frames} frames per point)\n");
+    let k104 = engine.run_curve(lte_turbo_codec(104).as_ref(), snrs);
+    print_curve("QPP + binary Max-Log-MAP (Itmax = 8)", &k104.points);
+
+    vec![k1024, k104]
 }

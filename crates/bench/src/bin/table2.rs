@@ -1,20 +1,41 @@
 //! Regenerates Table II of the paper: the `P = 22`, `D = 3` generalized-Kautz
-//! decoder supporting all WiMAX turbo and LDPC codes.
+//! decoder supporting all turbo and LDPC codes.
 //!
 //! Usage: `cargo run -p decoder-bench --bin table2 --release --
-//! [--quick] [--json <path>]`
+//! [--quick] [--standard wimax|80211n|lte] [--json <path>]`
+//!
+//! `--standard` evaluates the flexible design point on the worst-case codes
+//! of another standard (802.11n LDPC N = 1944, LTE turbo K = 6144);
+//! standards lacking one family borrow the WiMAX code for the missing role.
+//! `--quick` uses the chosen standard's smallest corner codes instead.
 
-use decoder_bench::{json_flag_from_args, print_table2, rows_json, run_table2, write_json};
+use code_tables::Standard;
+use decoder_bench::{
+    json_flag_from_args, print_table2, rows_json, run_table2_for, standard_flag_from_args,
+    table2_codes, write_json,
+};
 
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let (standard, rest) = standard_flag_from_args(rest.into_iter());
+    let standard = standard.unwrap_or(Standard::Wimax);
     let quick = rest.iter().any(|a| a == "--quick");
-    let (ldpc_n, turbo_couples) = if quick { (576, 240) } else { (2304, 2400) };
+
+    let (ldpc, turbo) = table2_codes(standard, quick);
     println!(
-        "Running the Table II evaluation (LDPC N = {ldpc_n}, turbo {turbo_couples} couples) ...\n"
+        "Running the Table II evaluation for {standard}: {} + {} ...\n",
+        ldpc.label(),
+        turbo.label()
     );
-    let rows = run_table2(ldpc_n, turbo_couples);
-    print_table2(&rows, ldpc_n, turbo_couples);
+    let rows = run_table2_for(&ldpc, &turbo);
+    // print_table2 labels columns by LDPC block length (k + m) and turbo
+    // info bits (2 * couples).
+    print_table2(
+        &rows,
+        ldpc.info_bits() + ldpc.mapping_units(),
+        turbo.info_bits() / 2,
+    );
+
     if let Some(path) = json_path {
         write_json(&path, &rows_json("table2", &rows));
     }

@@ -18,11 +18,13 @@ pub mod table2;
 pub mod table3;
 
 pub use ber::{
-    ldpc_codec, print_curve, quantized_ldpc_codec, run_ldpc_ber, run_turbo_ber, turbo_codec,
-    BerCurve, BerPoint, LdpcFlavor,
+    ldpc_codec, lte_turbo_codec, print_curve, quantized_ldpc_codec, run_ldpc_ber, run_turbo_ber,
+    standard_snrs, turbo_codec, wifi_ldpc_codec, BerCurve, BerPoint, LdpcFlavor,
 };
 pub use harness::{bench, BenchReport};
-pub use results::{json_flag_from_args, rows_json, write_json};
-pub use table1::{print_table1, run_table1};
-pub use table2::{print_table2, run_table2};
+pub use results::{
+    json_flag_from_args, rows_json, standard_flag_from_args, write_json, StreamedRows,
+};
+pub use table1::{print_table1, run_table1, run_table1_for, table1_code};
+pub use table2::{print_table2, run_table2, run_table2_for, table2_codes};
 pub use table3::{print_table3, table3_rows, Table3Row};

@@ -3,20 +3,62 @@
 //! degrees, routing algorithms and node architectures
 //! (`RL = 0`, `SCM`, `R = 0.5`, 300 MHz, `It_max = 10`, `lat_core = 15`).
 
+use code_tables::{registry_for, Standard, StandardCode};
 use noc_decoder::dse::{Table1Row, TABLE1_FAMILIES, TABLE1_PARALLELISM, TABLE_ROUTING_ROWS};
 use noc_decoder::{CodeRate, DecoderConfig, DesignSpaceExplorer, QcLdpcCode};
 
 /// Runs the Table I sweep on the WiMAX LDPC code of length `block_length`
 /// (2304 for the paper's table; smaller lengths give a faster, smoke-test
-/// version of the same sweep).
+/// version of the same sweep).  The 72 design points are sharded over one
+/// worker thread per core; the rows are identical to the serial sweep.
 ///
 /// # Panics
 ///
 /// Panics if the block length is not a WiMAX length or an evaluation fails.
 pub fn run_table1(block_length: usize) -> Vec<Table1Row> {
-    let code = QcLdpcCode::wimax(block_length, CodeRate::R12).expect("valid WiMAX length");
+    let code = StandardCode::Ldpc {
+        standard: Standard::Wimax,
+        code: QcLdpcCode::wimax(block_length, CodeRate::R12).expect("valid WiMAX length"),
+    };
+    run_table1_for(&code, 0, |_, _| {})
+}
+
+/// Runs the Table I sweep on any registry code with the design points
+/// sharded over `workers` threads (0 = one per core), invoking `on_row` from
+/// the calling thread as each `(sweep index, row)` finishes.  The returned
+/// rows are in sweep order and bit-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if an evaluation fails.
+pub fn run_table1_for(
+    code: &StandardCode,
+    workers: usize,
+    on_row: impl FnMut(usize, &Table1Row),
+) -> Vec<Table1Row> {
     let dse = DesignSpaceExplorer::new(DecoderConfig::paper_design_point());
-    dse.table1(&code).expect("Table I sweep evaluates")
+    dse.table1_sharded(code, workers, on_row)
+        .expect("Table I sweep evaluates")
+}
+
+/// The code a `--standard` Table I sweep exercises: the standard's
+/// worst-case (largest) code — LDPC where the standard defines LDPC, its
+/// turbo code otherwise (LTE).  `quick` selects the smallest corner code
+/// instead.
+pub fn table1_code(standard: Standard, quick: bool) -> StandardCode {
+    let registry = registry_for(standard);
+    if quick {
+        registry
+            .corner_codes()
+            .into_iter()
+            .min_by_key(|c| c.mapping_units())
+            .expect("registry has corner codes")
+    } else {
+        registry
+            .worst_ldpc()
+            .or_else(|| registry.worst_turbo())
+            .expect("registry has codes")
+    }
 }
 
 /// Pretty-prints Table I in the paper's layout: one block per (topology, D)
@@ -68,5 +110,29 @@ mod tests {
             .all(|r| r.throughput_mbps > 0.0 && r.noc_area_mm2 > 0.0));
         // printing must not panic
         print_table1(&rows[..6]);
+    }
+
+    #[test]
+    fn standard_selection_picks_the_worst_case_code() {
+        assert!(table1_code(Standard::Wimax, false)
+            .label()
+            .contains("LDPC 2304"));
+        assert!(table1_code(Standard::Wifi80211n, false)
+            .label()
+            .contains("LDPC 1944"));
+        // LTE defines no LDPC: the sweep falls back to its turbo code.
+        assert!(table1_code(Standard::Lte, false).label().contains("K=6144"));
+        assert!(table1_code(Standard::Wifi80211n, true)
+            .label()
+            .contains("648"));
+    }
+
+    #[test]
+    fn sweep_streams_each_point_once_on_a_wifi_code() {
+        let code = table1_code(Standard::Wifi80211n, true);
+        let mut streamed = 0;
+        let rows = run_table1_for(&code, 2, |_, _| streamed += 1);
+        assert_eq!(rows.len(), 72);
+        assert_eq!(streamed, 72);
     }
 }

@@ -2,6 +2,7 @@
 //! supporting all WiMAX turbo and LDPC codes — turbo `N = 2400` couples at
 //! 75 MHz, LDPC `N = 2304, r = 1/2` at 300 MHz, for the three routing rows.
 
+use code_tables::{registry_for, Standard, StandardCode};
 use noc_decoder::dse::Table2Row;
 use noc_decoder::{CodeRate, CtcCode, DecoderConfig, DesignSpaceExplorer, QcLdpcCode};
 
@@ -17,6 +18,44 @@ pub fn run_table2(ldpc_length: usize, turbo_couples: usize) -> Vec<Table2Row> {
     let turbo = CtcCode::wimax(turbo_couples).expect("valid WiMAX CTC size");
     let dse = DesignSpaceExplorer::new(DecoderConfig::paper_design_point());
     dse.table2(&ldpc, &turbo).expect("Table II evaluates")
+}
+
+/// The (LDPC, turbo) pair a `--standard` Table II evaluation exercises on
+/// the flexible `P = 22` fabric: the standard's worst-case (largest) codes,
+/// or its smallest corner codes when `quick`.  Standards that lack one of
+/// the two families borrow the WiMAX code for the missing role, so the
+/// table always reports both operating modes.
+pub fn table2_codes(standard: Standard, quick: bool) -> (StandardCode, StandardCode) {
+    let pick = |want_ldpc: bool| -> StandardCode {
+        let from = |standard: Standard| -> Option<StandardCode> {
+            let registry = registry_for(standard);
+            if quick {
+                registry
+                    .corner_codes()
+                    .into_iter()
+                    .filter(|c| c.is_ldpc() == want_ldpc)
+                    .min_by_key(|c| c.mapping_units())
+            } else if want_ldpc {
+                registry.worst_ldpc()
+            } else {
+                registry.worst_turbo()
+            }
+        };
+        from(standard)
+            .or_else(|| from(Standard::Wimax))
+            .expect("the WiMAX registry has both families")
+    };
+    (pick(true), pick(false))
+}
+
+/// Runs the Table II evaluation on an explicit registry-code pair.
+///
+/// # Panics
+///
+/// Panics if an evaluation fails or the codes are in the wrong roles.
+pub fn run_table2_for(ldpc: &StandardCode, turbo: &StandardCode) -> Vec<Table2Row> {
+    let dse = DesignSpaceExplorer::new(DecoderConfig::paper_design_point());
+    dse.table2_for(ldpc, turbo).expect("Table II evaluates")
 }
 
 /// Pretty-prints Table II in the paper's layout.
@@ -63,5 +102,41 @@ mod tests {
             assert!(r.turbo_noc_area_mm2 > 0.0);
         }
         print_table2(&rows, 576, 240);
+    }
+
+    #[test]
+    fn standard_pairs_borrow_wimax_for_missing_families() {
+        let (ldpc, turbo) = table2_codes(Standard::Wimax, false);
+        assert!(ldpc.label().contains("802.16e LDPC 2304"));
+        assert!(turbo.label().contains("DBTC 4800"));
+        let (ldpc, turbo) = table2_codes(Standard::Wifi80211n, false);
+        assert!(ldpc.label().contains("802.11n LDPC 1944"));
+        assert!(turbo.label().contains("DBTC 4800"));
+        let (ldpc, turbo) = table2_codes(Standard::Lte, false);
+        assert!(ldpc.label().contains("802.16e LDPC 2304"));
+        assert!(turbo.label().contains("K=6144"));
+    }
+
+    #[test]
+    fn quick_pairs_honor_the_standard() {
+        // --quick must not silently fall back to the WiMAX pair when the
+        // standard defines the family itself.
+        let (ldpc, turbo) = table2_codes(Standard::Wifi80211n, true);
+        assert!(
+            ldpc.label().contains("802.11n LDPC 648"),
+            "{}",
+            ldpc.label()
+        );
+        assert!(turbo.label().contains("802.16e DBTC"), "{}", turbo.label());
+        let (ldpc, turbo) = table2_codes(Standard::Lte, true);
+        assert!(
+            ldpc.label().contains("802.16e LDPC 576"),
+            "{}",
+            ldpc.label()
+        );
+        assert!(turbo.label().contains("K=40"), "{}", turbo.label());
+        // and the quick rows still evaluate (P = 22 fits the smallest codes)
+        let rows = run_table2_for(&ldpc, &turbo);
+        assert_eq!(rows.len(), 3);
     }
 }

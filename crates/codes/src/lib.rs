@@ -1,0 +1,48 @@
+//! Multi-standard channel-code tables and registry.
+//!
+//! The DATE 2012 paper's central claim is *flexibility*: one NoC-based
+//! decoder fabric serving multiple standards and code families.  This crate
+//! is the single registry of channel codes for the workspace:
+//!
+//! * [`standard`] — the [`Standard`] enum (802.16e, 802.11n, LTE) with
+//!   per-standard throughput requirements and CLI flag parsing;
+//! * [`wifi`] — the twelve IEEE 802.11n QC-LDPC base matrices (n = 648 /
+//!   1296 / 1944 x rates 1/2, 2/3, 3/4, 5/6) built on the generalized
+//!   [`wimax_ldpc::BaseMatrix`] with direct (per-`z`) shift tables;
+//! * [`lte`] — the 3GPP LTE rate-1/3 binary turbo code: QPP interleaver
+//!   table, tail-bit-terminated encoder, iterative binary Max-Log-MAP
+//!   decoder (reusing `wimax_turbo::binary`) and its
+//!   [`fec_channel::sim::FecCodec`] adapter;
+//! * [`registry`] — [`StandardCode`] + the [`StandardRegistry`] trait, the
+//!   interface the compliance sweep, the design-space explorer and the BER
+//!   binaries use to enumerate and decode codes per standard.
+//!
+//! # Example
+//!
+//! ```
+//! use code_tables::{registry_for, Standard};
+//!
+//! let wifi = registry_for(Standard::Wifi80211n);
+//! assert_eq!(wifi.full_codes().len(), 12);
+//! let worst = wifi.worst_ldpc().unwrap();
+//! assert_eq!(worst.label(), "802.11n LDPC 1944 r=1/2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lte;
+pub mod registry;
+pub mod standard;
+pub mod wifi;
+
+pub use lte::{
+    lte_block_sizes, LteTurboCode, LteTurboCodec, LteTurboDecoder, LteTurboDecoderConfig,
+    LteTurboEncoder, LteTurboError, QppInterleaver, QppParameters, LTE_QPP_TABLE,
+};
+pub use registry::{
+    registry_for, LteRegistry, NamedCodec, StandardCode, StandardRegistry, WifiRegistry,
+    WimaxRegistry,
+};
+pub use standard::{Standard, UnknownStandard};
+pub use wifi::{wifi_base_matrix, wifi_ldpc, wifi_rates, WIFI_BLOCK_LENGTHS};

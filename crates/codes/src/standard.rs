@@ -1,0 +1,124 @@
+//! The [`Standard`] enum: which wireless standard a channel code belongs to.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A wireless standard served by the flexible NoC decoder fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Standard {
+    /// IEEE 802.16e (WiMAX): QC-LDPC plus double-binary CTC.
+    Wimax,
+    /// IEEE 802.11n (Wi-Fi): QC-LDPC (n = 648 / 1296 / 1944).
+    Wifi80211n,
+    /// 3GPP LTE: rate-1/3 binary turbo with the QPP interleaver.
+    Lte,
+}
+
+impl Standard {
+    /// All supported standards, in registry order.
+    pub fn all() -> [Standard; 3] {
+        [Standard::Wimax, Standard::Wifi80211n, Standard::Lte]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Standard::Wimax => "802.16e",
+            Standard::Wifi80211n => "802.11n",
+            Standard::Lte => "LTE",
+        }
+    }
+
+    /// The canonical command-line flag value (`--standard <flag>`).
+    pub fn flag(&self) -> &'static str {
+        match self {
+            Standard::Wimax => "wimax",
+            Standard::Wifi80211n => "80211n",
+            Standard::Lte => "lte",
+        }
+    }
+
+    /// The per-standard decoder throughput requirement in Mb/s, used by the
+    /// compliance sweep and the minimum-parallelism search: 70 Mb/s for
+    /// WiMAX (the paper's target), 450 Mb/s for 802.11n (the three-stream
+    /// mandatory PHY rate) and 150 Mb/s for LTE (category 4 downlink).
+    pub fn required_throughput_mbps(&self) -> f64 {
+        match self {
+            Standard::Wimax => 70.0,
+            Standard::Wifi80211n => 450.0,
+            Standard::Lte => 150.0,
+        }
+    }
+}
+
+impl fmt::Display for Standard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown standard name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStandard {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for UnknownStandard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown standard {:?} (expected wimax, 80211n or lte)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for UnknownStandard {}
+
+impl FromStr for Standard {
+    type Err = UnknownStandard;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "wimax" | "802.16e" | "80216e" | "16e" => Ok(Standard::Wimax),
+            "80211n" | "802.11n" | "11n" | "wifi" => Ok(Standard::Wifi80211n),
+            "lte" | "3gpp" => Ok(Standard::Lte),
+            _ => Err(UnknownStandard { input: s.into() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_accepts_aliases() {
+        assert_eq!("wimax".parse::<Standard>().unwrap(), Standard::Wimax);
+        assert_eq!("802.16e".parse::<Standard>().unwrap(), Standard::Wimax);
+        assert_eq!("80211n".parse::<Standard>().unwrap(), Standard::Wifi80211n);
+        assert_eq!("802.11n".parse::<Standard>().unwrap(), Standard::Wifi80211n);
+        assert_eq!("LTE".parse::<Standard>().unwrap(), Standard::Lte);
+        let err = "gsm".parse::<Standard>().unwrap_err();
+        assert!(err.to_string().contains("gsm"));
+    }
+
+    #[test]
+    fn flags_roundtrip_through_parsing() {
+        for std in Standard::all() {
+            assert_eq!(std.flag().parse::<Standard>().unwrap(), std);
+        }
+    }
+
+    #[test]
+    fn names_and_requirements() {
+        assert_eq!(Standard::Wimax.name(), "802.16e");
+        assert_eq!(Standard::Wimax.required_throughput_mbps(), 70.0);
+        assert!(
+            Standard::Wifi80211n.required_throughput_mbps()
+                > Standard::Lte.required_throughput_mbps()
+        );
+        assert_eq!(format!("{}", Standard::Lte), "LTE");
+    }
+}

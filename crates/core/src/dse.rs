@@ -2,10 +2,11 @@
 //! paper and the minimum-parallelism search of Section III.C.
 
 use crate::config::DecoderConfig;
-use crate::evaluation::{evaluate_ldpc, evaluate_turbo, DecoderError, DesignEvaluation};
-use crate::throughput::WIMAX_REQUIRED_THROUGHPUT_MBPS;
+use crate::evaluation::{evaluate_ldpc, evaluate_standard_code, DecoderError, DesignEvaluation};
+use code_tables::{Standard, StandardCode};
 use fec_json::{Json, ToJson};
 use noc_sim::{NodeArchitecture, RoutingAlgorithm, TopologyKind};
+use std::sync::mpsc;
 use wimax_ldpc::QcLdpcCode;
 use wimax_turbo::CtcCode;
 
@@ -104,6 +105,14 @@ impl ToJson for Table2Row {
     }
 }
 
+/// One Table I design point: `((topology, degree), parallelism, (routing,
+/// node architecture))`.
+pub type Table1Point = (
+    (TopologyKind, usize),
+    usize,
+    (RoutingAlgorithm, NodeArchitecture),
+);
+
 /// The design-space exploration driver.
 #[derive(Debug, Clone)]
 pub struct DesignSpaceExplorer {
@@ -122,7 +131,7 @@ impl DesignSpaceExplorer {
         &self.base
     }
 
-    /// Evaluates one cell of Table I.
+    /// Evaluates one cell of Table I on a WiMAX LDPC code.
     pub fn table1_cell(
         &self,
         code: &QcLdpcCode,
@@ -137,33 +146,139 @@ impl DesignSpaceExplorer {
             .with_routing(row.0)
             .with_architecture(row.1);
         let eval = evaluate_ldpc(&config, code)?;
-        Ok(Table1Row {
-            topology: eval.topology.clone(),
-            degree: family.1,
-            pes,
-            routing: eval.routing.clone(),
-            architecture: eval.architecture.clone(),
-            throughput_mbps: eval.throughput_mbps,
-            noc_area_mm2: eval.noc_area_mm2,
-        })
+        Ok(Self::table1_row(eval, family.1, pes))
     }
 
-    /// Regenerates the full Table I sweep for the given code
-    /// (`6 families x 4 parallelism values x 3 routing rows = 72 points`).
+    /// Evaluates one cell of Table I on any registry code (LDPC or turbo
+    /// from any standard).
+    pub fn table1_cell_for(
+        &self,
+        code: &StandardCode,
+        family: (TopologyKind, usize),
+        pes: usize,
+        row: (RoutingAlgorithm, NodeArchitecture),
+    ) -> Result<Table1Row, DecoderError> {
+        let config = self
+            .base
+            .with_topology(family.0, family.1)
+            .with_pes(pes)
+            .with_routing(row.0)
+            .with_architecture(row.1);
+        let eval = evaluate_standard_code(&config, code)?;
+        Ok(Self::table1_row(eval, family.1, pes))
+    }
+
+    fn table1_row(eval: DesignEvaluation, degree: usize, pes: usize) -> Table1Row {
+        Table1Row {
+            topology: eval.topology,
+            degree,
+            pes,
+            routing: eval.routing,
+            architecture: eval.architecture,
+            throughput_mbps: eval.throughput_mbps,
+            noc_area_mm2: eval.noc_area_mm2,
+        }
+    }
+
+    /// The Table I design points in sweep order:
+    /// `6 families x 4 parallelism values x 3 routing rows = 72 points`.
+    pub fn table1_points() -> Vec<Table1Point> {
+        let mut points = Vec::with_capacity(72);
+        for family in TABLE1_FAMILIES {
+            for pes in TABLE1_PARALLELISM {
+                for row in TABLE_ROUTING_ROWS {
+                    points.push((family, pes, row));
+                }
+            }
+        }
+        points
+    }
+
+    /// Regenerates the full Table I sweep for the given WiMAX LDPC code.
     ///
     /// # Errors
     ///
     /// Propagates the first evaluation error encountered.
     pub fn table1(&self, code: &QcLdpcCode) -> Result<Vec<Table1Row>, DecoderError> {
         let mut rows = Vec::new();
-        for family in TABLE1_FAMILIES {
-            for pes in TABLE1_PARALLELISM {
-                for row in TABLE_ROUTING_ROWS {
-                    rows.push(self.table1_cell(code, family, pes, row)?);
-                }
-            }
+        for (family, pes, row) in Self::table1_points() {
+            rows.push(self.table1_cell(code, family, pes, row)?);
         }
         Ok(rows)
+    }
+
+    /// Regenerates the full Table I sweep for any registry code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error encountered.
+    pub fn table1_for(&self, code: &StandardCode) -> Result<Vec<Table1Row>, DecoderError> {
+        let mut rows = Vec::new();
+        for (family, pes, row) in Self::table1_points() {
+            rows.push(self.table1_cell_for(code, family, pes, row)?);
+        }
+        Ok(rows)
+    }
+
+    /// Runs the Table I sweep with the 72 design points sharded over
+    /// `workers` scoped threads (0 = one per available core), the same
+    /// deterministic worker-pool pattern as
+    /// `fec_channel::sim::SimulationEngine`: points are split into
+    /// contiguous chunks, every point evaluation is independent and seeded
+    /// by the base configuration, and the returned rows are in sweep order —
+    /// bit-identical for any worker count.
+    ///
+    /// `on_row` is invoked from the calling thread as each row *finishes*
+    /// (completion order), so callers can stream rows to disk or a progress
+    /// display while the sweep is still running.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-index failing point, after all
+    /// workers have drained.
+    pub fn table1_sharded(
+        &self,
+        code: &StandardCode,
+        workers: usize,
+        mut on_row: impl FnMut(usize, &Table1Row),
+    ) -> Result<Vec<Table1Row>, DecoderError> {
+        let points = Self::table1_points();
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        }
+        .clamp(1, points.len());
+
+        let mut slots: Vec<Option<Result<Table1Row, DecoderError>>> = Vec::new();
+        slots.resize_with(points.len(), || None);
+        let chunk = points.len().div_ceil(workers);
+        let (tx, rx) = mpsc::channel::<(usize, Result<Table1Row, DecoderError>)>();
+        std::thread::scope(|scope| {
+            for (w, chunk_points) in points.chunks(chunk).enumerate() {
+                let tx = tx.clone();
+                let base = w * chunk;
+                scope.spawn(move || {
+                    for (i, &(family, pes, row)) in chunk_points.iter().enumerate() {
+                        let result = self.table1_cell_for(code, family, pes, row);
+                        // the receiver outlives the scope, so send cannot fail
+                        let _ = tx.send((base + i, result));
+                    }
+                });
+            }
+            drop(tx);
+            for (idx, result) in rx.iter() {
+                if let Ok(row) = &result {
+                    on_row(idx, row);
+                }
+                slots[idx] = Some(result);
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every point reports exactly once"))
+            .collect()
     }
 
     /// Regenerates Table II: the `P = 22`, `D = 3` generalized-Kautz decoder
@@ -178,6 +293,36 @@ impl DesignSpaceExplorer {
         ldpc_code: &QcLdpcCode,
         turbo_code: &CtcCode,
     ) -> Result<Vec<Table2Row>, DecoderError> {
+        self.table2_for(
+            &StandardCode::Ldpc {
+                standard: Standard::Wimax,
+                code: ldpc_code.clone(),
+            },
+            &StandardCode::WimaxTurbo {
+                code: turbo_code.clone(),
+            },
+        )
+    }
+
+    /// Regenerates Table II for any (LDPC, turbo) registry-code pair, so the
+    /// flexible `P = 22` point can be evaluated on the worst cases of any
+    /// standard combination (e.g. 802.11n LDPC with the LTE turbo code).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error; returns an
+    /// invalid-configuration error if the codes are passed in the wrong
+    /// roles.
+    pub fn table2_for(
+        &self,
+        ldpc_code: &StandardCode,
+        turbo_code: &StandardCode,
+    ) -> Result<Vec<Table2Row>, DecoderError> {
+        if !ldpc_code.is_ldpc() || turbo_code.is_ldpc() {
+            return Err(DecoderError::InvalidConfiguration {
+                reason: "table2_for expects (LDPC, turbo) codes in that order".into(),
+            });
+        }
         let mut rows = Vec::new();
         for (routing, architecture) in TABLE_ROUTING_ROWS {
             let config = self
@@ -186,8 +331,8 @@ impl DesignSpaceExplorer {
                 .with_pes(22)
                 .with_routing(routing)
                 .with_architecture(architecture);
-            let ldpc = evaluate_ldpc(&config, ldpc_code)?;
-            let turbo = evaluate_turbo(&config, turbo_code)?;
+            let ldpc = evaluate_standard_code(&config, ldpc_code)?;
+            let turbo = evaluate_standard_code(&config, turbo_code)?;
             rows.push(Table2Row {
                 routing: routing.name().to_string(),
                 architecture: architecture.name().to_string(),
@@ -224,14 +369,16 @@ impl DesignSpaceExplorer {
         Ok(None)
     }
 
-    /// Convenience wrapper: minimum parallelism for WiMAX compliance
-    /// (70 Mb/s).
-    pub fn minimum_parallelism_for_wimax(
+    /// Minimum parallelism meeting `standard`'s throughput requirement
+    /// (70 Mb/s for 802.16e, 450 Mb/s for 802.11n, 150 Mb/s for LTE) — the
+    /// per-standard generalization of the paper's Section III.C search.
+    pub fn minimum_parallelism_for_standard(
         &self,
+        standard: Standard,
         code: &QcLdpcCode,
         candidates: &[usize],
     ) -> Result<Option<(usize, DesignEvaluation)>, DecoderError> {
-        self.minimum_parallelism(code, candidates, WIMAX_REQUIRED_THROUGHPUT_MBPS)
+        self.minimum_parallelism(code, candidates, standard.required_throughput_mbps())
     }
 }
 
@@ -321,6 +468,114 @@ mod tests {
         assert_eq!(low.unwrap().0, 4);
         let impossible = dse.minimum_parallelism(&code, &[4, 8], 1.0e9).unwrap();
         assert!(impossible.is_none());
+    }
+
+    #[test]
+    fn sharded_table1_matches_the_serial_sweep_at_any_worker_count() {
+        let dse = DesignSpaceExplorer::default();
+        let code = StandardCode::Ldpc {
+            standard: Standard::Wimax,
+            code: small_code(),
+        };
+        let serial = dse.table1_for(&code).unwrap();
+        assert_eq!(serial.len(), 72);
+        for workers in [1usize, 3, 8] {
+            let mut streamed = 0usize;
+            let sharded = dse
+                .table1_sharded(&code, workers, |_, _| streamed += 1)
+                .unwrap();
+            assert_eq!(sharded, serial, "workers = {workers}");
+            assert_eq!(streamed, 72);
+        }
+    }
+
+    #[test]
+    fn sharded_table1_streams_rows_with_their_sweep_index() {
+        let dse = DesignSpaceExplorer::default();
+        let code = StandardCode::Ldpc {
+            standard: Standard::Wimax,
+            code: small_code(),
+        };
+        let mut seen = [false; 72];
+        let rows = dse
+            .table1_sharded(&code, 4, |idx, row| {
+                assert!(!seen[idx], "point {idx} streamed twice");
+                seen[idx] = true;
+                assert!(row.throughput_mbps > 0.0);
+            })
+            .unwrap();
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rows.len(), 72);
+    }
+
+    #[test]
+    fn table1_runs_on_a_wifi_code() {
+        use code_tables::wifi_ldpc;
+        let dse = DesignSpaceExplorer::default();
+        let code = StandardCode::Ldpc {
+            standard: Standard::Wifi80211n,
+            code: wifi_ldpc(648, CodeRate::R12).unwrap(),
+        };
+        let row = dse
+            .table1_cell_for(
+                &code,
+                (TopologyKind::GeneralizedKautz, 3),
+                16,
+                (
+                    RoutingAlgorithm::SspFl,
+                    NodeArchitecture::PartiallyPrecalculated,
+                ),
+            )
+            .unwrap();
+        assert!(row.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn table2_for_rejects_swapped_roles() {
+        let dse = DesignSpaceExplorer::default();
+        let ldpc = StandardCode::Ldpc {
+            standard: Standard::Wimax,
+            code: small_code(),
+        };
+        let turbo = StandardCode::WimaxTurbo {
+            code: CtcCode::wimax(240).unwrap(),
+        };
+        assert!(dse.table2_for(&turbo, &ldpc).is_err());
+        assert_eq!(dse.table2_for(&ldpc, &turbo).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn per_standard_minimum_parallelism_uses_the_standard_requirement() {
+        let dse = DesignSpaceExplorer::default();
+        let code = small_code();
+        let candidates: Vec<usize> = (4..=24).step_by(4).collect();
+        // The per-standard search must coincide with the explicit-target
+        // search at that standard's requirement.
+        for standard in [Standard::Wimax, Standard::Wifi80211n, Standard::Lte] {
+            let via_standard = dse
+                .minimum_parallelism_for_standard(standard, &code, &candidates)
+                .unwrap();
+            let via_target = dse
+                .minimum_parallelism(&code, &candidates, standard.required_throughput_mbps())
+                .unwrap();
+            assert_eq!(
+                via_standard.map(|(p, _)| p),
+                via_target.map(|(p, _)| p),
+                "{standard}"
+            );
+        }
+        // A trivial target is always met by the smallest candidate; the
+        // 802.11n 450 Mb/s target never is on this small fabric.
+        assert_eq!(
+            dse.minimum_parallelism(&code, &candidates, 1.0)
+                .unwrap()
+                .map(|(p, _)| p),
+            Some(4)
+        );
+        assert!(dse
+            .minimum_parallelism_for_standard(Standard::Wifi80211n, &code, &candidates)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::config::DecoderConfig;
 use crate::throughput::{ldpc_throughput_mbps, turbo_throughput_mbps};
 use asic_model::{NocAreaInputs, NocAreaModel, PeAreaInputs, PeAreaModel};
+use code_tables::StandardCode;
 use decoder_pe::{LdpcCoreModel, SharedMemoryPlan, SisoCoreModel};
 use noc_mapping::turbo::HalfIteration;
 use noc_mapping::{LdpcMapping, TurboMapping};
@@ -160,7 +161,9 @@ pub fn evaluate_ldpc(
     })
 }
 
-/// Evaluates one design point in turbo mode.
+/// Evaluates one design point in turbo mode (the 802.16e double-binary CTC:
+/// one trellis section per couple, bit-level extrinsic exchange of two 7-bit
+/// values per message).
 pub fn evaluate_turbo(
     config: &DecoderConfig,
     code: &CtcCode,
@@ -170,10 +173,65 @@ pub fn evaluate_turbo(
             reason: format!("{} PEs but only {} couples", config.pes, code.couples()),
         });
     }
+    let mapping = TurboMapping::new(code, config.pes);
+    evaluate_turbo_mapping(config, code.info_bits(), &mapping, 14)
+}
+
+/// Evaluates one design point in turbo mode for an arbitrary interleaver
+/// permutation (`permutation[j]` = interleaved position of trellis section
+/// `j`).  Single-binary codes such as the LTE turbo code exchange one 7-bit
+/// extrinsic per message (`payload_bits = 7`).
+pub fn evaluate_turbo_generic(
+    config: &DecoderConfig,
+    info_bits: usize,
+    permutation: &[usize],
+    payload_bits: u32,
+) -> Result<DesignEvaluation, DecoderError> {
+    if config.pes > permutation.len() {
+        return Err(DecoderError::InvalidConfiguration {
+            reason: format!(
+                "{} PEs but only {} trellis sections",
+                config.pes,
+                permutation.len()
+            ),
+        });
+    }
+    let mapping = TurboMapping::from_permutation(permutation, config.pes);
+    evaluate_turbo_mapping(config, info_bits, &mapping, payload_bits)
+}
+
+/// Evaluates one design point for any code of the multi-standard registry,
+/// dispatching LDPC codes to [`evaluate_ldpc`] and turbo codes to the
+/// matching turbo evaluation.
+pub fn evaluate_standard_code(
+    config: &DecoderConfig,
+    code: &StandardCode,
+) -> Result<DesignEvaluation, DecoderError> {
+    match code {
+        StandardCode::Ldpc { code, .. } => evaluate_ldpc(config, code),
+        StandardCode::WimaxTurbo { code } => evaluate_turbo(config, code),
+        StandardCode::LteTurbo { code } => {
+            // QppInterleaver::permute is interleaved -> natural (output i
+            // reads input pi(i)); TurboMapping wants natural -> interleaved
+            // (where section j's extrinsic travels), which is the inverse.
+            let pi = code.interleaver();
+            let permutation: Vec<usize> = (0..code.info_bits()).map(|j| pi.inverse(j)).collect();
+            evaluate_turbo_generic(config, code.info_bits(), &permutation, 7)
+        }
+    }
+}
+
+/// The shared turbo-mode evaluation: NoC phase simulation of the mapping's
+/// first-half traffic, SISO overlap, throughput and areas.
+fn evaluate_turbo_mapping(
+    config: &DecoderConfig,
+    info_bits: usize,
+    mapping: &TurboMapping,
+    payload_bits: u32,
+) -> Result<DesignEvaluation, DecoderError> {
     let topology = Topology::new(config.topology, config.pes, config.degree)?;
     let degree = topology.degree();
 
-    let mapping = TurboMapping::new(code, config.pes);
     let quality = mapping.quality();
     let siso = SisoCoreModel::default();
 
@@ -192,15 +250,20 @@ pub fn evaluate_turbo(
     let half_cycles = stats.cycles.max(siso_cycles);
 
     let throughput = turbo_throughput_mbps(
-        code.info_bits(),
+        info_bits,
         config.turbo_clock_mhz,
         config.turbo_iterations,
         siso.core_latency,
         half_cycles,
     );
 
-    // Bit-level extrinsic exchange: two 7-bit values per message.
-    let (noc_area, core_area) = areas(config, code.couples(), &stats, quality.total_messages, 14);
+    let (noc_area, core_area) = areas(
+        config,
+        mapping.sections(),
+        &stats,
+        quality.total_messages,
+        payload_bits,
+    );
 
     Ok(DesignEvaluation {
         mode: Mode::Turbo,
@@ -210,7 +273,7 @@ pub fn evaluate_turbo(
         routing: config.routing.name().to_string(),
         architecture: config.architecture.name().to_string(),
         phase_cycles: half_cycles,
-        info_bits: code.info_bits(),
+        info_bits,
         throughput_mbps: throughput,
         noc_area_mm2: noc_area,
         core_area_mm2: core_area,
@@ -344,5 +407,79 @@ mod tests {
     fn error_display() {
         let e = DecoderError::InvalidConfiguration { reason: "x".into() };
         assert!(e.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn lte_turbo_evaluation_through_the_registry() {
+        use code_tables::{registry_for, Standard};
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let code = registry_for(Standard::Lte).worst_turbo().unwrap();
+        let eval = evaluate_standard_code(&config, &code).unwrap();
+        assert_eq!(eval.mode, Mode::Turbo);
+        assert_eq!(eval.info_bits, 6144);
+        assert_eq!(eval.messages_per_phase, 6144);
+        assert!(eval.throughput_mbps > 0.0);
+        assert!(eval.noc_area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn wifi_ldpc_evaluation_through_the_registry() {
+        use code_tables::{registry_for, Standard};
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let code = registry_for(Standard::Wifi80211n).worst_ldpc().unwrap();
+        let eval = evaluate_standard_code(&config, &code).unwrap();
+        assert_eq!(eval.mode, Mode::Ldpc);
+        assert_eq!(eval.info_bits, 972);
+        assert!(eval.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn standard_dispatch_matches_the_direct_paths() {
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let direct = evaluate_ldpc(&config, &small_code()).unwrap();
+        let via = evaluate_standard_code(
+            &config,
+            &code_tables::StandardCode::Ldpc {
+                standard: code_tables::Standard::Wimax,
+                code: small_code(),
+            },
+        )
+        .unwrap();
+        assert_eq!(direct, via);
+
+        let ctc = CtcCode::wimax(240).unwrap();
+        let direct = evaluate_turbo(&config, &ctc).unwrap();
+        let via = evaluate_standard_code(
+            &config,
+            &code_tables::StandardCode::WimaxTurbo { code: ctc },
+        )
+        .unwrap();
+        assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn lte_dispatch_uses_the_natural_to_interleaved_orientation() {
+        // The decoder sends natural section j's extrinsic to interleaved
+        // position pi^{-1}(j) (QPP output i reads input pi(i)); the NoC
+        // traffic must follow the same direction.
+        use code_tables::LteTurboCode;
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let code = LteTurboCode::new(104).unwrap();
+        let pi = code.interleaver();
+        let natural_to_interleaved: Vec<usize> = (0..104).map(|j| pi.inverse(j)).collect();
+        let expected = evaluate_turbo_generic(&config, 104, &natural_to_interleaved, 7).unwrap();
+        let via =
+            evaluate_standard_code(&config, &code_tables::StandardCode::LteTurbo { code }).unwrap();
+        assert_eq!(via, expected);
+    }
+
+    #[test]
+    fn generic_turbo_rejects_too_many_pes() {
+        let config = DecoderConfig::paper_design_point().with_pes(100);
+        let perm: Vec<usize> = (0..40).collect();
+        assert!(matches!(
+            evaluate_turbo_generic(&config, 40, &perm, 7),
+            Err(DecoderError::InvalidConfiguration { .. })
+        ));
     }
 }

@@ -41,7 +41,9 @@ pub mod dse;
 pub mod evaluation;
 pub mod throughput;
 
-pub use compliance::{run_compliance, ComplianceReport, ComplianceScope};
+pub use compliance::{
+    run_compliance, run_multi_compliance, ComplianceEntry, ComplianceReport, ComplianceScope,
+};
 pub use config::DecoderConfig;
 pub use decoder::NocDecoder;
 pub use dse::{DesignSpaceExplorer, Table1Row, Table2Row};
@@ -51,6 +53,7 @@ pub use throughput::{ldpc_throughput_mbps, turbo_throughput_mbps};
 // Re-export the main substrate types so that downstream users (examples,
 // benches) can depend on `noc-decoder` alone.
 pub use asic_model::{PowerModel, Technology};
+pub use code_tables::{registry_for, Standard, StandardCode, StandardRegistry};
 pub use fec_channel::sim::{BerCurve, BerPoint, EngineConfig, FecCodec, SimulationEngine};
 pub use noc_mapping::MappingConfig;
 pub use noc_sim::{CollisionPolicy, NodeArchitecture, RoutingAlgorithm, TopologyKind};

@@ -142,6 +142,285 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parses a JSON document (the subset this crate emits: no `\uXXXX`
+    /// surrogate pairs beyond the BMP escape form, numbers as i64/u64/f64).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first offending byte offset.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(ParseError {
+                offset: pos,
+                message: "trailing characters after the document",
+            });
+        }
+        Ok(value)
+    }
+
+    /// Object field access; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of `Int` / `UInt` / `Num` values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::UInt(u) => Some(*u as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String view of `Str` values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view of `Arr` values.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error reported by [`Json::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(
+    bytes: &[u8],
+    pos: &mut usize,
+    token: &[u8],
+    message: &'static str,
+) -> Result<(), ParseError> {
+    if bytes.len() >= *pos + token.len() && &bytes[*pos..*pos + token.len()] == token {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(ParseError {
+            offset: *pos,
+            message,
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(ParseError {
+            offset: *pos,
+            message: "unexpected end of input",
+        }),
+        Some(b'n') => expect(bytes, pos, b"null", "expected null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, b"true", "expected true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, b"false", "expected false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            offset: *pos,
+                            message: "expected ',' or ']' in array",
+                        })
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b":", "expected ':' after object key")?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            offset: *pos,
+                            message: "expected ',' or '}' in object",
+                        })
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b"\"", "expected string")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(ParseError {
+                    offset: *pos,
+                    message: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escape = bytes.get(*pos).ok_or(ParseError {
+                    offset: *pos,
+                    message: "unterminated escape",
+                })?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(ParseError {
+                            offset: *pos,
+                            message: "truncated \\u escape",
+                        })?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| ParseError {
+                                offset: *pos,
+                                message: "invalid \\u escape",
+                            })?,
+                            16,
+                        )
+                        .map_err(|_| ParseError {
+                            offset: *pos,
+                            message: "invalid \\u escape",
+                        })?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).ok_or(ParseError {
+                            offset: *pos,
+                            message: "invalid \\u code point",
+                        })?);
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            offset: *pos - 1,
+                            message: "unknown escape",
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                // copy the full UTF-8 character
+                let rest = &bytes[*pos..];
+                let text = std::str::from_utf8(rest).map_err(|_| ParseError {
+                    offset: *pos,
+                    message: "invalid UTF-8",
+                })?;
+                let c = text.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| ParseError {
+        offset: start,
+        message: "invalid number",
+    })?;
+    if text.is_empty() {
+        return Err(ParseError {
+            offset: start,
+            message: "expected a value",
+        });
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+        offset: start,
+        message: "invalid number",
+    })
+}
+
 impl fmt::Display for Json {
     /// Renders compact JSON.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -283,6 +562,57 @@ mod tests {
     fn pretty_printing_indents() {
         let v = Json::obj([("a", Json::arr([Json::Int(1)]))]);
         assert_eq!(v.to_string_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn parse_round_trips_compact_output() {
+        let v = Json::obj([
+            ("name", Json::str("ldpc \"576\"\n")),
+            ("speedup", Json::from(1.625f64)),
+            ("iters", Json::from(20u64)),
+            ("neg", Json::from(-3i64)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("rows", Json::arr([Json::from(1u64), Json::from(1e-9f64)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(Json::parse(&v.to_string_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = Json::parse(r#"{"a": {"b": [1, 2.5, "x"]}}"#).unwrap();
+        let arr = v.get("a").unwrap().get("b").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x"));
+        assert!(v.get("missing").is_none());
+        assert!(v.get("a").unwrap().get("b").unwrap().get("c").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "nule",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(Json::parse(r#""A\té""#).unwrap(), Json::str("A\té"));
     }
 
     #[test]

@@ -1,39 +1,48 @@
-//! IEEE 802.16e LDPC base (model) matrices.
+//! Quasi-cyclic LDPC base (model) matrices.
 //!
-//! A base matrix has `mb` rows and 24 columns.  Each entry is either `-1`
-//! (an all-zero `z x z` block) or a shift value `p >= 0` (a `z x z` identity
-//! matrix cyclically right-shifted by `p`).  Shift values are given for the
-//! largest expansion factor `z0 = 96` and rescaled for smaller `z` according
-//! to the standard's rule (modulo for rate 2/3A, floor scaling otherwise).
+//! A base matrix has `mb` rows and `nb` columns (24 for both 802.16e and
+//! 802.11n).  Each entry is either `-1` (an all-zero `z x z` block) or a
+//! shift value `p >= 0` (a `z x z` identity matrix cyclically right-shifted
+//! by `p`).  How a stored shift maps to the shift used at a given expansion
+//! factor `z` is standard-specific and captured by [`ShiftScaling`]:
+//! 802.16e publishes shifts for the largest factor `z0 = 96` and rescales
+//! them (modulo for rate 2/3A, floor scaling otherwise), while 802.11n
+//! publishes one table per block length with shifts already below `z`.
 //!
-//! The rate-1/2 matrix below reproduces the shift coefficients published in
-//! the 802.16e standard.  The matrices for the other rates are *structured
-//! surrogates*: they use the standard's dimensions, the standard's parity
-//! structure (weight-3 column `h_b` followed by a dual diagonal) and row
-//! degrees matching the standard's degree profile, with deterministic
-//! pseudo-random shift coefficients.  This substitution keeps every
-//! architectural quantity used by the paper (number of check nodes, row
-//! degrees, message counts, memory sizing) identical while avoiding the
+//! The WiMAX rate-1/2 matrix below reproduces the shift coefficients
+//! published in the 802.16e standard.  The matrices for the other rates are
+//! *structured surrogates*: they use the standard's dimensions, the
+//! standard's parity structure (weight-3 column `h_b` followed by a dual
+//! diagonal) and row degrees matching the standard's degree profile, with
+//! deterministic pseudo-random shift coefficients.  This substitution keeps
+//! every architectural quantity used by the paper (number of check nodes,
+//! row degrees, message counts, memory sizing) identical while avoiding the
 //! transcription of three hundred further coefficients; BER curves for those
-//! rates are representative rather than bit-exact (see `DESIGN.md`).
+//! rates are representative rather than bit-exact (see `DESIGN.md`).  The
+//! `code-tables` crate builds the 802.11n matrices on the same foundation
+//! via [`BaseMatrix::from_entries`] and [`BaseMatrix::structured`].
 
 use crate::BASE_COLUMNS;
 use std::fmt;
 
-/// WiMAX LDPC code rates.
+/// QC-LDPC code rates (the union of the 802.16e and 802.11n rate sets).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodeRate {
-    /// Rate 1/2 (12 x 24 base matrix).
+    /// Rate 1/2 (12 x 24 base matrix); used by both 802.16e and 802.11n.
     R12,
-    /// Rate 2/3, code A (8 x 24 base matrix).
+    /// Rate 2/3, 802.16e code A (8 x 24 base matrix).
     R23A,
-    /// Rate 2/3, code B (8 x 24 base matrix).
+    /// Rate 2/3, 802.16e code B (8 x 24 base matrix).
     R23B,
-    /// Rate 3/4, code A (6 x 24 base matrix).
+    /// Rate 2/3, single-variant standards such as 802.11n (8 x 24).
+    R23,
+    /// Rate 3/4, 802.16e code A (6 x 24 base matrix).
     R34A,
-    /// Rate 3/4, code B (6 x 24 base matrix).
+    /// Rate 3/4, 802.16e code B (6 x 24 base matrix).
     R34B,
-    /// Rate 5/6 (4 x 24 base matrix).
+    /// Rate 3/4, single-variant standards such as 802.11n (6 x 24).
+    R34,
+    /// Rate 5/6 (4 x 24 base matrix); used by both 802.16e and 802.11n.
     R56,
 }
 
@@ -54,34 +63,37 @@ impl CodeRate {
     pub fn as_f64(&self) -> f64 {
         match self {
             CodeRate::R12 => 0.5,
-            CodeRate::R23A | CodeRate::R23B => 2.0 / 3.0,
-            CodeRate::R34A | CodeRate::R34B => 0.75,
+            CodeRate::R23A | CodeRate::R23B | CodeRate::R23 => 2.0 / 3.0,
+            CodeRate::R34A | CodeRate::R34B | CodeRate::R34 => 0.75,
             CodeRate::R56 => 5.0 / 6.0,
         }
     }
 
-    /// Number of base-matrix rows `mb` (the number of block rows).
+    /// Number of base-matrix rows `mb` (the number of block rows) for the
+    /// 24-column layout shared by 802.16e and 802.11n.
     pub fn base_rows(&self) -> usize {
         match self {
             CodeRate::R12 => 12,
-            CodeRate::R23A | CodeRate::R23B => 8,
-            CodeRate::R34A | CodeRate::R34B => 6,
+            CodeRate::R23A | CodeRate::R23B | CodeRate::R23 => 8,
+            CodeRate::R34A | CodeRate::R34B | CodeRate::R34 => 6,
             CodeRate::R56 => 4,
         }
     }
 
     /// Target row degree of the systematic+parity row for the surrogate
-    /// construction, matching the standard's degree profile.
+    /// construction, matching each standard's degree profile.
     fn target_row_degree(&self) -> usize {
         match self {
             CodeRate::R12 => 7,
             CodeRate::R23A | CodeRate::R23B => 10,
-            CodeRate::R34A | CodeRate::R34B => 15,
+            CodeRate::R23 => 11,
+            CodeRate::R34A | CodeRate::R34B | CodeRate::R34 => 15,
             CodeRate::R56 => 20,
         }
     }
 
-    /// Whether shift rescaling uses the modulo rule (true only for 2/3A).
+    /// Whether 802.16e shift rescaling uses the modulo rule (true only for
+    /// 2/3A).
     pub fn uses_modulo_scaling(&self) -> bool {
         matches!(self, CodeRate::R23A)
     }
@@ -93,18 +105,50 @@ impl fmt::Display for CodeRate {
             CodeRate::R12 => "1/2",
             CodeRate::R23A => "2/3A",
             CodeRate::R23B => "2/3B",
+            CodeRate::R23 => "2/3",
             CodeRate::R34A => "3/4A",
             CodeRate::R34B => "3/4B",
+            CodeRate::R34 => "3/4",
             CodeRate::R56 => "5/6",
         };
         f.write_str(s)
     }
 }
 
-/// An 802.16e LDPC base matrix: `mb x 24` entries, `-1` for zero blocks.
+/// How a stored base-matrix entry maps to the cyclic shift used at a given
+/// expansion factor `z`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftScaling {
+    /// 802.16e floor rule: the stored shift refers to `z0` and becomes
+    /// `floor(p * z / z0)` at expansion factor `z`.
+    Floor {
+        /// The expansion factor the stored shifts refer to (96 for 802.16e).
+        z0: usize,
+    },
+    /// 802.16e rate-2/3A rule: `p mod z`.
+    Modulo,
+    /// The stored shifts already refer to the target expansion factor
+    /// (802.11n publishes one table per block length).  Shifts are still
+    /// reduced modulo `z` defensively.
+    Direct,
+}
+
+impl ShiftScaling {
+    /// Applies the rule to stored shift `p` at expansion factor `z`.
+    pub fn apply(&self, p: usize, z: usize) -> usize {
+        match self {
+            ShiftScaling::Floor { z0 } => p * z / z0,
+            ShiftScaling::Modulo | ShiftScaling::Direct => p % z,
+        }
+    }
+}
+
+/// A QC-LDPC base matrix: `mb x nb` entries, `-1` for zero blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BaseMatrix {
     rate: CodeRate,
+    scaling: ShiftScaling,
+    cols: usize,
     entries: Vec<Vec<i32>>,
 }
 
@@ -181,30 +225,90 @@ impl Lcg {
 
 impl BaseMatrix {
     /// Returns the base matrix for the given WiMAX code rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not one of the six 802.16e rates (the plain `R23`
+    /// / `R34` variants belong to single-variant standards such as 802.11n).
     pub fn wimax(rate: CodeRate) -> Self {
+        let scaling = if rate.uses_modulo_scaling() {
+            ShiftScaling::Modulo
+        } else {
+            ShiftScaling::Floor { z0: 96 }
+        };
         match rate {
             CodeRate::R12 => BaseMatrix {
                 rate,
+                scaling,
+                cols: BASE_COLUMNS,
                 entries: RATE_12_ENTRIES.iter().map(|r| r.to_vec()).collect(),
             },
-            _ => Self::structured_surrogate(rate),
+            CodeRate::R23 | CodeRate::R34 => {
+                panic!("rate {rate} is not an 802.16e rate (use R23A/R23B or R34A/R34B)")
+            }
+            _ => Self::structured(
+                rate,
+                scaling,
+                BASE_COLUMNS,
+                96,
+                0xC0DE0000 + rate.base_rows() as u64 * 131 + rate.uses_modulo_scaling() as u64,
+            ),
         }
     }
 
-    /// Builds a structured surrogate matrix with the 802.16e parity structure
-    /// and degree profile (see module documentation).
-    fn structured_surrogate(rate: CodeRate) -> Self {
-        let mb = rate.base_rows();
-        let kb = BASE_COLUMNS - mb;
-        let mut entries = vec![vec![-1i32; BASE_COLUMNS]; mb];
-        let mut rng = Lcg::new(
-            0xC0DE0000 + rate.base_rows() as u64 * 131 + rate.uses_modulo_scaling() as u64,
+    /// Builds a base matrix from explicit entries (`-1` for zero blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, ragged, or wider than it is meaningful
+    /// (fewer columns than rows would leave no systematic part).
+    pub fn from_entries(rate: CodeRate, scaling: ShiftScaling, entries: Vec<Vec<i32>>) -> Self {
+        assert!(!entries.is_empty(), "base matrix needs at least one row");
+        let cols = entries[0].len();
+        assert!(
+            entries.iter().all(|r| r.len() == cols),
+            "base matrix rows must all have the same length"
         );
+        assert!(
+            cols > entries.len(),
+            "base matrix needs systematic columns (cols > rows)"
+        );
+        BaseMatrix {
+            rate,
+            scaling,
+            cols,
+            entries,
+        }
+    }
+
+    /// Builds a structured surrogate matrix with the QC parity structure
+    /// shared by 802.16e and 802.11n (weight-3 `h_b` column followed by a
+    /// dual diagonal) and the degree profile of `rate`, using shifts drawn
+    /// below `max_shift` from a deterministic stream seeded by `seed` (see
+    /// the module documentation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` does not exceed the rate's block-row count or
+    /// `max_shift < 3`.
+    pub fn structured(
+        rate: CodeRate,
+        scaling: ShiftScaling,
+        cols: usize,
+        max_shift: usize,
+        seed: u64,
+    ) -> Self {
+        let mb = rate.base_rows();
+        assert!(cols > mb, "need systematic columns: cols {cols} <= mb {mb}");
+        assert!(max_shift >= 3, "max_shift {max_shift} leaves no shift room");
+        let kb = cols - mb;
+        let mut entries = vec![vec![-1i32; cols]; mb];
+        let mut rng = Lcg::new(seed);
 
         // Parity part: column kb is h_b with weight 3 (same shift at top and
         // bottom, shift 0 in the middle); columns kb+1.. form the dual
         // diagonal with shift 0.
-        let hb_shift = 1 + rng.below(94) as i32;
+        let hb_shift = 1 + rng.below(max_shift as u64 - 2) as i32;
         let mid = mb / 2;
         entries[0][kb] = hb_shift;
         entries[mid][kb] = 0;
@@ -246,12 +350,17 @@ impl BaseMatrix {
                     }
                 }
                 let Some(r) = best else { break };
-                entries[r][col] = rng.below(96) as i32;
+                entries[r][col] = rng.below(max_shift as u64) as i32;
                 remaining[r] -= 1;
             }
         }
 
-        BaseMatrix { rate, entries }
+        BaseMatrix {
+            rate,
+            scaling,
+            cols,
+            entries,
+        }
     }
 
     /// The code rate this base matrix belongs to.
@@ -259,40 +368,40 @@ impl BaseMatrix {
         self.rate
     }
 
+    /// The shift-scaling rule of this matrix.
+    pub fn scaling(&self) -> ShiftScaling {
+        self.scaling
+    }
+
     /// Number of block rows `mb`.
     pub fn rows(&self) -> usize {
         self.entries.len()
     }
 
-    /// Number of block columns (always 24 for WiMAX).
+    /// Number of block columns `nb` (24 for 802.16e and 802.11n).
     pub fn cols(&self) -> usize {
-        BASE_COLUMNS
+        self.cols
     }
 
-    /// Number of systematic block columns `kb = 24 - mb`.
+    /// Number of systematic block columns `kb = nb - mb`.
     pub fn systematic_cols(&self) -> usize {
-        BASE_COLUMNS - self.rows()
+        self.cols - self.rows()
     }
 
-    /// Raw entry access: `-1` for a zero block, otherwise the shift for `z0 = 96`.
+    /// Raw entry access: `-1` for a zero block, otherwise the stored shift
+    /// (interpreted through [`BaseMatrix::scaling`]).
     pub fn entry(&self, row: usize, col: usize) -> i32 {
         self.entries[row][col]
     }
 
-    /// Returns the shift for expansion factor `z`, applying the standard's
-    /// rescaling rule, or `None` for a zero block.
+    /// Returns the shift for expansion factor `z`, applying this matrix's
+    /// scaling rule, or `None` for a zero block.
     pub fn shift(&self, row: usize, col: usize, z: usize) -> Option<usize> {
         let e = self.entries[row][col];
         if e < 0 {
             return None;
         }
-        let p = e as usize;
-        let shifted = if self.rate.uses_modulo_scaling() {
-            p % z
-        } else {
-            p * z / 96
-        };
-        Some(shifted)
+        Some(self.scaling.apply(e as usize, z))
     }
 
     /// Degree (number of non-zero blocks) of base row `row`.
@@ -443,6 +552,73 @@ mod tests {
         assert_eq!(CodeRate::R34B.as_f64(), 0.75);
         assert!((CodeRate::R56.as_f64() - 5.0 / 6.0).abs() < 1e-12);
         assert_eq!(format!("{}", CodeRate::R23B), "2/3B");
+    }
+
+    #[test]
+    fn from_entries_with_direct_scaling() {
+        let b = BaseMatrix::from_entries(
+            CodeRate::R12,
+            ShiftScaling::Direct,
+            vec![vec![3, -1, 0, 0], vec![-1, 2, 0, 0]],
+        );
+        assert_eq!(b.cols(), 4);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.systematic_cols(), 2);
+        // direct scaling leaves the stored shift untouched (mod z)
+        assert_eq!(b.shift(0, 0, 8), Some(3));
+        assert_eq!(b.shift(0, 0, 2), Some(1));
+        assert_eq!(b.shift(0, 1, 8), None);
+        assert_eq!(b.scaling(), ShiftScaling::Direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_entries_panic() {
+        let _ = BaseMatrix::from_entries(
+            CodeRate::R12,
+            ShiftScaling::Direct,
+            vec![vec![0, 0, 0], vec![0, 0]],
+        );
+    }
+
+    #[test]
+    fn structured_respects_cols_and_max_shift() {
+        let b = BaseMatrix::structured(CodeRate::R56, ShiftScaling::Direct, 24, 27, 42);
+        assert_eq!(b.cols(), 24);
+        assert_eq!(b.rows(), 4);
+        for (r, c, e) in b.iter_blocks() {
+            assert!(e >= 0 && (e as usize) < 27, "({r},{c}) shift {e}");
+        }
+        // parity structure: weight-3 h_b plus dual diagonal
+        let kb = b.systematic_cols();
+        assert_eq!(b.col_degree(kb), 3);
+        assert_eq!(b.entry(0, kb), b.entry(b.rows() - 1, kb));
+        // deterministic in the seed
+        assert_eq!(
+            b,
+            BaseMatrix::structured(CodeRate::R56, ShiftScaling::Direct, 24, 27, 42)
+        );
+        assert_ne!(
+            b,
+            BaseMatrix::structured(CodeRate::R56, ShiftScaling::Direct, 24, 27, 43)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not an 802.16e rate")]
+    fn wimax_rejects_single_variant_rates() {
+        let _ = BaseMatrix::wimax(CodeRate::R23);
+    }
+
+    #[test]
+    fn plain_rate_variants_have_wifi_dimensions() {
+        assert_eq!(CodeRate::R23.base_rows(), 8);
+        assert_eq!(CodeRate::R34.base_rows(), 6);
+        assert!((CodeRate::R23.as_f64() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CodeRate::R34.as_f64(), 0.75);
+        assert_eq!(format!("{}", CodeRate::R23), "2/3");
+        assert_eq!(format!("{}", CodeRate::R34), "3/4");
+        assert!(!CodeRate::R23.uses_modulo_scaling());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod encoder;
 pub mod sparse;
 pub mod tanner;
 
-pub use base_matrix::{BaseMatrix, CodeRate};
+pub use base_matrix::{BaseMatrix, CodeRate, ShiftScaling};
 pub use code::{LdpcError, QcLdpcCode};
 pub use codec::{FloodingLdpcCodec, LayeredLdpcCodec, QuantizedLayeredLdpcCodec};
 pub use decoder::{

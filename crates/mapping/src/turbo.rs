@@ -1,11 +1,17 @@
-//! Mapping of double-binary turbo codes onto NoC nodes.
+//! Mapping of turbo codes onto NoC nodes.
 //!
 //! Turbo decoding partitions the frame into `P` contiguous windows, one per
 //! SISO (the Turbo NOC framework of refs [16], [17]).  During the first half
-//! iteration each SISO produces one extrinsic message per couple of its
-//! window and sends it to the SISO owning the *interleaved* position; during
-//! the second half iteration the extrinsics travel along the inverse
+//! iteration each SISO produces one extrinsic message per trellis section of
+//! its window and sends it to the SISO owning the *interleaved* position;
+//! during the second half iteration the extrinsics travel along the inverse
 //! permutation.
+//!
+//! The mapping only depends on the frame length and the interleaver
+//! permutation, so one implementation serves both the duo-binary 802.16e CTC
+//! (one trellis section per *couple*, the ARP permutation) and single-binary
+//! codes such as the LTE turbo code (one section per *bit*, the QPP
+//! permutation) via [`TurboMapping::from_permutation`].
 
 use crate::MappingQuality;
 use noc_sim::{Message, TrafficTrace};
@@ -20,7 +26,7 @@ pub enum HalfIteration {
     Second,
 }
 
-/// A mapping of one WiMAX CTC onto `P` SISO processing elements.
+/// A mapping of one turbo code onto `P` SISO processing elements.
 ///
 /// # Example
 ///
@@ -36,26 +42,52 @@ pub enum HalfIteration {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TurboMapping {
-    code: CtcCode,
     pes: usize,
     owner: Vec<usize>,
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
 }
 
 impl TurboMapping {
-    /// Maps `code` onto `pes` SISOs using contiguous windows of couples.
+    /// Maps a WiMAX CTC onto `pes` SISOs using contiguous windows of couples
+    /// and the code's ARP permutation as traffic.
     ///
     /// # Panics
     ///
     /// Panics if `pes` is zero or exceeds the number of couples.
     pub fn new(code: &CtcCode, pes: usize) -> Self {
-        let n = code.couples();
+        let pi = code.interleaver();
+        let forward: Vec<usize> = (0..code.couples()).map(|j| pi.permute(j)).collect();
+        Self::from_permutation(&forward, pes)
+    }
+
+    /// Maps a turbo code with the given interleaver permutation onto `pes`
+    /// SISOs using contiguous windows of trellis sections.  `permutation[j]`
+    /// is the interleaved position of natural section `j`; it must be a
+    /// bijection on `0..permutation.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is zero or exceeds the section count, or if
+    /// `permutation` is not a permutation.
+    pub fn from_permutation(permutation: &[usize], pes: usize) -> Self {
+        let n = permutation.len();
         assert!(pes >= 1, "need at least one PE");
-        assert!(pes <= n, "cannot map {n} couples onto {pes} PEs");
+        assert!(pes <= n, "cannot map {n} trellis sections onto {pes} PEs");
+        let mut inverse = vec![usize::MAX; n];
+        for (j, &p) in permutation.iter().enumerate() {
+            assert!(
+                p < n && inverse[p] == usize::MAX,
+                "interleaver map is not a permutation (position {p} from section {j})"
+            );
+            inverse[p] = j;
+        }
         let owner = (0..n).map(|j| j * pes / n).collect();
         TurboMapping {
-            code: code.clone(),
             pes,
             owner,
+            forward: permutation.to_vec(),
+            inverse,
         }
     }
 
@@ -64,17 +96,18 @@ impl TurboMapping {
         self.pes
     }
 
-    /// The code being mapped.
-    pub fn code(&self) -> &CtcCode {
-        &self.code
+    /// Number of trellis sections (couples for the duo-binary CTC, bits for
+    /// a single-binary code).
+    pub fn sections(&self) -> usize {
+        self.owner.len()
     }
 
-    /// The PE owning couple `j` (natural order).
+    /// The PE owning trellis section `j` (natural order).
     pub fn owner_of(&self, j: usize) -> usize {
         self.owner[j]
     }
 
-    /// The couples assigned to a PE (natural order indices).
+    /// The trellis sections assigned to a PE (natural order indices).
     pub fn couples_of(&self, pe: usize) -> Vec<usize> {
         self.owner
             .iter()
@@ -94,17 +127,16 @@ impl TurboMapping {
 
     /// The traffic of one half iteration.
     pub fn traffic_trace(&self, half: HalfIteration) -> TrafficTrace {
-        let n = self.code.couples();
-        let pi = self.code.interleaver();
+        let n = self.sections();
         let mut per_source: Vec<Vec<Message>> = vec![Vec::new(); self.pes];
         let mut sequence = vec![0usize; self.pes];
         match half {
             HalfIteration::First => {
-                // natural-order SISOs send extrinsic of couple j to the PE
+                // natural-order SISOs send extrinsic of section j to the PE
                 // owning interleaved position pi(j)
                 for j in 0..n {
                     let src = self.owner[j];
-                    let p = pi.permute(j);
+                    let p = self.forward[j];
                     let dst = self.owner[p];
                     let seq = sequence[src];
                     sequence[src] += 1;
@@ -116,7 +148,7 @@ impl TurboMapping {
                 // the PE owning natural position j = pi^{-1}(p)
                 for p in 0..n {
                     let src = self.owner[p];
-                    let j = pi.inverse(p);
+                    let j = self.inverse[p];
                     let dst = self.owner[j];
                     let seq = sequence[src];
                     sequence[src] += 1;
@@ -220,5 +252,40 @@ mod tests {
     fn single_pe_is_fully_local() {
         let mapping = TurboMapping::new(&code(24), 1);
         assert_eq!(mapping.quality().remote_messages, 0);
+    }
+
+    #[test]
+    fn from_permutation_matches_the_ctc_path() {
+        let ctc = code(240);
+        let pi = ctc.interleaver();
+        let forward: Vec<usize> = (0..240).map(|j| pi.permute(j)).collect();
+        let a = TurboMapping::new(&ctc, 8);
+        let b = TurboMapping::from_permutation(&forward, 8);
+        for half in [HalfIteration::First, HalfIteration::Second] {
+            assert_eq!(
+                a.traffic_trace(half).total_messages(),
+                b.traffic_trace(half).total_messages()
+            );
+        }
+        assert_eq!(a.max_window(), b.max_window());
+        assert_eq!(b.sections(), 240);
+    }
+
+    #[test]
+    fn arbitrary_permutation_generates_traffic() {
+        // a QPP-style quadratic permutation on 64 sections
+        let perm: Vec<usize> = (0..64).map(|i| (7 * i + 16 * i * i) % 64).collect();
+        let mapping = TurboMapping::from_permutation(&perm, 4);
+        let t = mapping.traffic_trace(HalfIteration::First);
+        assert_eq!(t.total_messages(), 64);
+        assert!(t.max_destination().unwrap() < 4);
+        let q = mapping.quality();
+        assert!(q.locality() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn non_permutation_panics() {
+        let _ = TurboMapping::from_permutation(&[0, 0, 1, 2], 2);
     }
 }

@@ -1,0 +1,426 @@
+//! Generic single-binary recursive systematic convolutional (RSC) trellises
+//! and the binary Max-Log-MAP SISO.
+//!
+//! The duo-binary SISO of [`crate::siso`] is hardwired to the 802.16e CRSC
+//! trellis; this module factors the same BCJR machinery (branch metrics,
+//! normalized forward/backward recursions, `max*` accumulation from
+//! [`fec_fixed::MaxStar`]) into a form driven by an arbitrary binary trellis,
+//! so that single-binary turbo codes — the 3GPP LTE rate-1/3 code in the
+//! `code-tables` crate — can reuse it instead of carrying their own BCJR.
+//!
+//! Unlike the circular WiMAX trellis, LTE terminates both constituent
+//! trellises with tail bits, so the SISO supports fixed boundary states
+//! ([`TrellisBoundary::Terminated`]) next to the uniform boundary used for
+//! unterminated windows.
+
+use fec_fixed::{MaxStar, MaxStarMode};
+
+/// One branch of a binary trellis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryBranch {
+    /// Starting state.
+    pub from: u8,
+    /// Ending state.
+    pub to: u8,
+    /// Input (systematic) bit of the branch.
+    pub input: u8,
+    /// Parity bit emitted on the branch.
+    pub parity: u8,
+}
+
+/// A pre-computed binary trellis: `states x 2` branches.
+#[derive(Debug, Clone)]
+pub struct BinaryTrellis {
+    states: usize,
+    branches: Vec<BinaryBranch>,
+}
+
+impl BinaryTrellis {
+    /// Builds the trellis from a transition function mapping
+    /// `(state, input bit)` to `(next state, parity bit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is zero or the transition function leaves the
+    /// state range.
+    pub fn from_step(states: usize, step: impl Fn(u8, u8) -> (u8, u8)) -> Self {
+        assert!(states > 0, "need at least one state");
+        let mut branches = Vec::with_capacity(2 * states);
+        for state in 0..states as u8 {
+            for bit in 0..2u8 {
+                let (to, parity) = step(state, bit);
+                assert!(
+                    (to as usize) < states,
+                    "transition from state {state} leaves the state range"
+                );
+                branches.push(BinaryBranch {
+                    from: state,
+                    to,
+                    input: bit,
+                    parity: parity & 1,
+                });
+            }
+        }
+        BinaryTrellis { states, branches }
+    }
+
+    /// Number of trellis states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// All `2 * states` branches, ordered by `(from, input)`.
+    pub fn branches(&self) -> &[BinaryBranch] {
+        &self.branches
+    }
+
+    /// Convenience for encoders: the `(next state, parity)` of feeding
+    /// `bit` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `bit` is out of range.
+    pub fn step(&self, state: u8, bit: u8) -> (u8, u8) {
+        assert!((state as usize) < self.states, "state out of range");
+        assert!(bit < 2, "bit out of range");
+        let br = self.branches[2 * state as usize + bit as usize];
+        (br.to, br.parity)
+    }
+}
+
+/// Boundary condition of a SISO run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrellisBoundary {
+    /// Both ends pinned to state 0 (tail-bit terminated trellis, as in LTE).
+    Terminated,
+    /// Uniform metrics at both ends (unterminated window).
+    Open,
+}
+
+/// Configuration of the binary SISO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinarySisoConfig {
+    /// Which `max*` flavour to use (Max-Log-MAP by default, matching the
+    /// duo-binary SISO).
+    pub max_star: MaxStarMode,
+    /// Extrinsic scaling factor `sigma <= 1` compensating the Max-Log
+    /// optimism.
+    pub scale: f64,
+}
+
+impl Default for BinarySisoConfig {
+    fn default() -> Self {
+        BinarySisoConfig {
+            max_star: MaxStarMode::MaxLog,
+            scale: 0.75,
+        }
+    }
+}
+
+/// Soft inputs of one binary SISO half-iteration.  All vectors share one
+/// length (the trellis-step count, including any tail steps) and use the
+/// crate's LLR convention: positive favours bit 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarySisoInput {
+    /// Channel LLRs of the systematic bits.
+    pub sys: Vec<f64>,
+    /// Channel LLRs of the parity bits (0 where punctured).
+    pub par: Vec<f64>,
+    /// A-priori LLRs (extrinsic from the other SISO; 0 on tail steps).
+    pub apriori: Vec<f64>,
+}
+
+impl BinarySisoInput {
+    /// Creates an input with neutral a-priori information.
+    pub fn new(sys: Vec<f64>, par: Vec<f64>) -> Self {
+        let n = sys.len();
+        BinarySisoInput {
+            sys,
+            par,
+            apriori: vec![0.0; n],
+        }
+    }
+
+    /// Number of trellis steps.
+    pub fn len(&self) -> usize {
+        self.sys.len()
+    }
+
+    /// True for an empty frame.
+    pub fn is_empty(&self) -> bool {
+        self.sys.is_empty()
+    }
+}
+
+/// Soft outputs of one binary SISO half-iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarySisoOutput {
+    /// Extrinsic LLRs (already scaled), one per trellis step.
+    pub extrinsic: Vec<f64>,
+    /// A-posteriori LLRs, one per trellis step (positive favours bit 0).
+    pub aposteriori: Vec<f64>,
+}
+
+impl BinarySisoOutput {
+    /// Hard decision for step `j` (0 when the a-posteriori LLR is
+    /// non-negative, matching [`fec_fixed::Llr::hard_bit`]).
+    pub fn hard_bit(&self, j: usize) -> u8 {
+        u8::from(self.aposteriori[j] < 0.0)
+    }
+}
+
+/// A binary SISO unit bound to one trellis.
+///
+/// # Example
+///
+/// ```
+/// use wimax_turbo::binary::{
+///     BinarySiso, BinarySisoConfig, BinarySisoInput, BinaryTrellis, TrellisBoundary,
+/// };
+///
+/// // A 2-state accumulator: parity is the running XOR of the inputs.
+/// let trellis = BinaryTrellis::from_step(2, |s, b| (s ^ b, s ^ b));
+/// let siso = BinarySiso::new(trellis, BinarySisoConfig::default());
+/// let input = BinarySisoInput::new(vec![4.0; 8], vec![4.0; 8]);
+/// let out = siso.run(&input, TrellisBoundary::Open);
+/// assert!((0..8).all(|j| out.hard_bit(j) == 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinarySiso {
+    trellis: BinaryTrellis,
+    config: BinarySisoConfig,
+    max_star: MaxStar,
+}
+
+impl BinarySiso {
+    /// Creates a SISO for `trellis` with the given configuration.
+    pub fn new(trellis: BinaryTrellis, config: BinarySisoConfig) -> Self {
+        let max_star = MaxStar::new(config.max_star);
+        BinarySiso {
+            trellis,
+            config,
+            max_star,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BinarySisoConfig {
+        &self.config
+    }
+
+    /// The trellis.
+    pub fn trellis(&self) -> &BinaryTrellis {
+        &self.trellis
+    }
+
+    /// Runs one half-iteration over the whole frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input vectors do not all have the same length.
+    pub fn run(&self, input: &BinarySisoInput, boundary: TrellisBoundary) -> BinarySisoOutput {
+        let n = input.len();
+        assert!(
+            input.par.len() == n && input.apriori.len() == n,
+            "SISO input vectors must have equal length"
+        );
+        let states = self.trellis.states();
+        let ms = &self.max_star;
+
+        // Branch metrics: gamma[j][branch].
+        let branches = self.trellis.branches();
+        let gammas: Vec<Vec<f64>> = (0..n)
+            .map(|j| {
+                let lu = input.sys[j] + input.apriori[j];
+                let lp = input.par[j];
+                branches
+                    .iter()
+                    .map(|br| {
+                        0.5 * ((1.0 - 2.0 * f64::from(br.input)) * lu
+                            + (1.0 - 2.0 * f64::from(br.parity)) * lp)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let boundary_metrics = |pinned: bool| -> Vec<f64> {
+            if pinned {
+                let mut m = vec![f64::NEG_INFINITY; states];
+                m[0] = 0.0;
+                m
+            } else {
+                vec![0.0; states]
+            }
+        };
+        let pinned = boundary == TrellisBoundary::Terminated;
+
+        // Forward recursion.
+        let mut alpha = vec![boundary_metrics(pinned)];
+        for j in 0..n {
+            let mut next = vec![f64::NEG_INFINITY; states];
+            for (idx, br) in branches.iter().enumerate() {
+                let v = alpha[j][br.from as usize] + gammas[j][idx];
+                next[br.to as usize] = ms.apply(next[br.to as usize], v);
+            }
+            normalize(&mut next);
+            alpha.push(next);
+        }
+
+        // Backward recursion.
+        let mut beta = vec![vec![0.0f64; states]; n + 1];
+        beta[n] = boundary_metrics(pinned);
+        for j in (0..n).rev() {
+            let mut prev = vec![f64::NEG_INFINITY; states];
+            for (idx, br) in branches.iter().enumerate() {
+                let v = beta[j + 1][br.to as usize] + gammas[j][idx];
+                prev[br.from as usize] = ms.apply(prev[br.from as usize], v);
+            }
+            normalize(&mut prev);
+            beta[j] = prev;
+        }
+
+        // A-posteriori and extrinsic LLRs (positive favours bit 0).
+        let mut extrinsic = Vec::with_capacity(n);
+        let mut aposteriori = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut m0 = f64::NEG_INFINITY;
+            let mut m1 = f64::NEG_INFINITY;
+            for (idx, br) in branches.iter().enumerate() {
+                let b_e = alpha[j][br.from as usize] + gammas[j][idx] + beta[j + 1][br.to as usize];
+                if br.input == 0 {
+                    m0 = ms.apply(m0, b_e);
+                } else {
+                    m1 = ms.apply(m1, b_e);
+                }
+            }
+            let app = m0 - m1;
+            aposteriori.push(app);
+            extrinsic.push(self.config.scale * (app - input.sys[j] - input.apriori[j]));
+        }
+
+        BinarySisoOutput {
+            extrinsic,
+            aposteriori,
+        }
+    }
+}
+
+fn normalize(metrics: &mut [f64]) {
+    let max = metrics.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max.is_finite() {
+        for m in metrics.iter_mut() {
+            *m -= max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The LTE/UMTS 8-state RSC: feedback 1 + D^2 + D^3, parity 1 + D + D^3.
+    fn lte_step(state: u8, bit: u8) -> (u8, u8) {
+        let r1 = (state >> 2) & 1;
+        let r2 = (state >> 1) & 1;
+        let r3 = state & 1;
+        let d = bit ^ r2 ^ r3;
+        let parity = d ^ r1 ^ r3;
+        ((d << 2) | (r1 << 1) | r2, parity)
+    }
+
+    fn lte_trellis() -> BinaryTrellis {
+        BinaryTrellis::from_step(8, lte_step)
+    }
+
+    #[test]
+    fn trellis_connectivity_is_uniform() {
+        let t = lte_trellis();
+        assert_eq!(t.branches().len(), 16);
+        let mut incoming = [0usize; 8];
+        for br in t.branches() {
+            incoming[br.to as usize] += 1;
+        }
+        assert!(incoming.iter().all(|&c| c == 2));
+        // the two branches out of a state reach distinct next states
+        for s in 0..8u8 {
+            assert_ne!(t.step(s, 0).0, t.step(s, 1).0, "state {s}");
+        }
+    }
+
+    #[test]
+    fn noiseless_all_zero_decodes_to_zero() {
+        let siso = BinarySiso::new(lte_trellis(), BinarySisoConfig::default());
+        let n = 16;
+        let input = BinarySisoInput::new(vec![5.0; n], vec![5.0; n]);
+        for boundary in [TrellisBoundary::Open, TrellisBoundary::Terminated] {
+            let out = siso.run(&input, boundary);
+            assert!((0..n).all(|j| out.hard_bit(j) == 0));
+            assert!(out.extrinsic.iter().all(|e| e.is_finite()));
+        }
+    }
+
+    #[test]
+    fn noiseless_random_frame_is_recovered() {
+        let t = lte_trellis();
+        let siso = BinarySiso::new(lte_trellis(), BinarySisoConfig::default());
+        let bits: Vec<u8> = (0..40).map(|i| ((i * 5 + 1) % 3 % 2) as u8).collect();
+        let mut state = 0u8;
+        let mut parity = Vec::new();
+        for &b in &bits {
+            let (ns, p) = t.step(state, b);
+            state = ns;
+            parity.push(p);
+        }
+        let llr = |b: u8| 6.0 * (1.0 - 2.0 * f64::from(b));
+        let input = BinarySisoInput::new(
+            bits.iter().map(|&b| llr(b)).collect(),
+            parity.iter().map(|&p| llr(p)).collect(),
+        );
+        let out = siso.run(&input, TrellisBoundary::Open);
+        for (j, &b) in bits.iter().enumerate() {
+            assert_eq!(out.hard_bit(j), b, "bit {j}");
+        }
+    }
+
+    #[test]
+    fn parity_alone_carries_information_on_terminated_trellis() {
+        // Erased systematic bits: the recursion plus termination still pins
+        // the all-zero path.
+        let siso = BinarySiso::new(lte_trellis(), BinarySisoConfig::default());
+        let n = 20;
+        let input = BinarySisoInput::new(vec![0.0; n], vec![6.0; n]);
+        let out = siso.run(&input, TrellisBoundary::Terminated);
+        let energy: f64 = out.extrinsic.iter().map(|e| e.abs()).sum();
+        assert!(energy > 1.0, "extrinsic energy {energy}");
+        assert!((0..n).all(|j| out.hard_bit(j) == 0));
+    }
+
+    #[test]
+    fn apriori_shifts_the_decision() {
+        let siso = BinarySiso::new(lte_trellis(), BinarySisoConfig::default());
+        let n = 8;
+        // weak channel evidence for 1, strong a-priori for 0 on every bit
+        let mut input = BinarySisoInput::new(vec![-0.2; n], vec![0.0; n]);
+        input.apriori = vec![4.0; n];
+        let out = siso.run(&input, TrellisBoundary::Open);
+        assert!((0..n).all(|j| out.hard_bit(j) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_inputs_panic() {
+        let siso = BinarySiso::new(lte_trellis(), BinarySisoConfig::default());
+        let input = BinarySisoInput {
+            sys: vec![0.0; 4],
+            par: vec![0.0; 3],
+            apriori: vec![0.0; 4],
+        };
+        let _ = siso.run(&input, TrellisBoundary::Open);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the state range")]
+    fn bad_transition_function_panics() {
+        let _ = BinaryTrellis::from_step(2, |_, _| (7, 0));
+    }
+}

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod bitlevel;
 pub mod codec;
 pub mod decoder;
@@ -56,6 +57,7 @@ pub mod interleaver;
 pub mod siso;
 pub mod trellis;
 
+pub use binary::{BinarySiso, BinarySisoConfig, BinarySisoInput, BinaryTrellis, TrellisBoundary};
 pub use codec::TurboCodec;
 pub use decoder::{ExtrinsicExchange, TurboDecodeOutcome, TurboDecoder, TurboDecoderConfig};
 pub use encoder::{CtcCode, PunctureRate, TurboEncoder};

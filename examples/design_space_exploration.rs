@@ -9,7 +9,8 @@
 
 use noc_decoder::dse::TABLE_ROUTING_ROWS;
 use noc_decoder::{
-    CodeRate, DecoderConfig, DesignSpaceExplorer, QcLdpcCode, RoutingAlgorithm, TopologyKind,
+    CodeRate, DecoderConfig, DesignSpaceExplorer, QcLdpcCode, RoutingAlgorithm, Standard,
+    TopologyKind,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -50,15 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // Minimum parallelism for WiMAX compliance (70 Mb/s) on this code.
+    // Minimum parallelism meeting each standard's throughput requirement.
     println!("\nMinimum-parallelism search (SSP-FL, generalized Kautz D = 3):");
     let candidates: Vec<usize> = (16..=36).step_by(2).collect();
-    match dse.minimum_parallelism_for_wimax(&code, &candidates)? {
-        Some((pes, eval)) => println!(
-            "  P = {pes} reaches {:.2} Mb/s (>= 70 Mb/s WiMAX requirement)",
-            eval.throughput_mbps
-        ),
-        None => println!("  no candidate in {candidates:?} reaches 70 Mb/s for this code length"),
+    for standard in Standard::all() {
+        let target = standard.required_throughput_mbps();
+        match dse.minimum_parallelism_for_standard(standard, &code, &candidates)? {
+            Some((pes, eval)) => println!(
+                "  {standard:<8} P = {pes} reaches {:.2} Mb/s (>= {target:.0} Mb/s requirement)",
+                eval.throughput_mbps
+            ),
+            None => println!(
+                "  {standard:<8} no candidate in {candidates:?} reaches {target:.0} Mb/s on this code"
+            ),
+        }
     }
 
     // Routing-algorithm sensitivity at the paper's design point.
