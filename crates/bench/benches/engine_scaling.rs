@@ -1,12 +1,14 @@
-//! Wall-clock scaling of the unified Monte-Carlo simulation engine: the
-//! acceptance scenario for the parallel refactor — a 4-point, 200-frame
-//! LDPC sweep — timed at 1, 2, 4 and `available_parallelism` workers, with
-//! a bit-exactness cross-check between the runs.
+//! Wall-clock scaling of the unified Monte-Carlo simulation engine on the
+//! shared deterministic work pool, plus the acceptance scenario of the
+//! (point, shard) curve scheduler: a multi-point sweep with a *short*
+//! per-point budget, timed point-at-a-time (`run_point` in a loop — the old
+//! per-point round barrier) against the pooled `run_curve` schedule at the
+//! same worker count, with a bit-exactness cross-check between all runs.
 //!
 //! Run with `cargo bench -p decoder-bench --bench engine_scaling`.
 
 use decoder_bench::{ldpc_codec, LdpcFlavor};
-use fec_channel::sim::{BerCurve, EngineConfig, SimulationEngine};
+use fec_channel::sim::{BerCurve, BerPoint, EngineConfig, SimulationEngine};
 use std::time::Instant;
 
 fn sweep(workers: usize) -> (BerCurve, f64) {
@@ -16,6 +18,41 @@ fn sweep(workers: usize) -> (BerCurve, f64) {
     let t0 = Instant::now();
     let curve = engine.run_curve(codec.as_ref(), &snrs);
     (curve, t0.elapsed().as_secs_f64())
+}
+
+/// Twenty points, 8 frames each: budgets short enough that the per-point
+/// round barrier and pool setup used to dominate (the ROADMAP scenario the
+/// pooled scheduler was built for).
+const SHORT_SNRS: [f64; 20] = [
+    0.5, 0.625, 0.75, 0.875, 1.0, 1.125, 1.25, 1.375, 1.5, 1.625, 1.75, 1.875, 2.0, 2.125, 2.25,
+    2.375, 2.5, 2.625, 2.75, 2.875,
+];
+const SHORT_FRAMES: u64 = 8;
+
+fn short_budget_engine(workers: usize) -> SimulationEngine {
+    SimulationEngine::new(EngineConfig::fixed_frames(SHORT_FRAMES, 11).with_workers(workers))
+}
+
+/// The serial-point baseline: one pool per point, points in sequence —
+/// exactly what `run_curve` did before the shared-pool refactor.
+fn serial_points(workers: usize) -> (Vec<BerPoint>, f64) {
+    let codec = ldpc_codec(576, LdpcFlavor::Layered);
+    let engine = short_budget_engine(workers);
+    let t0 = Instant::now();
+    let points = SHORT_SNRS
+        .iter()
+        .map(|&e| engine.run_point(codec.as_ref(), e))
+        .collect();
+    (points, t0.elapsed().as_secs_f64())
+}
+
+/// The pooled schedule: all (point, shard) units of the curve on one pool.
+fn pooled_curve(workers: usize) -> (Vec<BerPoint>, f64) {
+    let codec = ldpc_codec(576, LdpcFlavor::Layered);
+    let engine = short_budget_engine(workers);
+    let t0 = Instant::now();
+    let curve = engine.run_curve(codec.as_ref(), &SHORT_SNRS);
+    (curve.points, t0.elapsed().as_secs_f64())
 }
 
 fn main() {
@@ -39,4 +76,30 @@ fn main() {
         println!("{:>8} {:>12.3} {:>10.2}", w, t, t1 / t);
     }
     println!("\nall runs produced bit-identical error counts");
+
+    // Point-parallel acceptance: short per-point budgets, where the pooled
+    // (point, shard) schedule overlaps points instead of barriering on each.
+    let workers = cores.clamp(2, 8);
+    println!(
+        "\npoint-parallel curve: {} points x {} frames, {workers} workers",
+        SHORT_SNRS.len(),
+        SHORT_FRAMES
+    );
+    // Warm-up (thread spawn, allocator), then measure.
+    let _ = serial_points(workers);
+    let _ = pooled_curve(workers);
+    let (serial, t_serial) = serial_points(workers);
+    let (pooled, t_pooled) = pooled_curve(workers);
+    assert_eq!(
+        pooled, serial,
+        "the pooled curve schedule must reproduce the point-at-a-time counts exactly"
+    );
+    println!("{:>24} {:>12.3} s", "serial-point baseline", t_serial);
+    println!(
+        "{:>24} {:>12.3} s   ({:.2}x vs serial-point)",
+        "pooled (point, shard)",
+        t_pooled,
+        t_serial / t_pooled
+    );
+    println!("\npooled and serial-point schedules produced bit-identical error counts");
 }

@@ -11,7 +11,8 @@
 //! JSON (`BENCH_kernels.json` in CI) for trajectory tracking.
 
 use decoder_bench::harness::{bench, print_header, BenchReport};
-use decoder_bench::{json_flag_from_args, write_json};
+use decoder_bench::{json_flag_from_args, ldpc_codec, write_json, LdpcFlavor};
+use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_fixed::Llr;
 use fec_json::{Json, ToJson};
 use noc_decoder::MappingConfig;
@@ -150,6 +151,20 @@ fn main() {
                 acc += i32::from(scan.min1) + i32::from(scan.min2);
             }
             std::hint::black_box(acc);
+        }),
+    );
+
+    // The pooled (point, shard) Monte-Carlo path end to end: a short-budget
+    // multi-point curve on the n576 layered codec, so BENCH_kernels.json
+    // tracks the shared work-pool scheduler's throughput across commits.
+    // Fixed worker count so the row is comparable between runners.
+    let engine_codec = ldpc_codec(576, LdpcFlavor::Layered);
+    let engine = SimulationEngine::new(EngineConfig::fixed_frames(24, 11).with_workers(4));
+    let engine_snrs = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5];
+    run(
+        &mut reports,
+        bench("engine_curve_n576_6pt_x24f/pool_w4", 1, 8, || {
+            std::hint::black_box(engine.run_curve(engine_codec.as_ref(), &engine_snrs));
         }),
     );
 

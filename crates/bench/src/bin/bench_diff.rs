@@ -1,16 +1,23 @@
-//! Compares two `BENCH_*.json` result files (as emitted by
-//! `--bench kernels -- --json ...`) and fails on kernel-throughput
-//! regressions, so CI can track the performance trajectory across commits.
+//! Compares two result files and fails on regressions, so CI can track the
+//! performance *and* error-rate trajectory across commits.  Two file kinds
+//! are understood (auto-detected, both files must be the same kind):
+//!
+//! * kernel timing files (`--bench kernels -- --json ...`, a `rows` array):
+//!   a kernel regresses when its best-case (`min_ns`) time grows by more
+//!   than the threshold (default 0.15 = 15%).  The mean is reported for
+//!   context but never gates: on shared CI runners only the fastest
+//!   iteration is scheduler-noise-resistant.
+//! * BER study files (`ber_study --json ...`, a `curves` array): a curve
+//!   regresses when its BER at a shared `Eb/N0` point *worsens* (grows) by
+//!   more than the threshold.  Error-free baseline points (`ber == 0`)
+//!   regress on any new errors.
 //!
 //! Usage: `cargo run -p decoder-bench --bin bench_diff --
 //! <baseline.json> <current.json> [--threshold <fraction>]`
 //!
-//! Rows are matched by `name`; a kernel regresses when its best-case
-//! (`min_ns`) time grows by more than the threshold (default 0.15 = 15%).
-//! The mean is reported for context but never gates: on shared CI runners
-//! only the fastest iteration is scheduler-noise-resistant.  Rows present in
-//! only one file are reported but do not fail the diff.  Exit code: 0 when
-//! clean, 1 on any regression, 2 on unreadable/unparsable input.
+//! Rows are matched by kernel name / curve label + `Eb/N0`; entries present
+//! in only one file are reported but do not fail the diff.  Exit code: 0
+//! when clean, 1 on any regression, 2 on unreadable/unparsable input.
 
 use fec_json::Json;
 use std::collections::BTreeMap;
@@ -21,9 +28,12 @@ struct Row {
     min_ns: f64,
 }
 
-fn load_rows(path: &str) -> Result<BTreeMap<String, Row>, String> {
+fn load_json(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_rows(path: &str, json: &Json) -> Result<BTreeMap<String, Row>, String> {
     let rows = json
         .get("rows")
         .and_then(Json::as_array)
@@ -50,16 +60,50 @@ fn load_rows(path: &str) -> Result<BTreeMap<String, Row>, String> {
     Ok(out)
 }
 
-fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, String> {
-    let baseline = load_rows(baseline_path)?;
-    let current = load_rows(current_path)?;
+/// Flattens a `ber_study --json` file into `"label @ x dB" -> BER`.
+/// `Eb/N0` values come from the same grids on both sides, so formatting
+/// them into the key is an exact match.
+fn load_curves(path: &str, json: &Json) -> Result<BTreeMap<String, f64>, String> {
+    let curves = json
+        .get("curves")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: no \"curves\" array"))?;
+    let mut out = BTreeMap::new();
+    for (i, curve) in curves.iter().enumerate() {
+        let label = curve
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: curve {i} has no \"label\""))?;
+        let points = curve
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{path}: curve {label:?} has no \"points\" array"))?;
+        for point in points {
+            let ebn0 = point
+                .get("ebn0_db")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: curve {label:?} has a point without ebn0_db"))?;
+            let ber = point
+                .get("ber")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: curve {label:?} has a point without ber"))?;
+            out.insert(format!("{label} @ {ebn0} dB"), ber);
+        }
+    }
+    Ok(out)
+}
 
+fn diff_kernels(
+    baseline: &BTreeMap<String, Row>,
+    current: &BTreeMap<String, Row>,
+    threshold: f64,
+) -> usize {
     println!(
         "{:<44} {:>12} {:>12} {:>9}  verdict",
         "kernel", "base min", "curr min", "delta"
     );
     let mut regressions = 0usize;
-    for (name, base) in &baseline {
+    for (name, base) in baseline {
         let Some(curr) = current.get(name) else {
             println!(
                 "{name:<44} {:>12.0} {:>12} {:>9}  missing in current",
@@ -90,14 +134,96 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, 
             println!("{name:<44} {:>12} {:>12} {:>9}  new kernel", "-", "-", "-");
         }
     }
+    regressions
+}
+
+fn diff_curves(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> usize {
+    println!(
+        "{:<56} {:>12} {:>12} {:>9}  verdict",
+        "curve point", "base BER", "curr BER", "delta"
+    );
+    let mut regressions = 0usize;
+    for (key, &base) in baseline {
+        let Some(&curr) = current.get(key) else {
+            println!(
+                "{key:<56} {:>12.3e} {:>12} {:>9}  missing in current",
+                base, "-", "-"
+            );
+            continue;
+        };
+        // Worsening means the BER *grew*.  An error-free baseline point
+        // regresses on any new errors (relative growth is undefined at 0).
+        let regressed = if base > 0.0 {
+            curr / base - 1.0 > threshold
+        } else {
+            curr > 0.0
+        };
+        if regressed {
+            regressions += 1;
+        }
+        let delta = if base > 0.0 {
+            format!("{:>+8.1}%", 100.0 * (curr / base - 1.0))
+        } else if curr > 0.0 {
+            "  +inf".to_string()
+        } else {
+            "  +0.0%".to_string()
+        };
+        println!(
+            "{key:<56} {:>12.3e} {:>12.3e} {:>9}  {}",
+            base,
+            curr,
+            delta,
+            if regressed { "WORSENED" } else { "ok" },
+        );
+    }
+    for key in current.keys() {
+        if !baseline.contains_key(key) {
+            println!("{key:<56} {:>12} {:>12} {:>9}  new point", "-", "-", "-");
+        }
+    }
+    regressions
+}
+
+fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, String> {
+    let base_json = load_json(baseline_path)?;
+    let curr_json = load_json(current_path)?;
+    let curve_mode = match (
+        base_json.get("curves").is_some(),
+        curr_json.get("curves").is_some(),
+    ) {
+        (true, true) => true,
+        (false, false) => false,
+        _ => {
+            return Err(format!(
+                "{baseline_path} and {current_path} are different kinds (kernel rows vs BER curves)"
+            ))
+        }
+    };
+
+    let (regressions, what) = if curve_mode {
+        let baseline = load_curves(baseline_path, &base_json)?;
+        let current = load_curves(current_path, &curr_json)?;
+        (
+            diff_curves(&baseline, &current, threshold),
+            "curve point(s)",
+        )
+    } else {
+        let baseline = load_rows(baseline_path, &base_json)?;
+        let current = load_rows(current_path, &curr_json)?;
+        (diff_kernels(&baseline, &current, threshold), "kernel(s)")
+    };
 
     if regressions > 0 {
         println!(
-            "\n{regressions} kernel(s) slower than the {:.0}% threshold",
+            "\n{regressions} {what} worse than the {:.0}% threshold",
             100.0 * threshold
         );
     } else {
-        println!("\nno kernel regression above {:.0}%", 100.0 * threshold);
+        println!("\nno {what} regression above {:.0}%", 100.0 * threshold);
     }
     Ok(regressions == 0)
 }

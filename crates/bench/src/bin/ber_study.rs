@@ -14,17 +14,21 @@
 //!
 //! Usage: `cargo run -p decoder-bench --bin ber_study --release --
 //! [frames] [--standard wimax|80211n|lte] [--quantized] [--lambda-bits <n>]
-//! [--json <path>]`
+//! [--workers <n>] [--json <path>]`
 //!
 //! `--quantized` adds the fixed-point layered LDPC curve (the hardware
 //! datapath model) next to the floating-point reference, quantizing channel
 //! LLRs to `--lambda-bits` bits (default 7, the paper's λ width).
+//!
+//! `--workers` sets the worker count of the shared simulation pool (default
+//! one per core); every curve schedules its `(point, shard)` work units
+//! onto one pool, and the counts are bit-identical for any worker count.
 
 use code_tables::Standard;
 use decoder_bench::{
     json_flag_from_args, ldpc_codec, lte_turbo_codec, print_curve, quantized_ldpc_codec,
-    standard_flag_from_args, standard_snrs, turbo_codec, wifi_ldpc_codec, write_json, BerCurve,
-    LdpcFlavor,
+    standard_flag_from_args, standard_snrs, turbo_codec, wifi_ldpc_codec, workers_flag_from_args,
+    write_json, BerCurve, LdpcFlavor,
 };
 use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_json::{Json, ToJson};
@@ -33,6 +37,7 @@ use wimax_turbo::ExtrinsicExchange;
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
     let (standard, rest) = standard_flag_from_args(rest.into_iter());
+    let (workers, rest) = workers_flag_from_args(rest.into_iter());
     let standard = standard.unwrap_or(Standard::Wimax);
     let mut quantized = false;
     let mut lambda_bits: u32 = 7;
@@ -55,9 +60,9 @@ fn main() {
     }
 
     let curves = match standard {
-        Standard::Wimax => wimax_study(frames, quantized, lambda_bits),
-        Standard::Wifi80211n => wifi_study(frames),
-        Standard::Lte => lte_study(frames),
+        Standard::Wimax => wimax_study(frames, workers, quantized, lambda_bits),
+        Standard::Wifi80211n => wifi_study(frames, workers),
+        Standard::Lte => lte_study(frames, workers),
     };
 
     if let Some(path) = json_path {
@@ -71,10 +76,12 @@ fn main() {
     }
 }
 
-fn wimax_study(frames: u64, quantized: bool, lambda_bits: u32) -> Vec<BerCurve> {
+fn wimax_study(frames: u64, workers: usize, quantized: bool, lambda_bits: u32) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wimax);
-    let ldpc_engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 11));
-    let turbo_engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 13));
+    let ldpc_engine =
+        SimulationEngine::new(EngineConfig::fixed_frames(frames, 11).with_workers(workers));
+    let turbo_engine =
+        SimulationEngine::new(EngineConfig::fixed_frames(frames, 13).with_workers(workers));
 
     println!("WiMAX LDPC N = 576, r = 1/2 ({frames} frames per point)\n");
     let layered = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Layered).as_ref(), snrs);
@@ -115,9 +122,10 @@ fn wimax_study(frames: u64, quantized: bool, lambda_bits: u32) -> Vec<BerCurve> 
     curves
 }
 
-fn wifi_study(frames: u64) -> Vec<BerCurve> {
+fn wifi_study(frames: u64, workers: usize) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wifi80211n);
-    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 17));
+    let engine =
+        SimulationEngine::new(EngineConfig::fixed_frames(frames, 17).with_workers(workers));
 
     println!("802.11n LDPC N = 648, r = 1/2 ({frames} frames per point)\n");
     let layered = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Layered).as_ref(), snrs);
@@ -146,9 +154,10 @@ fn wifi_study(frames: u64) -> Vec<BerCurve> {
     vec![layered, fixed, flooding, layered_1296]
 }
 
-fn lte_study(frames: u64) -> Vec<BerCurve> {
+fn lte_study(frames: u64, workers: usize) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Lte);
-    let engine = SimulationEngine::new(EngineConfig::fixed_frames(frames, 19));
+    let engine =
+        SimulationEngine::new(EngineConfig::fixed_frames(frames, 19).with_workers(workers));
 
     println!("LTE turbo K = 1024, r = 1/3 ({frames} frames per point)\n");
     let k1024 = engine.run_curve(lte_turbo_codec(1024).as_ref(), snrs);

@@ -18,24 +18,19 @@
 use code_tables::Standard;
 use decoder_bench::{
     json_flag_from_args, print_table1, run_table1_for, standard_flag_from_args, table1_code,
-    StreamedRows,
+    workers_flag_from_args, StreamedRows,
 };
 use fec_json::Json;
 
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
     let (standard, rest) = standard_flag_from_args(rest.into_iter());
+    let (workers, rest) = workers_flag_from_args(rest.into_iter());
     let standard = standard.unwrap_or(Standard::Wimax);
     let mut quick = false;
-    let mut workers = 0usize;
-    let mut rest = rest.into_iter();
-    while let Some(arg) = rest.next() {
+    for arg in rest {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--workers" => {
-                let value = rest.next().expect("--workers requires a thread count");
-                workers = value.parse().expect("--workers takes an integer");
-            }
             other => panic!("unrecognised argument: {other}"),
         }
     }
@@ -73,7 +68,9 @@ fn main() {
         );
     });
     if let Some(stream) = stream {
-        stream.finish();
+        let path = stream.path().to_path_buf();
+        let rows = stream.finish();
+        eprintln!("wrote {} ({rows} rows)", path.display());
     }
 
     print_table1(&rows);

@@ -54,6 +54,29 @@ pub fn standard_flag_from_args(
     (standard, rest)
 }
 
+/// Extracts a `--workers <n>` flag from a raw argument list, returning the
+/// worker count (`0` = one per core, also the default when the flag is
+/// absent) and the remaining arguments in order — the shared parser behind
+/// every binary's work-pool `--workers` support.
+///
+/// # Panics
+///
+/// Panics if `--workers` is given without a count or with a non-integer.
+pub fn workers_flag_from_args(args: impl Iterator<Item = String>) -> (usize, Vec<String>) {
+    let mut workers = 0usize;
+    let mut rest = Vec::new();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let value = args.next().expect("--workers requires a thread count");
+            workers = value.parse().expect("--workers takes an integer");
+        } else {
+            rest.push(arg);
+        }
+    }
+    (workers, rest)
+}
+
 /// Writes `value` to `path` as pretty-printed JSON (with a trailing
 /// newline), creating parent directories as needed.
 ///
@@ -78,75 +101,11 @@ pub fn rows_json<T: ToJson>(table: &str, rows: &[T]) -> Json {
     Json::obj([("table", Json::str(table)), ("rows", rows.to_json())])
 }
 
-/// Incremental writer for `{"table": ..., "rows": [...]}` result files:
-/// rows are written (and flushed) *as they finish*, so a long sweep leaves a
-/// useful partial file behind if interrupted and progress is observable with
-/// `tail -f`.  The finished file parses to the same shape as [`rows_json`]
-/// output (rows appear in completion order).
-#[derive(Debug)]
-pub struct StreamedRows {
-    file: std::fs::File,
-    path: PathBuf,
-    rows: usize,
-}
-
-impl StreamedRows {
-    /// Creates the result file and writes the header.  `meta` key/value
-    /// pairs are emitted before the `rows` array (e.g. the standard and the
-    /// code label of a sweep).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the file cannot be created; benchmark binaries treat an
-    /// unwritable result path as a hard error.
-    pub fn create(path: &Path, table: &str, meta: &[(&str, Json)]) -> Self {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).expect("create result directory");
-            }
-        }
-        let mut file = std::fs::File::create(path).expect("create result file");
-        let mut header = format!("{{\"table\":{}", Json::str(table));
-        for (key, value) in meta {
-            header.push_str(&format!(",{}:{value}", Json::str(*key)));
-        }
-        header.push_str(",\"rows\":[");
-        write!(file, "{header}").expect("write result header");
-        StreamedRows {
-            file,
-            path: path.to_path_buf(),
-            rows: 0,
-        }
-    }
-
-    /// Appends one row (compact JSON, one line) and flushes it to disk.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the file cannot be written.
-    pub fn push(&mut self, row: &impl ToJson) {
-        let separator = if self.rows == 0 { "\n" } else { ",\n" };
-        write!(self.file, "{separator}{}", row.to_json()).expect("write result row");
-        self.file.flush().expect("flush result row");
-        self.rows += 1;
-    }
-
-    /// Number of rows written so far.
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Closes the array and the object, returning the row count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the file cannot be written.
-    pub fn finish(mut self) -> usize {
-        writeln!(self.file, "\n]}}").expect("write result trailer");
-        eprintln!("wrote {} ({} rows)", self.path.display(), self.rows);
-        self.rows
-    }
-}
+/// Incremental row streaming, re-exported from [`fec_json`] so every layer
+/// (Table I sweeps, compliance sweeps) can stream completion-order rows
+/// without depending on this crate.  The finished file parses to the same
+/// shape as [`rows_json`] output (rows appear in completion order).
+pub use fec_json::StreamedRows;
 
 #[cfg(test)]
 mod tests {
@@ -175,6 +134,26 @@ mod tests {
         let (standard, rest) = standard_flag_from_args(["60"].map(String::from).into_iter());
         assert_eq!(standard, None);
         assert_eq!(rest, vec!["60".to_string()]);
+    }
+
+    #[test]
+    fn workers_flag_is_extracted_anywhere_and_defaults_to_per_core() {
+        let (workers, rest) = workers_flag_from_args(
+            ["--quick", "--workers", "8", "60"]
+                .map(String::from)
+                .into_iter(),
+        );
+        assert_eq!(workers, 8);
+        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
+        let (workers, rest) = workers_flag_from_args(["60"].map(String::from).into_iter());
+        assert_eq!(workers, 0);
+        assert_eq!(rest, vec!["60".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers requires")]
+    fn dangling_workers_flag_panics() {
+        let _ = workers_flag_from_args(["--workers"].map(String::from).into_iter());
     }
 
     #[test]
@@ -209,31 +188,6 @@ mod tests {
         write_json(&path, &Json::obj([("k", Json::from(1u64))]));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"k\": 1"), "{text}");
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn streamed_rows_produce_the_same_shape_as_rows_json() {
-        struct R(u64);
-        impl ToJson for R {
-            fn to_json(&self) -> Json {
-                Json::obj([("v", Json::from(self.0))])
-            }
-        }
-        let dir = std::env::temp_dir().join("decoder-bench-test-streamed");
-        let path = dir.join("rows.json");
-        let mut out = StreamedRows::create(&path, "t", &[("standard", Json::str("802.11n"))]);
-        assert_eq!(out.rows(), 0);
-        out.push(&R(1));
-        out.push(&R(2));
-        assert_eq!(out.finish(), 2);
-        let text = std::fs::read_to_string(&path).unwrap();
-        assert!(
-            text.starts_with(r#"{"table":"t","standard":"802.11n","rows":["#),
-            "{text}"
-        );
-        assert!(text.contains(r#"{"v":1},"#), "{text}");
-        assert!(text.trim_end().ends_with("]}"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

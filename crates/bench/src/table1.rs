@@ -44,15 +44,19 @@ pub fn run_table1_for(
 /// The code a `--standard` Table I sweep exercises: the standard's
 /// worst-case (largest) code — LDPC where the standard defines LDPC, its
 /// turbo code otherwise (LTE).  `quick` selects the smallest corner code
-/// instead.
+/// that is still mappable at every swept parallelism (the sweep goes up to
+/// `max(TABLE1_PARALLELISM)` PEs, so smaller codes would fail evaluation —
+/// the WiMAX DBTC 48 corner has only 24 couples, for example).
 pub fn table1_code(standard: Standard, quick: bool) -> StandardCode {
     let registry = registry_for(standard);
     if quick {
+        let max_pes = TABLE1_PARALLELISM.into_iter().max().unwrap_or(0);
         registry
             .corner_codes()
             .into_iter()
+            .filter(|c| c.mapping_units() >= max_pes)
             .min_by_key(|c| c.mapping_units())
-            .expect("registry has corner codes")
+            .expect("registry has a corner code mappable at the swept parallelism")
     } else {
         registry
             .worst_ldpc()
@@ -125,6 +129,23 @@ mod tests {
         assert!(table1_code(Standard::Wifi80211n, true)
             .label()
             .contains("648"));
+    }
+
+    #[test]
+    fn quick_codes_are_mappable_at_every_swept_parallelism() {
+        // Regression: the quick WiMAX pick used to be the DBTC 48 corner
+        // (24 couples), which cannot be mapped at P = 32/36 and panicked the
+        // sweep.  Every standard's quick code must survive the largest P.
+        let max_pes = TABLE1_PARALLELISM.into_iter().max().unwrap();
+        for standard in [Standard::Wimax, Standard::Wifi80211n, Standard::Lte] {
+            let code = table1_code(standard, true);
+            assert!(
+                code.mapping_units() >= max_pes,
+                "{standard}: {} has {} mapping units < {max_pes}",
+                code.label(),
+                code.mapping_units()
+            );
+        }
     }
 
     #[test]

@@ -21,6 +21,18 @@
 //! of integers, so a run with 8 workers produces **bit-identical** error
 //! counts to a run with 1 worker and the same seed.
 //!
+//! # Scheduling
+//!
+//! All fan-out runs on the shared deterministic
+//! [`fec_sched::WorkPool`]: a curve is enumerated as `(point, shard)` work
+//! units over **one** pool, so a 10-point sweep keeps every core busy across
+//! points instead of barriering per round per point.  Early stopping stays
+//! exact because each point's next round is submitted as continuation jobs
+//! only after its previous round has been merged — but shards of other
+//! points fill the gap in the meantime.  Per-shard RNG streams are keyed on
+//! `(seed, shard, ebn0_db)`, so the counts are bit-identical to the
+//! point-at-a-time schedule.
+//!
 //! # Example
 //!
 //! ```
@@ -56,6 +68,7 @@ use crate::ber::{ErrorCounter, MonteCarloConfig};
 use crate::modulation::BpskModulator;
 use fec_fixed::Llr;
 use fec_json::{Json, ToJson};
+use fec_sched::{Job, WorkPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -173,6 +186,22 @@ impl EngineConfig {
         self.stop = stop;
         self
     }
+
+    /// Checks the configuration for internal consistency.
+    ///
+    /// `shards == 0` is rejected here (it would be a division by zero in the
+    /// round-splitting schedule), together with every inconsistency caught
+    /// by [`MonteCarloConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("need at least one shard (shards == 0 cannot schedule any frame)".into());
+        }
+        self.stop.validate()
+    }
 }
 
 /// One point of a BER curve.
@@ -253,11 +282,10 @@ impl SimulationEngine {
     /// # Panics
     ///
     /// Panics if `config.shards` is zero or the stopping rules are
-    /// inconsistent (see [`MonteCarloConfig::validate`]).
+    /// inconsistent (see [`EngineConfig::validate`]).
     pub fn new(config: EngineConfig) -> Self {
-        assert!(config.shards > 0, "need at least one shard");
-        if let Err(message) = config.stop.validate() {
-            panic!("invalid MonteCarloConfig: {message}");
+        if let Err(message) = config.validate() {
+            panic!("invalid EngineConfig: {message}");
         }
         SimulationEngine { config }
     }
@@ -267,101 +295,176 @@ impl SimulationEngine {
         &self.config
     }
 
-    /// Number of worker threads a run will actually use.
+    /// Number of worker threads a *single-point* run will use: the
+    /// configured count (one per core for `0`) clamped to the shard count.
+    /// A multi-point [`run_curve`] exposes more concurrency — its pool is
+    /// clamped to the whole first round's `(point, shard)` job count, up to
+    /// `shards * points`.
+    ///
+    /// [`run_curve`]: SimulationEngine::run_curve
     pub fn effective_workers(&self) -> usize {
-        let requested = if self.config.workers == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.config.workers
-        };
-        requested.clamp(1, self.config.shards)
+        WorkPool::new(self.config.workers).effective_workers(self.config.shards)
     }
 
-    /// Simulates one `Eb/N0` point for `codec`.
+    /// Simulates one `Eb/N0` point for `codec` (a single-point curve on the
+    /// shared work pool).
     pub fn run_point(&self, codec: &dyn FecCodec, ebn0_db: f64) -> BerPoint {
-        let cfg = &self.config;
-        let channel = AwgnChannel::for_code_rate(EbN0::from_db(ebn0_db), codec.rate());
-        let modulator = BpskModulator::new();
-        let shards = cfg.shards;
-        let mut shard_rngs: Vec<StdRng> = (0..shards)
-            .map(|i| StdRng::seed_from_u64(shard_seed(cfg.seed, i as u64, ebn0_db)))
-            .collect();
-
-        let mut total = PointAccumulator::default();
-        let round_quota = (shards as u64).saturating_mul(cfg.frames_per_shard_round);
-        while !cfg.stop.should_stop(&total.counter) {
-            // `should_stop` guarantees frames < max_frames here, but keep the
-            // subtraction saturating so a future stopping rule cannot turn an
-            // off-by-one into a u64 underflow and a near-infinite round.
-            let remaining = cfg.stop.max_frames.saturating_sub(total.counter.frames());
-            let round = remaining.min(round_quota.max(1));
-            let counts = split_round(round, shards);
-            total.merge(&self.run_round(codec, &channel, &modulator, &mut shard_rngs, &counts));
-        }
-
-        let frames = total.counter.frames();
-        BerPoint {
-            ebn0_db,
-            ber: total.counter.ber(),
-            fer: total.counter.fer(),
-            average_iterations: if frames == 0 {
-                0.0
-            } else {
-                total.iterations as f64 / frames as f64
-            },
-            frames,
-            bit_errors: total.counter.bit_errors(),
-            frame_errors: total.counter.frame_errors(),
-        }
+        self.run_points(codec, std::slice::from_ref(&ebn0_db))
+            .pop()
+            .expect("one point per Eb/N0 value")
     }
 
     /// Simulates a full curve (one point per `Eb/N0` value, in order).
+    ///
+    /// All `(point, shard)` work units of the whole curve are scheduled onto
+    /// **one** deterministic [`WorkPool`], so short per-point budgets no
+    /// longer serialize on a per-point round barrier; see the module docs.
     pub fn run_curve(&self, codec: &dyn FecCodec, ebn0_dbs: &[f64]) -> BerCurve {
         BerCurve {
             label: codec.name(),
-            points: ebn0_dbs.iter().map(|&e| self.run_point(codec, e)).collect(),
+            points: self.run_points(codec, ebn0_dbs),
         }
     }
 
-    /// Executes one scheduling round: shard `i` simulates `counts[i]` frames
-    /// on its own RNG stream.  Shards are distributed contiguously over the
-    /// worker threads; the result is independent of the worker count.
-    fn run_round(
-        &self,
-        codec: &dyn FecCodec,
-        channel: &AwgnChannel,
-        modulator: &BpskModulator,
-        shard_rngs: &mut [StdRng],
-        counts: &[u64],
-    ) -> PointAccumulator {
-        let workers = self.effective_workers();
-        let run_shards = |rngs: &mut [StdRng], counts: &[u64]| {
-            let mut acc = PointAccumulator::default();
-            for (rng, &n) in rngs.iter_mut().zip(counts) {
-                for _ in 0..n {
-                    simulate_frame(codec, channel, modulator, rng, &mut acc);
-                }
-            }
-            acc
+    /// Runs every `Eb/N0` point on one shared pool and returns the points in
+    /// input order (results are merged by `(point, shard)` index, so the
+    /// counts are bit-identical for any worker count).
+    fn run_points(&self, codec: &dyn FecCodec, ebn0_dbs: &[f64]) -> Vec<BerPoint> {
+        let cfg = &self.config;
+        let shards = cfg.shards;
+        let modulator = BpskModulator::new();
+        let channels: Vec<AwgnChannel> = ebn0_dbs
+            .iter()
+            .map(|&e| AwgnChannel::for_code_rate(EbN0::from_db(e), codec.rate()))
+            .collect();
+
+        let mut states: Vec<PointState> = ebn0_dbs
+            .iter()
+            .map(|&e| PointState {
+                rngs: (0..shards)
+                    .map(|s| Some(StdRng::seed_from_u64(shard_seed(cfg.seed, s as u64, e))))
+                    .collect(),
+                total: PointAccumulator::default(),
+                in_flight: 0,
+            })
+            .collect();
+
+        let ctx = CurveCtx {
+            codec,
+            channels: &channels,
+            modulator: &modulator,
+            cfg,
+            round_quota: (shards as u64).saturating_mul(cfg.frames_per_shard_round),
         };
 
-        if workers <= 1 {
-            return run_shards(shard_rngs, counts);
+        let mut initial = Vec::new();
+        for (point, state) in states.iter_mut().enumerate() {
+            initial.extend(schedule_round(&ctx, state, point));
         }
-
-        let chunk = shard_rngs.len().div_ceil(workers);
-        let mut total = PointAccumulator::default();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = shard_rngs
-                .chunks_mut(chunk)
-                .zip(counts.chunks(chunk))
-                .map(|(rngs, counts)| scope.spawn(move || run_shards(rngs, counts)))
-                .collect();
-            for handle in handles {
-                total.merge(&handle.join().expect("simulation worker panicked"));
+        // The first round is the widest (`remaining` only shrinks), so its
+        // job count is the concurrency the whole curve can ever expose.
+        WorkPool::new(cfg.workers).run_jobs(initial, |id, (rng, acc), sink| {
+            let (point, shard) = (id / shards, id % shards);
+            let state = &mut states[point];
+            state.rngs[shard] = Some(rng);
+            state.total.merge(&acc);
+            state.in_flight -= 1;
+            if state.in_flight == 0 {
+                for job in schedule_round(&ctx, state, point) {
+                    sink.submit(job);
+                }
             }
         });
-        total
+
+        states
+            .iter()
+            .zip(ebn0_dbs)
+            .map(|(state, &ebn0_db)| finish_point(ebn0_db, &state.total))
+            .collect()
+    }
+}
+
+/// The result of one `(point, shard)` job: the shard's RNG stream handed
+/// back for the next round, plus the counts of the frames it simulated.
+type ShardResult = (StdRng, PointAccumulator);
+
+/// Mutable per-point scheduling state, owned by the pool's calling thread.
+struct PointState {
+    /// Per-shard RNG streams; `None` while a shard's job is in flight.
+    rngs: Vec<Option<StdRng>>,
+    total: PointAccumulator,
+    /// Jobs of the point's current round still in the pool.
+    in_flight: usize,
+}
+
+/// The shared immutable context `(point, shard)` jobs capture.
+struct CurveCtx<'env> {
+    codec: &'env dyn FecCodec,
+    channels: &'env [AwgnChannel],
+    modulator: &'env BpskModulator,
+    cfg: &'env EngineConfig,
+    round_quota: u64,
+}
+
+/// Builds the jobs of `point`'s next scheduling round, or an empty vector
+/// once its stopping rule fires.  Round sizes are a pure function of the
+/// configuration and the merged counters, never of the worker count.
+fn schedule_round<'env>(
+    ctx: &CurveCtx<'env>,
+    state: &mut PointState,
+    point: usize,
+) -> Vec<Job<'env, ShardResult>> {
+    let cfg = ctx.cfg;
+    if cfg.stop.should_stop(&state.total.counter) {
+        return Vec::new();
+    }
+    // `should_stop` guarantees frames < max_frames here, but keep the
+    // subtraction saturating so a future stopping rule cannot turn an
+    // off-by-one into a u64 underflow and a near-infinite round.
+    let remaining = cfg
+        .stop
+        .max_frames
+        .saturating_sub(state.total.counter.frames());
+    let round = remaining.min(ctx.round_quota.max(1));
+    let shards = state.rngs.len();
+    let counts = split_round(round, shards);
+
+    let codec = ctx.codec;
+    let channel = &ctx.channels[point];
+    let modulator = ctx.modulator;
+    let mut jobs = Vec::new();
+    for (shard, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let mut rng = state.rngs[shard].take().expect("shard RNG checked back in");
+        jobs.push(Job::new(point * shards + shard, move || {
+            let mut acc = PointAccumulator::default();
+            for _ in 0..n {
+                simulate_frame(codec, channel, modulator, &mut rng, &mut acc);
+            }
+            (rng, acc)
+        }));
+    }
+    state.in_flight = jobs.len();
+    jobs
+}
+
+/// Folds a point's merged accumulator into the reported [`BerPoint`].
+fn finish_point(ebn0_db: f64, total: &PointAccumulator) -> BerPoint {
+    let frames = total.counter.frames();
+    BerPoint {
+        ebn0_db,
+        ber: total.counter.ber(),
+        fer: total.counter.fer(),
+        average_iterations: if frames == 0 {
+            0.0
+        } else {
+            total.iterations as f64 / frames as f64
+        },
+        frames,
+        bit_errors: total.counter.bit_errors(),
+        frame_errors: total.counter.frame_errors(),
     }
 }
 
@@ -386,7 +489,11 @@ fn simulate_frame(
 
 /// Splits `round` frames over `shards` streams: low-index shards take the
 /// remainder, so the schedule is a pure function of the configuration.
+/// `shards == 0` is rejected by [`EngineConfig::validate`] before any
+/// schedule is built; the assert keeps the divide-by-zero unreachable even
+/// for future callers that bypass the engine.
 fn split_round(round: u64, shards: usize) -> Vec<u64> {
+    assert!(shards > 0, "split_round requires at least one shard");
     let base = round / shards as u64;
     let extra = (round % shards as u64) as usize;
     (0..shards).map(|i| base + u64::from(i < extra)).collect()
@@ -501,6 +608,52 @@ mod tests {
             let point = engine(workers, stop).run_point(&codec, 1.0);
             assert_eq!(point, reference, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn curve_counts_are_identical_for_1_2_and_8_workers() {
+        // The (point, shard) pool schedule with early stopping active: every
+        // point of the curve must be bit-identical at any worker count.
+        let codec = Repetition { k: 24 };
+        let stop = MonteCarloConfig {
+            max_frames: 200,
+            target_frame_errors: 25,
+            min_frames: 30,
+        };
+        let snrs = [-1.0, 1.0, 3.0, 5.0];
+        let reference = engine(1, stop).run_curve(&codec, &snrs);
+        for workers in [2, 8] {
+            let curve = engine(workers, stop).run_curve(&codec, &snrs);
+            assert_eq!(curve, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn config_validate_rejects_zero_shards() {
+        // Regression: shards == 0 used to reach split_round's division.
+        let config = EngineConfig {
+            shards: 0,
+            ..EngineConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("shard"), "{err}");
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one shard")]
+    fn engine_rejects_zero_shards() {
+        // A literal (builder-bypassing) config must still be caught by new().
+        let _ = SimulationEngine::new(EngineConfig {
+            shards: 0,
+            ..EngineConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn split_round_rejects_zero_shards() {
+        let _ = split_round(10, 0);
     }
 
     #[test]

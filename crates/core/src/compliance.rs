@@ -11,6 +11,8 @@
 use crate::config::DecoderConfig;
 use crate::evaluation::{evaluate_standard_code, DecoderError};
 use code_tables::{registry_for, Standard, StandardCode};
+use fec_json::{Json, ToJson};
+use fec_sched::WorkPool;
 
 /// The result of evaluating one code of a compliance sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +31,20 @@ pub struct ComplianceEntry {
     pub required_mbps: f64,
     /// Whether this code meets its standard's requirement.
     pub compliant: bool,
+}
+
+impl ToJson for ComplianceEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("standard", Json::str(self.standard.clone())),
+            ("code", Json::str(self.code.clone())),
+            ("info_bits", Json::from(self.info_bits)),
+            ("throughput_mbps", Json::from(self.throughput_mbps)),
+            ("phase_cycles", Json::from(self.phase_cycles)),
+            ("required_mbps", Json::from(self.required_mbps)),
+            ("compliant", Json::Bool(self.compliant)),
+        ])
+    }
 }
 
 /// The aggregate result of a compliance sweep.
@@ -137,7 +153,8 @@ pub fn run_compliance(
 }
 
 /// Runs a compliance sweep of `config` over several scopes (typically one
-/// per standard), concatenating the entries.
+/// per standard), concatenating the entries.  Equivalent to
+/// [`run_multi_compliance_sharded`] with one worker.
 ///
 /// # Errors
 ///
@@ -146,37 +163,83 @@ pub fn run_multi_compliance(
     config: &DecoderConfig,
     scopes: &[ComplianceScope],
 ) -> Result<ComplianceReport, DecoderError> {
-    let mut entries = Vec::new();
-    let mut worst_ldpc = f64::INFINITY;
-    let mut worst_turbo = f64::INFINITY;
+    run_multi_compliance_sharded(config, scopes, 1, |_, _| {})
+}
 
-    for scope in scopes {
-        let required = scope.standard().required_throughput_mbps();
-        for code in scope.codes() {
-            if code.mapping_units() < config.pes {
-                continue;
-            }
+/// Runs a compliance sweep with the per-code evaluations sharded over a
+/// deterministic [`WorkPool`] of `workers` threads (0 = one per available
+/// core) — the same scheduler the simulation engine and the Table I sweep
+/// run on.  Results are merged by sweep-cell index, so the report is
+/// **bit-identical** to the serial sweep for any worker count.
+///
+/// `on_entry` is invoked from the calling thread as each code *finishes*
+/// (completion order) with the cell's sweep index, so long full-scope sweeps
+/// (131+ codes for 802.16e) can stream rows to disk while still running.
+/// Codes skipped by the mapping guard never reach `on_entry`.
+///
+/// # Errors
+///
+/// Same contract as [`run_compliance`]: the first non-skippable evaluation
+/// error in sweep order, after all workers have drained.
+pub fn run_multi_compliance_sharded(
+    config: &DecoderConfig,
+    scopes: &[ComplianceScope],
+    workers: usize,
+    mut on_entry: impl FnMut(usize, &ComplianceEntry),
+) -> Result<ComplianceReport, DecoderError> {
+    // Enumerate the sweep cells up front: the indexed task set the pool
+    // executes.  The mapping-size guard is part of the schedule (not the
+    // evaluation), so cell indices are a pure function of scope + config.
+    let cells: Vec<(Standard, &StandardCode)> = scopes
+        .iter()
+        .flat_map(|scope| {
+            scope
+                .codes()
+                .iter()
+                .map(move |code| (scope.standard(), code))
+        })
+        .filter(|(_, code)| code.mapping_units() >= config.pes)
+        .collect();
+
+    let results = WorkPool::new(workers).run_indexed_with(
+        cells.len(),
+        |index| {
+            let (standard, code) = cells[index];
             let eval = match evaluate_standard_code(config, code) {
                 Ok(eval) => eval,
-                Err(DecoderError::InvalidConfiguration { .. }) => continue,
+                Err(DecoderError::InvalidConfiguration { .. }) => return Ok(None),
                 Err(e) => return Err(e),
             };
-            let worst = if code.is_ldpc() {
-                &mut worst_ldpc
-            } else {
-                &mut worst_turbo
-            };
-            *worst = worst.min(eval.throughput_mbps);
-            entries.push(ComplianceEntry {
-                standard: scope.standard().name().to_string(),
+            let required = standard.required_throughput_mbps();
+            Ok(Some(ComplianceEntry {
+                standard: standard.name().to_string(),
                 code: code.label(),
                 info_bits: eval.info_bits,
                 throughput_mbps: eval.throughput_mbps,
                 phase_cycles: eval.phase_cycles,
                 required_mbps: required,
                 compliant: eval.throughput_mbps >= required,
-            });
-        }
+            }))
+        },
+        |index, result| {
+            if let Ok(Some(entry)) = result {
+                on_entry(index, entry);
+            }
+        },
+    );
+
+    let mut entries = Vec::new();
+    let mut worst_ldpc = f64::INFINITY;
+    let mut worst_turbo = f64::INFINITY;
+    for ((_, code), result) in cells.iter().zip(results) {
+        let Some(entry) = result? else { continue };
+        let worst = if code.is_ldpc() {
+            &mut worst_ldpc
+        } else {
+            &mut worst_turbo
+        };
+        *worst = worst.min(entry.throughput_mbps);
+        entries.push(entry);
     }
 
     Ok(ComplianceReport {
@@ -263,6 +326,48 @@ mod tests {
         let labels: Vec<String> = lte.codes().iter().map(|c| c.label()).collect();
         assert!(labels.iter().any(|l| l.contains("K=40")), "{labels:?}");
         assert!(labels.iter().any(|l| l.contains("K=6144")), "{labels:?}");
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_at_1_2_and_8_workers() {
+        let config = DecoderConfig::paper_design_point();
+        let scopes = ComplianceScope::all_corners();
+        let reference = run_multi_compliance(&config, &scopes).unwrap();
+        for workers in [1usize, 2, 8] {
+            let mut streamed = 0usize;
+            let report = run_multi_compliance_sharded(&config, &scopes, workers, |_, entry| {
+                assert!(entry.throughput_mbps > 0.0, "{}", entry.code);
+                streamed += 1;
+            })
+            .unwrap();
+            assert_eq!(report, reference, "workers = {workers}");
+            assert_eq!(streamed, report.entries.len(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_streams_each_cell_once_with_a_stable_index() {
+        let config = DecoderConfig::paper_design_point();
+        let scopes = ComplianceScope::all_corners();
+        let mut seen = std::collections::BTreeSet::new();
+        let report = run_multi_compliance_sharded(&config, &scopes, 4, |idx, _| {
+            assert!(seen.insert(idx), "cell {idx} streamed twice");
+        })
+        .unwrap();
+        assert_eq!(seen.len(), report.entries.len());
+    }
+
+    #[test]
+    fn compliance_entry_serializes_to_json() {
+        let config = DecoderConfig::paper_design_point();
+        let report = run_compliance(&config, &ComplianceScope::corners(Standard::Wimax)).unwrap();
+        let json = report.entries[0].to_json().to_string();
+        assert!(json.contains("\"standard\":\"802.16e\""), "{json}");
+        assert!(json.contains("\"throughput_mbps\":"), "{json}");
+        assert!(
+            json.contains("\"compliant\":true") || json.contains("\"compliant\":false"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@ use crate::config::DecoderConfig;
 use crate::evaluation::{evaluate_ldpc, evaluate_standard_code, DecoderError, DesignEvaluation};
 use code_tables::{Standard, StandardCode};
 use fec_json::{Json, ToJson};
+use fec_sched::WorkPool;
 use noc_sim::{NodeArchitecture, RoutingAlgorithm, TopologyKind};
-use std::sync::mpsc;
 use wimax_ldpc::QcLdpcCode;
 use wimax_turbo::CtcCode;
 
@@ -220,13 +220,13 @@ impl DesignSpaceExplorer {
         Ok(rows)
     }
 
-    /// Runs the Table I sweep with the 72 design points sharded over
-    /// `workers` scoped threads (0 = one per available core), the same
-    /// deterministic worker-pool pattern as
-    /// `fec_channel::sim::SimulationEngine`: points are split into
-    /// contiguous chunks, every point evaluation is independent and seeded
-    /// by the base configuration, and the returned rows are in sweep order —
-    /// bit-identical for any worker count.
+    /// Runs the Table I sweep with the 72 design points sharded over a
+    /// [`WorkPool`] of `workers` threads (0 = one per available core) — the
+    /// same deterministic scheduler the simulation engine and the compliance
+    /// sweeps run on.  Every point evaluation is independent and seeded by
+    /// the base configuration, and the pool merges results by sweep index,
+    /// so the returned rows are in sweep order — bit-identical for any
+    /// worker count.
     ///
     /// `on_row` is invoked from the calling thread as each row *finishes*
     /// (completion order), so callers can stream rows to disk or a progress
@@ -243,41 +243,20 @@ impl DesignSpaceExplorer {
         mut on_row: impl FnMut(usize, &Table1Row),
     ) -> Result<Vec<Table1Row>, DecoderError> {
         let points = Self::table1_points();
-        let workers = if workers == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            workers
-        }
-        .clamp(1, points.len());
-
-        let mut slots: Vec<Option<Result<Table1Row, DecoderError>>> = Vec::new();
-        slots.resize_with(points.len(), || None);
-        let chunk = points.len().div_ceil(workers);
-        let (tx, rx) = mpsc::channel::<(usize, Result<Table1Row, DecoderError>)>();
-        std::thread::scope(|scope| {
-            for (w, chunk_points) in points.chunks(chunk).enumerate() {
-                let tx = tx.clone();
-                let base = w * chunk;
-                scope.spawn(move || {
-                    for (i, &(family, pes, row)) in chunk_points.iter().enumerate() {
-                        let result = self.table1_cell_for(code, family, pes, row);
-                        // the receiver outlives the scope, so send cannot fail
-                        let _ = tx.send((base + i, result));
+        WorkPool::new(workers)
+            .run_indexed_with(
+                points.len(),
+                |index| {
+                    let (family, pes, row) = points[index];
+                    self.table1_cell_for(code, family, pes, row)
+                },
+                |index, result| {
+                    if let Ok(row) = result {
+                        on_row(index, row);
                     }
-                });
-            }
-            drop(tx);
-            for (idx, result) in rx.iter() {
-                if let Ok(row) = &result {
-                    on_row(idx, row);
-                }
-                slots[idx] = Some(result);
-            }
-        });
-
-        slots
+                },
+            )
             .into_iter()
-            .map(|slot| slot.expect("every point reports exactly once"))
             .collect()
     }
 

@@ -42,7 +42,8 @@ pub mod evaluation;
 pub mod throughput;
 
 pub use compliance::{
-    run_compliance, run_multi_compliance, ComplianceEntry, ComplianceReport, ComplianceScope,
+    run_compliance, run_multi_compliance, run_multi_compliance_sharded, ComplianceEntry,
+    ComplianceReport, ComplianceScope,
 };
 pub use config::DecoderConfig;
 pub use decoder::NocDecoder;
@@ -55,6 +56,7 @@ pub use throughput::{ldpc_throughput_mbps, turbo_throughput_mbps};
 pub use asic_model::{PowerModel, Technology};
 pub use code_tables::{registry_for, Standard, StandardCode, StandardRegistry};
 pub use fec_channel::sim::{BerCurve, BerPoint, EngineConfig, FecCodec, SimulationEngine};
+pub use fec_sched::WorkPool;
 pub use noc_mapping::MappingConfig;
 pub use noc_sim::{CollisionPolicy, NodeArchitecture, RoutingAlgorithm, TopologyKind};
 pub use wimax_ldpc::{CodeRate, QcLdpcCode};

@@ -21,6 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stream;
+
+pub use stream::StreamedRows;
+
 use std::fmt;
 
 /// A JSON value.

@@ -1,0 +1,493 @@
+//! Deterministic scoped work-pool scheduler.
+//!
+//! Every fan-out in the workspace — the Monte-Carlo simulation engine's
+//! `(Eb/N0 point, frame shard)` schedule, the Table I design-space sweep and
+//! the multi-standard compliance sweeps — runs on the same [`WorkPool`]
+//! instead of carrying its own hand-rolled `std::thread::scope` block.
+//!
+//! # Determinism contract
+//!
+//! The pool executes an *indexed* set of independent tasks and merges the
+//! results **by task index, never by completion order**: the returned vector
+//! of [`WorkPool::run_indexed`] is in index order for any worker count, so a
+//! caller whose task `i` is a pure function of `i` gets bit-identical output
+//! at 1, 2 or 64 workers.  Which worker executes which index is dynamic (an
+//! atomic next-index counter, so long tasks do not straggle a static chunk),
+//! but that assignment is invisible in the merged result.
+//!
+//! Callers that want progress output while the set is still running pass a
+//! completion-order callback ([`WorkPool::run_indexed_with`]); it runs on
+//! the calling thread, so it may stream rows to disk without locking.
+//!
+//! # Continuation jobs
+//!
+//! [`WorkPool::run_jobs`] generalizes the indexed set to a *dynamic* job
+//! queue: the completion handler (again on the calling thread) may submit
+//! follow-up jobs into the running pool.  The simulation engine uses this to
+//! keep early stopping exact — each scheduling round of a point is a batch
+//! of `(point, shard)` jobs, and the next round is only submitted once the
+//! previous round's merged counters pass the stopping rule — while shards of
+//! *other* points keep every worker busy in between.
+//!
+//! # Example
+//!
+//! ```
+//! use fec_sched::WorkPool;
+//!
+//! let squares = WorkPool::new(4).run_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+/// A unit of work for [`WorkPool::run_jobs`]: a caller-chosen id (used to
+/// merge deterministically) plus the closure to execute on a worker.
+pub struct Job<'env, T> {
+    id: usize,
+    work: Box<dyn FnOnce() -> T + Send + 'env>,
+}
+
+impl<'env, T> Job<'env, T> {
+    /// Packages `work` under `id`.  Ids need not be unique or dense — they
+    /// are opaque to the pool and only echoed back to the completion
+    /// handler, which gives them meaning (e.g. `point * shards + shard`).
+    pub fn new(id: usize, work: impl FnOnce() -> T + Send + 'env) -> Self {
+        Job {
+            id,
+            work: Box::new(work),
+        }
+    }
+
+    /// The id this job was created with.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+/// Submission handle passed to the [`WorkPool::run_jobs`] completion
+/// handler: jobs submitted here enter the running pool's queue.
+pub struct JobSink<'env, T> {
+    buffered: Vec<Job<'env, T>>,
+}
+
+impl<'env, T> JobSink<'env, T> {
+    /// Queues a follow-up job.  It becomes runnable as soon as the
+    /// completion handler returns.
+    pub fn submit(&mut self, job: Job<'env, T>) {
+        self.buffered.push(job);
+    }
+}
+
+/// State shared between the coordinator and the workers of one
+/// [`WorkPool::run_jobs`] call.
+struct JobQueue<'env, T> {
+    state: Mutex<JobQueueState<'env, T>>,
+    ready: Condvar,
+}
+
+struct JobQueueState<'env, T> {
+    pending: VecDeque<Job<'env, T>>,
+    closed: bool,
+}
+
+/// Closes the queue on drop so workers blocked on the condvar exit even if
+/// the coordinator unwinds; otherwise the scope join would deadlock.
+struct CloseGuard<'queue, 'env, T> {
+    queue: &'queue JobQueue<'env, T>,
+}
+
+impl<T> Drop for CloseGuard<'_, '_, T> {
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.queue.state.lock() {
+            state.closed = true;
+        }
+        self.queue.ready.notify_all();
+    }
+}
+
+/// A fixed-size scoped worker pool executing indexed task sets with
+/// index-order (deterministic) merging.  See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkPool {
+    workers: usize,
+}
+
+impl WorkPool {
+    /// Creates a pool that will use `workers` threads per run; `0` means one
+    /// per available core.  Construction is free — threads are scoped to
+    /// each `run_*` call.
+    pub const fn new(workers: usize) -> Self {
+        WorkPool { workers }
+    }
+
+    /// The configured worker count (`0` = per core), as given to [`new`].
+    ///
+    /// [`new`]: WorkPool::new
+    pub const fn requested_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The number of threads a run over `tasks` concurrent tasks will use:
+    /// the configured count (or one per core for `0`), clamped to the task
+    /// count so no thread is spawned just to find an empty queue.
+    pub fn effective_workers(&self, tasks: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.workers
+        };
+        requested.clamp(1, tasks.max(1))
+    }
+
+    /// Executes `count` independent tasks and returns their results in
+    /// **index order** regardless of completion order or worker count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing task on the calling thread.
+    pub fn run_indexed<T, F>(&self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run_indexed_with(count, task, |_, _| {})
+    }
+
+    /// Like [`run_indexed`], but additionally invokes `on_done` from the
+    /// calling thread as each task finishes (**completion order**), so
+    /// callers can stream progress while the set is still running.
+    ///
+    /// [`run_indexed`]: WorkPool::run_indexed
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing task on the calling thread.
+    pub fn run_indexed_with<T, F, C>(&self, count: usize, task: F, mut on_done: C) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FnMut(usize, &T),
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let workers = self.effective_workers(count);
+        if workers == 1 {
+            return (0..count)
+                .map(|index| {
+                    let result = task(index);
+                    on_done(index, &result);
+                    result
+                })
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(count, || None);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            // Owned by the scope closure so an unwind drops it *before* the
+            // scope joins: pending sends then fail and workers exit early
+            // instead of finishing the whole remaining task set.
+            let rx = rx;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let task = &task;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        return;
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| task(index)));
+                    if tx.send((index, result)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..count {
+                let (index, result) = rx.recv().expect("pool workers exited early");
+                match result {
+                    Ok(value) => {
+                        on_done(index, &value);
+                        slots[index] = Some(value);
+                    }
+                    Err(payload) => {
+                        // Stop handing out new indices, then unwind; the
+                        // dropped `rx` makes in-flight sends fail so the
+                        // scope join returns promptly.
+                        next.store(count, Ordering::Relaxed);
+                        resume_unwind(payload)
+                    }
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task completes exactly once"))
+            .collect()
+    }
+
+    /// Executes a *dynamic* job set: starts with `initial`, and after each
+    /// job finishes calls `on_complete(id, result, sink)` on the calling
+    /// thread (completion order), which may [`submit`] follow-up jobs into
+    /// the running pool.  Returns once every job (initial and submitted) has
+    /// completed and been handed to `on_complete`.
+    ///
+    /// Determinism is the caller's half of the contract: merge results by
+    /// `id` (not arrival order) and derive follow-up jobs only from merged
+    /// state, and the outcome is independent of the worker count.
+    ///
+    /// [`submit`]: JobSink::submit
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing job on the calling thread.
+    pub fn run_jobs<'env, T, F>(&self, initial: Vec<Job<'env, T>>, mut on_complete: F)
+    where
+        T: Send,
+        F: FnMut(usize, T, &mut JobSink<'env, T>),
+    {
+        if initial.is_empty() {
+            return;
+        }
+        let workers = self.effective_workers(initial.len());
+        if workers == 1 {
+            let mut pending: VecDeque<Job<'env, T>> = initial.into();
+            while let Some(job) = pending.pop_front() {
+                let result = (job.work)();
+                let mut sink = JobSink {
+                    buffered: Vec::new(),
+                };
+                on_complete(job.id, result, &mut sink);
+                pending.extend(sink.buffered);
+            }
+            return;
+        }
+
+        let mut outstanding = initial.len();
+        let queue = JobQueue {
+            state: Mutex::new(JobQueueState {
+                pending: initial.into(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        };
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            let _guard = CloseGuard { queue: &queue };
+            // Owned by the scope closure so an unwind drops it *before* the
+            // scope joins: pending sends then fail and workers exit early.
+            let rx = rx;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let queue = &queue;
+                scope.spawn(move || loop {
+                    let job = {
+                        let mut state = queue.state.lock().expect("job queue poisoned");
+                        loop {
+                            if let Some(job) = state.pending.pop_front() {
+                                break Some(job);
+                            }
+                            if state.closed {
+                                break None;
+                            }
+                            state = queue.ready.wait(state).expect("job queue poisoned");
+                        }
+                    };
+                    let Some(job) = job else { return };
+                    let result = catch_unwind(AssertUnwindSafe(job.work));
+                    if tx.send((job.id, result)).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            while outstanding > 0 {
+                let (id, result) = rx.recv().expect("pool workers exited early");
+                outstanding -= 1;
+                match result {
+                    Ok(value) => {
+                        let mut sink = JobSink {
+                            buffered: Vec::new(),
+                        };
+                        on_complete(id, value, &mut sink);
+                        if !sink.buffered.is_empty() {
+                            outstanding += sink.buffered.len();
+                            let mut state = queue.state.lock().expect("job queue poisoned");
+                            state.pending.extend(sink.buffered);
+                            drop(state);
+                            queue.ready.notify_all();
+                        }
+                    }
+                    Err(payload) => {
+                        // Cancel the queued work, then unwind: `_guard`
+                        // closes the (now empty) queue and the dropped `rx`
+                        // makes in-flight sends fail, so the scope join
+                        // returns promptly instead of draining every job.
+                        if let Ok(mut state) = queue.state.lock() {
+                            state.pending.clear();
+                        }
+                        resume_unwind(payload)
+                    }
+                }
+            }
+            // `_guard` drops here: closes the queue and wakes idle workers
+            // so the scope join returns.
+        });
+    }
+}
+
+impl Default for WorkPool {
+    /// One worker per available core.
+    fn default() -> Self {
+        WorkPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn results_arrive_in_index_order_for_any_worker_count() {
+        for workers in [1, 2, 8] {
+            let out = WorkPool::new(workers).run_indexed(17, |i| 3 * i + 1);
+            assert_eq!(out, (0..17).map(|i| 3 * i + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn out_of_order_completion_still_merges_in_index_order() {
+        // Low indices sleep longest, so with 8 workers the completion order
+        // is (almost surely) not the index order; the merged result must be
+        // index-ordered regardless, and the completion callback must see
+        // every index exactly once.  Scheduling jitter could still complete
+        // a run in index order, so retry a few times until an out-of-order
+        // run is observed — every attempt must merge correctly either way.
+        let count = 8;
+        let mut observed_out_of_order = false;
+        for _ in 0..5 {
+            let mut completion_order = Vec::new();
+            let out = WorkPool::new(count).run_indexed_with(
+                count,
+                |i| {
+                    std::thread::sleep(Duration::from_millis(10 * (count - i) as u64));
+                    i * i
+                },
+                |i, &value| {
+                    assert_eq!(value, i * i);
+                    completion_order.push(i);
+                },
+            );
+            assert_eq!(out, (0..count).map(|i| i * i).collect::<Vec<_>>());
+            let mut seen = completion_order.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..count).collect::<Vec<_>>());
+            if completion_order.windows(2).any(|w| w[0] > w[1]) {
+                observed_out_of_order = true;
+                break;
+            }
+        }
+        assert!(
+            observed_out_of_order,
+            "staggered sleeps never completed out of order in 5 attempts"
+        );
+    }
+
+    #[test]
+    fn zero_tasks_run_nowhere() {
+        let out: Vec<u32> = WorkPool::new(4).run_indexed(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_tasks_and_resolves_per_core() {
+        assert_eq!(WorkPool::new(64).effective_workers(7), 7);
+        assert_eq!(WorkPool::new(3).effective_workers(100), 3);
+        assert_eq!(WorkPool::new(5).effective_workers(0), 1);
+        assert!(WorkPool::default().effective_workers(100) >= 1);
+        assert_eq!(WorkPool::new(2).requested_workers(), 2);
+    }
+
+    #[test]
+    fn continuation_jobs_run_until_the_handler_stops_submitting() {
+        // Each of 4 job ids runs 3 "rounds"; the handler submits the next
+        // round on completion of the previous one.  Every round increments
+        // the id's counter, so the final counters prove each continuation
+        // ran exactly once, at any worker count.
+        for workers in [1, 2, 8] {
+            let mut rounds = [0usize; 4];
+            let initial = (0..4).map(|id| Job::new(id, move || id)).collect();
+            WorkPool::new(workers).run_jobs(initial, |id, value, sink| {
+                assert_eq!(value, id);
+                rounds[id] += 1;
+                if rounds[id] < 3 {
+                    sink.submit(Job::new(id, move || id));
+                }
+            });
+            assert_eq!(rounds, [3; 4], "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn job_ids_are_opaque_and_echoed_back() {
+        let job = Job::new(42, || "x");
+        assert_eq!(job.id(), 42);
+        let mut seen = Vec::new();
+        WorkPool::new(1).run_jobs(vec![job], |id, value, _| seen.push((id, value)));
+        assert_eq!(seen, vec![(42, "x")]);
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_environment() {
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        let initial = data
+            .iter()
+            .enumerate()
+            .map(|(i, value)| Job::new(i, move || *value))
+            .collect();
+        WorkPool::new(2).run_jobs(initial, |_, value, _| {
+            total.fetch_add(value as usize, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn task_panics_propagate_to_the_caller() {
+        WorkPool::new(4).run_indexed(8, |i| {
+            if i == 3 {
+                panic!("task 3 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "job exploded")]
+    fn job_panics_propagate_without_deadlocking_the_pool() {
+        let initial = (0..8)
+            .map(|id| {
+                Job::new(id, move || {
+                    if id == 5 {
+                        panic!("job exploded");
+                    }
+                    id
+                })
+            })
+            .collect();
+        WorkPool::new(4).run_jobs(initial, |_, _, _| {});
+    }
+}

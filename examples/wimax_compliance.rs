@@ -4,10 +4,18 @@
 //! turbo — and reports the worst-case throughput of each mode against each
 //! standard's own requirement.
 //!
+//! The per-code evaluations are sharded over the shared deterministic work
+//! pool (`--workers`, default one per core; the report is bit-identical for
+//! any worker count), and with `--json` the entries are *streamed* to the
+//! result file as codes finish, so a full 131-code 802.16e sweep is
+//! observable with `tail -f`.
+//!
 //! Run with `cargo run --example wimax_compliance --release [-- --full]
-//! [-- --standard wimax|80211n|lte]`.
+//! [-- --standard wimax|80211n|lte] [-- --workers <n>] [-- --json <path>]`.
 
-use noc_decoder::{run_multi_compliance, ComplianceScope, DecoderConfig, Standard};
+use fec_json::{Json, StreamedRows};
+use noc_decoder::{run_multi_compliance_sharded, ComplianceScope, DecoderConfig, Standard};
+use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -21,6 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .parse::<Standard>()
         })
         .transpose()?;
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--workers requires a thread count")
+                .parse()
+                .expect("--workers takes an integer")
+        })
+        .unwrap_or(0);
+    let json_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--json requires a file path")));
 
     let scopes = match (standard, full) {
         (Some(s), true) => vec![ComplianceScope::full(s)],
@@ -30,11 +52,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let config = DecoderConfig::paper_design_point();
     println!(
-        "Compliance sweep at the paper design point (P = 22, D = 3 generalized Kautz), {} scope\n",
-        if full { "full" } else { "corner" }
+        "Compliance sweep at the paper design point (P = 22, D = 3 generalized Kautz), {} scope ({} workers)\n",
+        if full { "full" } else { "corner" },
+        if workers == 0 {
+            "per-core".to_string()
+        } else {
+            workers.to_string()
+        }
     );
 
-    let report = run_multi_compliance(&config, &scopes)?;
+    let mut stream = json_path.as_ref().map(|path| {
+        StreamedRows::create(
+            path,
+            "compliance",
+            &[
+                ("scope", Json::str(if full { "full" } else { "corners" })),
+                (
+                    "standard",
+                    Json::str(standard.map_or("all".to_string(), |s| s.name().to_string())),
+                ),
+            ],
+        )
+    });
+    let report = run_multi_compliance_sharded(&config, &scopes, workers, |_, entry| {
+        if let Some(stream) = &mut stream {
+            stream.push(entry);
+        }
+    })?;
+    if let Some(stream) = stream {
+        let path = stream.path().to_path_buf();
+        let rows = stream.finish();
+        eprintln!("wrote {} ({rows} rows)", path.display());
+    }
+
     println!(
         "{:<10} {:<26} {:>10} {:>12} {:>12} {:>10}",
         "standard", "code", "info bits", "cycles", "T [Mb/s]", "meets req"

@@ -94,6 +94,43 @@ fn turbo_counts_are_identical_for_1_2_and_8_workers() {
     }
 }
 
+/// A multi-point curve on the shared (point, shard) work pool: every point
+/// must be bit-identical at 1, 2 and 8 workers, with early stopping active
+/// and the real layered LDPC decoder in the loop.
+#[test]
+fn ldpc_curve_counts_are_identical_for_1_2_and_8_workers() {
+    let codec = ldpc_codec();
+    let stop = MonteCarloConfig {
+        max_frames: 48,
+        target_frame_errors: 8,
+        min_frames: 16,
+    };
+    let snrs = [0.5, 1.5, 2.5];
+    let reference = engine(1, stop).run_curve(&codec, &snrs);
+    assert_eq!(reference.points.len(), 3);
+    for workers in [2, 8] {
+        let curve = engine(workers, stop).run_curve(&codec, &snrs);
+        assert_eq!(curve, reference, "workers = {workers}");
+    }
+}
+
+/// The pooled curve schedule must agree bit-for-bit with running the same
+/// points one at a time (the pre-pool `run_curve` behaviour).
+#[test]
+fn pooled_curve_matches_point_at_a_time_runs() {
+    let codec = ldpc_codec();
+    let stop = MonteCarloConfig {
+        max_frames: 40,
+        target_frame_errors: 6,
+        min_frames: 10,
+    };
+    let snrs = [1.0, 2.0];
+    let eng = engine(4, stop);
+    let curve = eng.run_curve(&codec, &snrs);
+    let pointwise: Vec<_> = snrs.iter().map(|&e| eng.run_point(&codec, e)).collect();
+    assert_eq!(curve.points, pointwise);
+}
+
 /// Early stopping must never undershoot `min_frames`, even when the error
 /// target is reached in the very first scheduling round.
 #[test]
