@@ -8,7 +8,8 @@
 //! gone.
 
 use code_tables::{
-    wifi_ldpc, LteTurboCode, LteTurboCodec, LteTurboDecoderConfig, NamedCodec, Standard,
+    dvb_rcs_ctc, wifi_ldpc, wran_ldpc, LteTurboCode, LteTurboCodec, LteTurboDecoderConfig,
+    NamedCodec, Standard,
 };
 pub use fec_channel::sim::{BerCurve, BerPoint};
 use fec_channel::sim::{EngineConfig, FecCodec, SimulationEngine};
@@ -112,6 +113,63 @@ pub fn lte_turbo_codec(k: usize) -> Box<dyn FecCodec> {
     Box::new(LteTurboCodec::new(&code, LteTurboDecoderConfig::default()))
 }
 
+/// Builds the [`FecCodec`] for the 802.22 `r = 1/2` WRAN LDPC code of
+/// length `n` (384 … 2304) in the requested decoder flavour — like the
+/// 802.11n tables, the WRAN tables run on both decode datapaths through the
+/// engine unchanged.
+///
+/// # Panics
+///
+/// Panics if `n` is not an 802.22 length.
+pub fn wran_ldpc_codec(n: usize, flavor: LdpcFlavor) -> Box<dyn FecCodec> {
+    let code = wran_ldpc(n, CodeRate::R12).expect("valid 802.22 length");
+    match flavor {
+        LdpcFlavor::Layered => Box::new(NamedCodec::new(
+            LayeredLdpcCodec::new(&code, LayeredConfig::default()),
+            format!("80222-ldpc-n{n}-layered"),
+        )),
+        LdpcFlavor::Flooding => Box::new(NamedCodec::new(
+            FloodingLdpcCodec::new(
+                &code,
+                FloodingConfig {
+                    max_iterations: 10,
+                    ..FloodingConfig::default()
+                },
+            ),
+            format!("80222-ldpc-n{n}-flooding"),
+        )),
+        LdpcFlavor::Quantized => Box::new(NamedCodec::new(
+            QuantizedLayeredLdpcCodec::new(&code, FixedLayeredConfig::default()),
+            format!("80222-ldpc-n{n}-layered-q7"),
+        )),
+    }
+}
+
+/// Builds the [`FecCodec`] for the DVB-RCS duo-binary CTC with `couples`
+/// couples and the given extrinsic-exchange mode (Max-Log-MAP, 8
+/// iterations on the shared 8-state CRSC trellis).
+///
+/// # Panics
+///
+/// Panics if `couples` is not a DVB-RCS couple size.
+pub fn dvb_rcs_turbo_codec(couples: usize, exchange: ExtrinsicExchange) -> Box<dyn FecCodec> {
+    let code = dvb_rcs_ctc(couples).expect("valid DVB-RCS couple size");
+    let mode = match exchange {
+        ExtrinsicExchange::SymbolLevel => "symbol",
+        ExtrinsicExchange::BitLevel => "bit",
+    };
+    Box::new(NamedCodec::new(
+        TurboCodec::new(
+            &code,
+            TurboDecoderConfig {
+                exchange,
+                ..TurboDecoderConfig::default()
+            },
+        ),
+        format!("dvbrcs-ctc-{couples}c-{mode}"),
+    ))
+}
+
 /// The `Eb/N0` grid (dB) a standard's BER study sweeps: chosen so the
 /// waterfall of the study's default codes falls inside the grid and the
 /// error rate decreases monotonically over it at modest frame budgets.
@@ -120,6 +178,10 @@ pub fn standard_snrs(standard: Standard) -> &'static [f64] {
         Standard::Wimax => &[1.0, 1.5, 2.0, 2.5],
         Standard::Wifi80211n => &[0.0, 1.0, 2.0, 3.0],
         Standard::Lte => &[0.0, 0.5, 1.0, 1.5],
+        // 802.22 runs the same rate-1/2 24-column QC family as WiMAX; the
+        // DVB-RCS CTC is the WiMAX duo-binary trellis at rate 1/2.
+        Standard::Wran80222 => &[1.0, 1.5, 2.0, 2.5],
+        Standard::DvbRcs => &[1.0, 1.5, 2.0, 2.5],
     }
 }
 
@@ -252,6 +314,33 @@ mod tests {
         let point = engine.run_point(codec.as_ref(), 4.0);
         assert_eq!(point.bit_errors, 0);
         assert_eq!(codec.name(), "lte-turbo-k104");
+    }
+
+    #[test]
+    fn wran_codecs_run_on_both_datapaths() {
+        for flavor in [LdpcFlavor::Layered, LdpcFlavor::Quantized] {
+            let codec = wran_ldpc_codec(384, flavor);
+            let engine = SimulationEngine::new(EngineConfig::fixed_frames(5, 21));
+            let point = engine.run_point(codec.as_ref(), 6.0);
+            assert_eq!(point.bit_errors, 0, "{}", codec.name());
+        }
+        assert_eq!(
+            wran_ldpc_codec(960, LdpcFlavor::Quantized).name(),
+            "80222-ldpc-n960-layered-q7"
+        );
+    }
+
+    #[test]
+    fn dvb_rcs_codec_runs_through_the_engine() {
+        let codec = dvb_rcs_turbo_codec(48, ExtrinsicExchange::BitLevel);
+        let engine = SimulationEngine::new(EngineConfig::fixed_frames(5, 22));
+        let point = engine.run_point(codec.as_ref(), 6.0);
+        assert_eq!(point.bit_errors, 0);
+        assert_eq!(codec.name(), "dvbrcs-ctc-48c-bit");
+        assert_eq!(
+            dvb_rcs_turbo_codec(212, ExtrinsicExchange::SymbolLevel).name(),
+            "dvbrcs-ctc-212c-symbol"
+        );
     }
 
     #[test]

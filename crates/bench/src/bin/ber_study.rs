@@ -8,13 +8,18 @@
 //!   (f64 layered reference and the fixed-point hardware model) plus the
 //!   flooding baseline;
 //! * `--standard lte` — the LTE rate-1/3 binary turbo code at two block
-//!   sizes.
+//!   sizes;
+//! * `--standard 80222` — the 802.22 WRAN LDPC codes on both decode
+//!   datapaths (f64 layered reference and the fixed-point q7 hardware
+//!   model) plus the flooding baseline;
+//! * `--standard dvbrcs` — the DVB-RCS duo-binary CTC (ATM and signalling
+//!   frame sizes) with bit- and symbol-level extrinsic exchange.
 //!
 //! All studies run on the unified parallel simulation engine.
 //!
 //! Usage: `cargo run -p decoder-bench --bin ber_study --release --
-//! [frames] [--standard wimax|80211n|lte] [--quantized] [--lambda-bits <n>]
-//! [--workers <n>] [--json <path>]`
+//! [frames] [--standard wimax|80211n|lte|80222|dvbrcs] [--quantized]
+//! [--lambda-bits <n>] [--workers <n>] [--json <path>]`
 //!
 //! `--quantized` adds the fixed-point layered LDPC curve (the hardware
 //! datapath model) next to the floating-point reference, quantizing channel
@@ -26,9 +31,9 @@
 
 use code_tables::Standard;
 use decoder_bench::{
-    json_flag_from_args, ldpc_codec, lte_turbo_codec, print_curve, quantized_ldpc_codec,
-    standard_flag_from_args, standard_snrs, turbo_codec, wifi_ldpc_codec, workers_flag_from_args,
-    write_json, BerCurve, LdpcFlavor,
+    dvb_rcs_turbo_codec, json_flag_from_args, ldpc_codec, lte_turbo_codec, print_curve,
+    quantized_ldpc_codec, standard_flag_from_args, standard_snrs, turbo_codec, wifi_ldpc_codec,
+    workers_flag_from_args, wran_ldpc_codec, write_json, BerCurve, LdpcFlavor,
 };
 use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_json::{Json, ToJson};
@@ -63,6 +68,8 @@ fn main() {
         Standard::Wimax => wimax_study(frames, workers, quantized, lambda_bits),
         Standard::Wifi80211n => wifi_study(frames, workers),
         Standard::Lte => lte_study(frames, workers),
+        Standard::Wran80222 => wran_study(frames, workers),
+        Standard::DvbRcs => dvbrcs_study(frames, workers),
     };
 
     if let Some(path) = json_path {
@@ -152,6 +159,74 @@ fn wifi_study(frames: u64, workers: usize) -> Vec<BerCurve> {
     );
 
     vec![layered, fixed, flooding, layered_1296]
+}
+
+fn wran_study(frames: u64, workers: usize) -> Vec<BerCurve> {
+    let snrs = standard_snrs(Standard::Wran80222);
+    let engine =
+        SimulationEngine::new(EngineConfig::fixed_frames(frames, 23).with_workers(workers));
+
+    println!("802.22 LDPC N = 480, r = 1/2 ({frames} frames per point)\n");
+    let layered = engine.run_curve(wran_ldpc_codec(480, LdpcFlavor::Layered).as_ref(), snrs);
+    print_curve(
+        "Layered normalized min-sum, f64 reference (Itmax = 10)",
+        &layered.points,
+    );
+    let fixed = engine.run_curve(wran_ldpc_codec(480, LdpcFlavor::Quantized).as_ref(), snrs);
+    print_curve(
+        "Fixed-point layered min-sum, 7-bit lambda (Itmax = 10)",
+        &fixed.points,
+    );
+    let flooding = engine.run_curve(wran_ldpc_codec(480, LdpcFlavor::Flooding).as_ref(), snrs);
+    print_curve(
+        "Two-phase (flooding) normalized min-sum (Itmax = 10)",
+        &flooding.points,
+    );
+
+    println!("802.22 LDPC N = 1440, r = 1/2 ({frames} frames per point)\n");
+    let layered_1440 = engine.run_curve(wran_ldpc_codec(1440, LdpcFlavor::Layered).as_ref(), snrs);
+    print_curve(
+        "Layered normalized min-sum, f64 reference (Itmax = 10)",
+        &layered_1440.points,
+    );
+
+    vec![layered, fixed, flooding, layered_1440]
+}
+
+fn dvbrcs_study(frames: u64, workers: usize) -> Vec<BerCurve> {
+    let snrs = standard_snrs(Standard::DvbRcs);
+    let engine =
+        SimulationEngine::new(EngineConfig::fixed_frames(frames, 29).with_workers(workers));
+
+    println!("DVB-RCS CTC 212 couples (ATM cell), rate 1/2 ({frames} frames per point)\n");
+    let bit = engine.run_curve(
+        dvb_rcs_turbo_codec(212, ExtrinsicExchange::BitLevel).as_ref(),
+        snrs,
+    );
+    print_curve(
+        "Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
+        &bit.points,
+    );
+    let symbol = engine.run_curve(
+        dvb_rcs_turbo_codec(212, ExtrinsicExchange::SymbolLevel).as_ref(),
+        snrs,
+    );
+    print_curve(
+        "Symbol-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
+        &symbol.points,
+    );
+
+    println!("DVB-RCS CTC 48 couples (signalling burst), rate 1/2 ({frames} frames per point)\n");
+    let small = engine.run_curve(
+        dvb_rcs_turbo_codec(48, ExtrinsicExchange::BitLevel).as_ref(),
+        snrs,
+    );
+    print_curve(
+        "Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
+        &small.points,
+    );
+
+    vec![bit, symbol, small]
 }
 
 fn lte_study(frames: u64, workers: usize) -> Vec<BerCurve> {

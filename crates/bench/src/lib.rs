@@ -18,8 +18,9 @@ pub mod table2;
 pub mod table3;
 
 pub use ber::{
-    ldpc_codec, lte_turbo_codec, print_curve, quantized_ldpc_codec, run_ldpc_ber, run_turbo_ber,
-    standard_snrs, turbo_codec, wifi_ldpc_codec, BerCurve, BerPoint, LdpcFlavor,
+    dvb_rcs_turbo_codec, ldpc_codec, lte_turbo_codec, print_curve, quantized_ldpc_codec,
+    run_ldpc_ber, run_turbo_ber, standard_snrs, turbo_codec, wifi_ldpc_codec, wran_ldpc_codec,
+    BerCurve, BerPoint, LdpcFlavor,
 };
 pub use harness::{bench, BenchReport};
 pub use results::{

@@ -126,6 +126,13 @@ mod tests {
             .contains("LDPC 1944"));
         // LTE defines no LDPC: the sweep falls back to its turbo code.
         assert!(table1_code(Standard::Lte, false).label().contains("K=6144"));
+        assert!(table1_code(Standard::Wran80222, false)
+            .label()
+            .contains("802.22 LDPC 2304"));
+        // DVB-RCS defines no LDPC either: its duo-binary CTC is the sweep code.
+        assert!(table1_code(Standard::DvbRcs, false)
+            .label()
+            .contains("DVB-RCS CTC 1728"));
         assert!(table1_code(Standard::Wifi80211n, true)
             .label()
             .contains("648"));
@@ -137,7 +144,7 @@ mod tests {
         // (24 couples), which cannot be mapped at P = 32/36 and panicked the
         // sweep.  Every standard's quick code must survive the largest P.
         let max_pes = TABLE1_PARALLELISM.into_iter().max().unwrap();
-        for standard in [Standard::Wimax, Standard::Wifi80211n, Standard::Lte] {
+        for standard in Standard::all() {
             let code = table1_code(standard, true);
             assert!(
                 code.mapping_units() >= max_pes,

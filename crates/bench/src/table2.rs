@@ -115,6 +115,22 @@ mod tests {
         let (ldpc, turbo) = table2_codes(Standard::Lte, false);
         assert!(ldpc.label().contains("802.16e LDPC 2304"));
         assert!(turbo.label().contains("K=6144"));
+        // 802.22 defines only LDPC, DVB-RCS only turbo: each borrows the
+        // missing WiMAX family so both operating modes stay reported.
+        let (ldpc, turbo) = table2_codes(Standard::Wran80222, false);
+        assert!(
+            ldpc.label().contains("802.22 LDPC 2304"),
+            "{}",
+            ldpc.label()
+        );
+        assert!(turbo.label().contains("802.16e DBTC 4800"));
+        let (ldpc, turbo) = table2_codes(Standard::DvbRcs, false);
+        assert!(ldpc.label().contains("802.16e LDPC 2304"));
+        assert!(
+            turbo.label().contains("DVB-RCS CTC 1728"),
+            "{}",
+            turbo.label()
+        );
     }
 
     #[test]
@@ -136,6 +152,16 @@ mod tests {
         );
         assert!(turbo.label().contains("K=40"), "{}", turbo.label());
         // and the quick rows still evaluate (P = 22 fits the smallest codes)
+        let rows = run_table2_for(&ldpc, &turbo);
+        assert_eq!(rows.len(), 3);
+        // DVB-RCS quick: its own smallest CTC plus a borrowed WiMAX LDPC.
+        let (ldpc, turbo) = table2_codes(Standard::DvbRcs, true);
+        assert!(ldpc.label().contains("802.16e LDPC"), "{}", ldpc.label());
+        assert!(
+            turbo.label().contains("DVB-RCS CTC 96"),
+            "{}",
+            turbo.label()
+        );
         let rows = run_table2_for(&ldpc, &turbo);
         assert_eq!(rows.len(), 3);
     }

@@ -4,8 +4,9 @@
 //! decoder fabric serving multiple standards and code families.  This crate
 //! is the single registry of channel codes for the workspace:
 //!
-//! * [`standard`] — the [`Standard`] enum (802.16e, 802.11n, LTE) with
-//!   per-standard throughput requirements and CLI flag parsing;
+//! * [`standard`] — the [`Standard`] enum (802.16e, 802.11n, LTE, 802.22,
+//!   DVB-RCS) with per-standard throughput requirements and CLI flag
+//!   parsing;
 //! * [`wifi`] — the twelve IEEE 802.11n QC-LDPC base matrices (n = 648 /
 //!   1296 / 1944 x rates 1/2, 2/3, 3/4, 5/6) built on the generalized
 //!   [`wimax_ldpc::BaseMatrix`] with direct (per-`z`) shift tables;
@@ -13,6 +14,13 @@
 //!   table, tail-bit-terminated encoder, iterative binary Max-Log-MAP
 //!   decoder (reusing `wimax_turbo::binary`) and its
 //!   [`fec_channel::sim::FecCodec`] adapter;
+//! * [`wran`] — the IEEE 802.22 WRAN QC-LDPC tables (n = 384 … 2304 x
+//!   rates 1/2, 2/3, 3/4) on the same 24-column base layout and floor
+//!   shift-scaling rule as 802.16e;
+//! * [`dvb_rcs`] — the DVB-RCS duo-binary CTC: the `(P0, Q1–Q3)`
+//!   interleaver parameter table per couple size (validated bijective at
+//!   construction) over the shared `wimax_turbo` 8-state CRSC trellis and
+//!   SISO;
 //! * [`registry`] — [`StandardCode`] + the [`StandardRegistry`] trait, the
 //!   interface the compliance sweep, the design-space explorer and the BER
 //!   binaries use to enumerate and decode codes per standard.
@@ -31,18 +39,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dvb_rcs;
 pub mod lte;
 pub mod registry;
 pub mod standard;
 pub mod wifi;
+pub mod wran;
 
+pub use dvb_rcs::{
+    dvb_rcs_ctc, dvb_rcs_ctc_with_rate, dvb_rcs_interleaver, DVB_RCS_ARP_TABLE,
+    DVB_RCS_COUPLE_SIZES,
+};
 pub use lte::{
     lte_block_sizes, LteTurboCode, LteTurboCodec, LteTurboDecoder, LteTurboDecoderConfig,
     LteTurboEncoder, LteTurboError, QppInterleaver, QppParameters, LTE_QPP_TABLE,
 };
 pub use registry::{
-    registry_for, LteRegistry, NamedCodec, StandardCode, StandardRegistry, WifiRegistry,
-    WimaxRegistry,
+    registry_for, DvbRcsRegistry, LteRegistry, NamedCodec, StandardCode, StandardRegistry,
+    WifiRegistry, WimaxRegistry, WranRegistry,
 };
 pub use standard::{Standard, UnknownStandard};
 pub use wifi::{wifi_base_matrix, wifi_ldpc, wifi_rates, WIFI_BLOCK_LENGTHS};
+pub use wran::{wran_base_matrix, wran_ldpc, wran_rates, WRAN_BLOCK_LENGTHS};

@@ -6,9 +6,11 @@
 //! define, and how do I decode them?" — so adding a standard means adding a
 //! registry implementation here, not touching the sweeps.
 
+use crate::dvb_rcs::{dvb_rcs_ctc, DVB_RCS_COUPLE_SIZES};
 use crate::lte::{lte_block_sizes, LteTurboCode, LteTurboCodec, LteTurboDecoderConfig};
 use crate::standard::Standard;
 use crate::wifi::{wifi_ldpc, wifi_rates, WIFI_BLOCK_LENGTHS};
+use crate::wran::{wran_ldpc, wran_rates, WRAN_BLOCK_LENGTHS};
 use fec_channel::sim::{DecodedFrame, FecCodec};
 use fec_fixed::Llr;
 use wimax_ldpc::decoder::{FixedLayeredConfig, LayeredConfig};
@@ -21,7 +23,7 @@ use wimax_turbo::{CtcCode, TurboCodec, TurboDecoderConfig, WIMAX_FRAME_SIZES};
 /// architectural layers need.
 #[derive(Debug, Clone)]
 pub enum StandardCode {
-    /// A QC-LDPC code (802.16e or 802.11n).
+    /// A QC-LDPC code (802.16e, 802.11n or 802.22).
     Ldpc {
         /// The standard the code belongs to.
         standard: Standard,
@@ -38,6 +40,12 @@ pub enum StandardCode {
         /// The code.
         code: LteTurboCode,
     },
+    /// The DVB-RCS duo-binary CTC (same trellis as 802.16e, its own
+    /// interleaver parameter table).
+    DvbRcsTurbo {
+        /// The code.
+        code: CtcCode,
+    },
 }
 
 impl StandardCode {
@@ -47,6 +55,7 @@ impl StandardCode {
             StandardCode::Ldpc { standard, .. } => *standard,
             StandardCode::WimaxTurbo { .. } => Standard::Wimax,
             StandardCode::LteTurbo { .. } => Standard::Lte,
+            StandardCode::DvbRcsTurbo { .. } => Standard::DvbRcs,
         }
     }
 
@@ -62,6 +71,9 @@ impl StandardCode {
             StandardCode::LteTurbo { code } => {
                 format!("LTE TC K={} r=1/3", code.info_bits())
             }
+            StandardCode::DvbRcsTurbo { code } => {
+                format!("DVB-RCS CTC {} r=1/2", code.info_bits())
+            }
         }
     }
 
@@ -69,7 +81,9 @@ impl StandardCode {
     pub fn info_bits(&self) -> usize {
         match self {
             StandardCode::Ldpc { code, .. } => code.k(),
-            StandardCode::WimaxTurbo { code } => code.info_bits(),
+            StandardCode::WimaxTurbo { code } | StandardCode::DvbRcsTurbo { code } => {
+                code.info_bits()
+            }
             StandardCode::LteTurbo { code } => code.info_bits(),
         }
     }
@@ -86,7 +100,9 @@ impl StandardCode {
     pub fn mapping_units(&self) -> usize {
         match self {
             StandardCode::Ldpc { code, .. } => code.m(),
-            StandardCode::WimaxTurbo { code } => code.couples(),
+            StandardCode::WimaxTurbo { code } | StandardCode::DvbRcsTurbo { code } => {
+                code.couples()
+            }
             StandardCode::LteTurbo { code } => code.info_bits(),
         }
     }
@@ -106,6 +122,10 @@ impl StandardCode {
             StandardCode::LteTurbo { code } => {
                 Box::new(LteTurboCodec::new(code, LteTurboDecoderConfig::default()))
             }
+            StandardCode::DvbRcsTurbo { code } => Box::new(NamedCodec::new(
+                TurboCodec::new(code, TurboDecoderConfig::default()),
+                format!("dvbrcs-ctc-{}c-bit", code.couples()),
+            )),
         }
     }
 
@@ -300,12 +320,78 @@ impl StandardRegistry for LteRegistry {
     }
 }
 
+/// The 802.22 registry: 6 block lengths x 3 rates, LDPC only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WranRegistry;
+
+impl StandardRegistry for WranRegistry {
+    fn standard(&self) -> Standard {
+        Standard::Wran80222
+    }
+
+    fn full_codes(&self) -> Vec<StandardCode> {
+        let mut codes = Vec::new();
+        for &n in &WRAN_BLOCK_LENGTHS {
+            for rate in wran_rates() {
+                codes.push(StandardCode::Ldpc {
+                    standard: Standard::Wran80222,
+                    code: wran_ldpc(n, rate).expect("valid 802.22 length"),
+                });
+            }
+        }
+        codes
+    }
+
+    fn corner_codes(&self) -> Vec<StandardCode> {
+        let mut codes = Vec::new();
+        for n in [384, 2304] {
+            for rate in [CodeRate::R12, CodeRate::R34] {
+                codes.push(StandardCode::Ldpc {
+                    standard: Standard::Wran80222,
+                    code: wran_ldpc(n, rate).expect("valid 802.22 length"),
+                });
+            }
+        }
+        codes
+    }
+}
+
+/// The DVB-RCS registry: the twelve couple sizes, duo-binary CTC only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DvbRcsRegistry;
+
+impl StandardRegistry for DvbRcsRegistry {
+    fn standard(&self) -> Standard {
+        Standard::DvbRcs
+    }
+
+    fn full_codes(&self) -> Vec<StandardCode> {
+        DVB_RCS_COUPLE_SIZES
+            .iter()
+            .map(|&couples| StandardCode::DvbRcsTurbo {
+                code: dvb_rcs_ctc(couples).expect("valid DVB-RCS couple size"),
+            })
+            .collect()
+    }
+
+    fn corner_codes(&self) -> Vec<StandardCode> {
+        [48usize, 864]
+            .into_iter()
+            .map(|couples| StandardCode::DvbRcsTurbo {
+                code: dvb_rcs_ctc(couples).expect("valid DVB-RCS couple size"),
+            })
+            .collect()
+    }
+}
+
 /// Returns the registry for `standard`.
 pub fn registry_for(standard: Standard) -> Box<dyn StandardRegistry> {
     match standard {
         Standard::Wimax => Box::new(WimaxRegistry),
         Standard::Wifi80211n => Box::new(WifiRegistry),
         Standard::Lte => Box::new(LteRegistry),
+        Standard::Wran80222 => Box::new(WranRegistry),
+        Standard::DvbRcs => Box::new(DvbRcsRegistry),
     }
 }
 
@@ -318,6 +404,8 @@ mod tests {
         assert_eq!(WimaxRegistry.full_codes().len(), 19 * 6 + 17);
         assert_eq!(WifiRegistry.full_codes().len(), 3 * 4);
         assert_eq!(LteRegistry.full_codes().len(), lte_block_sizes().len());
+        assert_eq!(WranRegistry.full_codes().len(), 6 * 3);
+        assert_eq!(DvbRcsRegistry.full_codes().len(), 12);
         for standard in Standard::all() {
             let reg = registry_for(standard);
             assert_eq!(reg.standard(), standard);
@@ -338,8 +426,14 @@ mod tests {
         assert_eq!(worst.mapping_units(), 972); // N = 1944, r = 1/2
         let worst = LteRegistry.worst_turbo().unwrap();
         assert_eq!(worst.mapping_units(), 6144);
+        let worst = WranRegistry.worst_ldpc().unwrap();
+        assert_eq!(worst.mapping_units(), 1152); // N = 2304, r = 1/2
+        let worst = DvbRcsRegistry.worst_turbo().unwrap();
+        assert_eq!(worst.mapping_units(), 864);
         assert!(WifiRegistry.worst_turbo().is_none());
         assert!(LteRegistry.worst_ldpc().is_none());
+        assert!(WranRegistry.worst_turbo().is_none());
+        assert!(DvbRcsRegistry.worst_ldpc().is_none());
     }
 
     #[test]
@@ -347,6 +441,29 @@ mod tests {
         assert!(WifiRegistry.corner_codes()[0].label().contains("802.11n"));
         assert!(LteRegistry.corner_codes()[0].label().contains("LTE"));
         assert!(WimaxRegistry.corner_codes()[0].label().contains("802.16e"));
+        assert!(WranRegistry.corner_codes()[0].label().contains("802.22"));
+        assert!(DvbRcsRegistry.corner_codes()[0].label().contains("DVB-RCS"));
+    }
+
+    #[test]
+    fn dvb_rcs_codec_reuses_the_duo_binary_substrate_with_its_own_name() {
+        let code = &DvbRcsRegistry.corner_codes()[0];
+        assert!(!code.is_ldpc());
+        assert_eq!(code.info_bits(), 96);
+        assert_eq!(code.mapping_units(), 48);
+        let codec = code.codec();
+        assert_eq!(codec.name(), "dvbrcs-ctc-48c-bit");
+        assert!(code.quantized_codec().is_none());
+    }
+
+    #[test]
+    fn wran_codes_run_both_datapaths() {
+        let code = &WranRegistry.corner_codes()[0];
+        assert!(code.is_ldpc());
+        assert!(code.codec().name().contains("80222-ldpc-n384"));
+        let q = code.quantized_codec().expect("LDPC has a quantized path");
+        assert!(q.name().contains("80222"), "{}", q.name());
+        assert!(q.name().contains("q7"), "{}", q.name());
     }
 
     #[test]

@@ -12,12 +12,24 @@ pub enum Standard {
     Wifi80211n,
     /// 3GPP LTE: rate-1/3 binary turbo with the QPP interleaver.
     Lte,
+    /// IEEE 802.22 (WRAN, "TV white space"): QC-LDPC on the same 24-column
+    /// base layout as 802.16e.
+    Wran80222,
+    /// DVB-RCS (return channel via satellite): duo-binary CTC on the same
+    /// 8-state CRSC trellis as 802.16e, with its own interleaver table.
+    DvbRcs,
 }
 
 impl Standard {
     /// All supported standards, in registry order.
-    pub fn all() -> [Standard; 3] {
-        [Standard::Wimax, Standard::Wifi80211n, Standard::Lte]
+    pub fn all() -> [Standard; 5] {
+        [
+            Standard::Wimax,
+            Standard::Wifi80211n,
+            Standard::Lte,
+            Standard::Wran80222,
+            Standard::DvbRcs,
+        ]
     }
 
     /// Human-readable name.
@@ -26,6 +38,8 @@ impl Standard {
             Standard::Wimax => "802.16e",
             Standard::Wifi80211n => "802.11n",
             Standard::Lte => "LTE",
+            Standard::Wran80222 => "802.22",
+            Standard::DvbRcs => "DVB-RCS",
         }
     }
 
@@ -35,18 +49,24 @@ impl Standard {
             Standard::Wimax => "wimax",
             Standard::Wifi80211n => "80211n",
             Standard::Lte => "lte",
+            Standard::Wran80222 => "80222",
+            Standard::DvbRcs => "dvbrcs",
         }
     }
 
     /// The per-standard decoder throughput requirement in Mb/s, used by the
     /// compliance sweep and the minimum-parallelism search: 70 Mb/s for
     /// WiMAX (the paper's target), 450 Mb/s for 802.11n (the three-stream
-    /// mandatory PHY rate) and 150 Mb/s for LTE (category 4 downlink).
+    /// mandatory PHY rate), 150 Mb/s for LTE (category 4 downlink), 23 Mb/s
+    /// for 802.22 (the WRAN peak channel rate) and 8 Mb/s for DVB-RCS (the
+    /// upper return-link carrier rate).
     pub fn required_throughput_mbps(&self) -> f64 {
         match self {
             Standard::Wimax => 70.0,
             Standard::Wifi80211n => 450.0,
             Standard::Lte => 150.0,
+            Standard::Wran80222 => 23.0,
+            Standard::DvbRcs => 8.0,
         }
     }
 }
@@ -66,10 +86,14 @@ pub struct UnknownStandard {
 
 impl fmt::Display for UnknownStandard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // List the canonical flags so a mistyped `--standard` fails with the
+        // full menu of valid values, kept in sync with `Standard::all`.
+        let valid: Vec<&str> = Standard::all().iter().map(Standard::flag).collect();
         write!(
             f,
-            "unknown standard {:?} (expected wimax, 80211n or lte)",
-            self.input
+            "unknown standard {:?} (valid values: {})",
+            self.input,
+            valid.join(", ")
         )
     }
 }
@@ -84,6 +108,8 @@ impl FromStr for Standard {
             "wimax" | "802.16e" | "80216e" | "16e" => Ok(Standard::Wimax),
             "80211n" | "802.11n" | "11n" | "wifi" => Ok(Standard::Wifi80211n),
             "lte" | "3gpp" => Ok(Standard::Lte),
+            "80222" | "802.22" | "22" | "wran" => Ok(Standard::Wran80222),
+            "dvbrcs" | "dvb-rcs" | "rcs" => Ok(Standard::DvbRcs),
             _ => Err(UnknownStandard { input: s.into() }),
         }
     }
@@ -100,8 +126,30 @@ mod tests {
         assert_eq!("80211n".parse::<Standard>().unwrap(), Standard::Wifi80211n);
         assert_eq!("802.11n".parse::<Standard>().unwrap(), Standard::Wifi80211n);
         assert_eq!("LTE".parse::<Standard>().unwrap(), Standard::Lte);
+        assert_eq!("802.22".parse::<Standard>().unwrap(), Standard::Wran80222);
+        assert_eq!("wran".parse::<Standard>().unwrap(), Standard::Wran80222);
+        assert_eq!("dvb-rcs".parse::<Standard>().unwrap(), Standard::DvbRcs);
+        assert_eq!("DVBRCS".parse::<Standard>().unwrap(), Standard::DvbRcs);
         let err = "gsm".parse::<Standard>().unwrap_err();
         assert!(err.to_string().contains("gsm"));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_valid_value_list() {
+        // The CLI contract: a mistyped `--standard` must fail loudly and
+        // name every accepted flag, including the newly added ones.
+        let err = "80211ac".parse::<Standard>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("\"80211ac\""), "{msg}");
+        for standard in Standard::all() {
+            assert!(msg.contains(standard.flag()), "{msg} lacks {standard}");
+        }
+        assert_eq!(
+            err,
+            UnknownStandard {
+                input: "80211ac".into()
+            }
+        );
     }
 
     #[test]
@@ -119,6 +167,21 @@ mod tests {
             Standard::Wifi80211n.required_throughput_mbps()
                 > Standard::Lte.required_throughput_mbps()
         );
+        assert_eq!(Standard::Wran80222.name(), "802.22");
+        assert_eq!(Standard::DvbRcs.name(), "DVB-RCS");
+        // Narrowband standards require less than the paper's WiMAX target.
+        assert!(Standard::Wran80222.required_throughput_mbps() < 70.0);
+        assert!(Standard::DvbRcs.required_throughput_mbps() < 70.0);
         assert_eq!(format!("{}", Standard::Lte), "LTE");
+    }
+
+    #[test]
+    fn registry_order_is_stable_and_unique() {
+        let all = Standard::all();
+        assert_eq!(all.len(), 5);
+        let mut flags: Vec<&str> = all.iter().map(Standard::flag).collect();
+        flags.sort_unstable();
+        flags.dedup();
+        assert_eq!(flags.len(), all.len(), "duplicate flags");
     }
 }

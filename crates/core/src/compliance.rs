@@ -1,7 +1,8 @@
 //! Multi-standard compliance sweep: evaluates one decoder configuration on
 //! the code set of each supported standard (802.16e LDPC + CTC, 802.11n
-//! LDPC, LTE turbo) and reports the worst-case throughput of each mode
-//! against the *standard's own* throughput requirement.
+//! LDPC, LTE turbo, 802.22 LDPC, DVB-RCS CTC) and reports the worst-case
+//! throughput of each mode against the *standard's own* throughput
+//! requirement.
 //!
 //! This backs the paper's central claim that the chosen `P = 22` design is a
 //! flexible decoder "supporting the whole set of turbo and LDPC codes" — and
@@ -309,7 +310,9 @@ mod tests {
             12
         );
         assert!(!ComplianceScope::full(Standard::Lte).codes().is_empty());
-        assert_eq!(ComplianceScope::all_full().len(), 3);
+        assert_eq!(ComplianceScope::full(Standard::Wran80222).codes().len(), 18);
+        assert_eq!(ComplianceScope::full(Standard::DvbRcs).codes().len(), 12);
+        assert_eq!(ComplianceScope::all_full().len(), 5);
     }
 
     #[test]
@@ -371,16 +374,44 @@ mod tests {
     }
 
     #[test]
-    fn multi_standard_sweep_reports_entries_for_all_three_standards() {
+    fn multi_standard_sweep_reports_entries_for_all_five_standards() {
         let report = run_multi_compliance(
             &DecoderConfig::paper_design_point(),
             &ComplianceScope::all_corners(),
         )
         .unwrap();
         let standards = report.standards();
-        assert_eq!(standards, vec!["802.16e", "802.11n", "LTE"]);
+        assert_eq!(
+            standards,
+            vec!["802.16e", "802.11n", "LTE", "802.22", "DVB-RCS"]
+        );
         for e in &report.entries {
             assert!(e.throughput_mbps > 0.0, "{}", e.code);
+        }
+    }
+
+    #[test]
+    fn new_standard_corners_fit_the_paper_design_point() {
+        // Every 802.22 and DVB-RCS corner code has at least P = 22 mapping
+        // units, so none may be silently skipped by the mapping guard.
+        let config = DecoderConfig::paper_design_point();
+        for standard in [Standard::Wran80222, Standard::DvbRcs] {
+            let scope = ComplianceScope::corners(standard);
+            let report = run_compliance(&config, &scope).unwrap();
+            assert_eq!(
+                report.entries.len(),
+                scope.codes().len(),
+                "{standard}: corner codes skipped"
+            );
+            for e in &report.entries {
+                assert_eq!(e.standard, standard.name());
+                assert_eq!(
+                    e.required_mbps,
+                    standard.required_throughput_mbps(),
+                    "{}",
+                    e.code
+                );
+            }
         }
     }
 

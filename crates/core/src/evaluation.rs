@@ -209,7 +209,12 @@ pub fn evaluate_standard_code(
 ) -> Result<DesignEvaluation, DecoderError> {
     match code {
         StandardCode::Ldpc { code, .. } => evaluate_ldpc(config, code),
-        StandardCode::WimaxTurbo { code } => evaluate_turbo(config, code),
+        // The DVB-RCS CTC shares the duo-binary trellis and the couple-level
+        // extrinsic traffic of the 802.16e CTC; only its interleaver (and
+        // hence the NoC traffic pattern) differs, which `CtcCode` carries.
+        StandardCode::WimaxTurbo { code } | StandardCode::DvbRcsTurbo { code } => {
+            evaluate_turbo(config, code)
+        }
         StandardCode::LteTurbo { code } => {
             // QppInterleaver::permute is interleaved -> natural (output i
             // reads input pi(i)); TurboMapping wants natural -> interleaved
@@ -471,6 +476,40 @@ mod tests {
         let via =
             evaluate_standard_code(&config, &code_tables::StandardCode::LteTurbo { code }).unwrap();
         assert_eq!(via, expected);
+    }
+
+    #[test]
+    fn wran_ldpc_evaluation_through_the_registry() {
+        use code_tables::{registry_for, Standard};
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let code = registry_for(Standard::Wran80222).worst_ldpc().unwrap();
+        let eval = evaluate_standard_code(&config, &code).unwrap();
+        assert_eq!(eval.mode, Mode::Ldpc);
+        assert_eq!(eval.info_bits, 1152);
+        assert!(eval.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn dvb_rcs_evaluation_matches_the_direct_turbo_path() {
+        // The DVB-RCS dispatch must be exactly the duo-binary turbo
+        // evaluation on its own CtcCode (same trellis, its own interleaver).
+        let config = DecoderConfig::paper_design_point().with_pes(8);
+        let code = code_tables::dvb_rcs_ctc(212).unwrap();
+        let direct = evaluate_turbo(&config, &code).unwrap();
+        let via = evaluate_standard_code(
+            &config,
+            &code_tables::StandardCode::DvbRcsTurbo { code: code.clone() },
+        )
+        .unwrap();
+        assert_eq!(direct, via);
+        assert_eq!(via.mode, Mode::Turbo);
+        assert_eq!(via.info_bits, 424);
+        assert_eq!(via.messages_per_phase, 212);
+        // A different interleaver than the (nonexistent) WiMAX 212 would
+        // give different traffic; sanity-check against a WiMAX size close by.
+        let wimax = evaluate_turbo(&config, &CtcCode::wimax(216).unwrap()).unwrap();
+        assert_ne!(via.phase_cycles, 0);
+        assert_ne!(wimax.messages_per_phase, via.messages_per_phase);
     }
 
     #[test]

@@ -102,10 +102,29 @@ impl CtcCode {
         if !WIMAX_FRAME_SIZES.contains(&couples) {
             return Err(TurboError::UnsupportedFrameSize { couples });
         }
+        let interleaver = ArpInterleaver::wimax(couples)?;
+        Self::from_interleaver(interleaver, rate)
+    }
+
+    /// Builds a duo-binary CTC from an already-validated couple interleaver
+    /// and a puncture rate.  The constituent trellis is the shared 8-state
+    /// duo-binary CRSC used by both 802.16e and DVB-RCS; standards that reuse
+    /// it with their own interleaver parameter tables (DVB-RCS in the
+    /// `code-tables` crate) construct their codes through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TurboError::InvalidCirculation`] if the frame size is a
+    /// multiple of the CRSC period 7 (the circulation state would be
+    /// undefined).
+    pub fn from_interleaver(
+        interleaver: ArpInterleaver,
+        rate: PunctureRate,
+    ) -> Result<Self, TurboError> {
+        let couples = interleaver.len();
         if couples.is_multiple_of(7) {
             return Err(TurboError::InvalidCirculation { couples });
         }
-        let interleaver = ArpInterleaver::wimax(couples)?;
         Ok(CtcCode {
             couples,
             rate,
@@ -297,6 +316,53 @@ mod tests {
     fn unsupported_sizes_rejected() {
         assert!(CtcCode::wimax(100).is_err());
         assert!(CtcCode::wimax(0).is_err());
+    }
+
+    #[test]
+    fn from_interleaver_accepts_non_wimax_sizes() {
+        // A 64-couple ARP permutation is not a WiMAX frame size but is a
+        // perfectly valid duo-binary CTC (DVB-RCS defines one): the generic
+        // constructor accepts it, the WiMAX one rejects it.
+        let params = crate::ArpParameters {
+            couples: 64,
+            p0: 7,
+            p1: 34,
+            p2: 32,
+            p3: 2,
+        };
+        let pi = ArpInterleaver::from_parameters(params).unwrap();
+        let code = CtcCode::from_interleaver(pi, PunctureRate::R12).unwrap();
+        assert_eq!(code.couples(), 64);
+        assert_eq!(code.info_bits(), 128);
+        assert_eq!(code.coded_bits(), 256);
+        assert!(CtcCode::wimax(64).is_err());
+        // the full encode path runs on it
+        let enc = TurboEncoder::new(&code);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let info: Vec<u8> = (0..128).map(|_| rng.gen_range(0..=1)).collect();
+        let cw = enc.encode(&info).unwrap();
+        assert_eq!(cw.len(), code.coded_bits());
+        assert_eq!(
+            &cw[..64],
+            &info.iter().step_by(2).copied().collect::<Vec<_>>()[..]
+        );
+    }
+
+    #[test]
+    fn from_interleaver_rejects_multiples_of_seven() {
+        // 28 couples: multiple of 4 (valid ARP) but of the CRSC period too.
+        let params = crate::ArpParameters {
+            couples: 28,
+            p0: 5,
+            p1: 0,
+            p2: 0,
+            p3: 0,
+        };
+        let pi = ArpInterleaver::from_parameters(params).unwrap();
+        assert!(matches!(
+            CtcCode::from_interleaver(pi, PunctureRate::R12),
+            Err(TurboError::InvalidCirculation { couples: 28 })
+        ));
     }
 
     #[test]

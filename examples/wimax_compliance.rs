@@ -1,8 +1,8 @@
 //! Multi-standard compliance sweep: evaluates the paper's P = 22 design
 //! point on the corner subset (or, with `--full`, the complete set) of every
-//! supported standard's codes — 802.16e LDPC + CTC, 802.11n LDPC and LTE
-//! turbo — and reports the worst-case throughput of each mode against each
-//! standard's own requirement.
+//! supported standard's codes — 802.16e LDPC + CTC, 802.11n LDPC, LTE
+//! turbo, 802.22 WRAN LDPC and the DVB-RCS CTC — and reports the worst-case
+//! throughput of each mode against each standard's own requirement.
 //!
 //! The per-code evaluations are sharded over the shared deterministic work
 //! pool (`--workers`, default one per core; the report is bit-identical for
@@ -11,7 +11,8 @@
 //! observable with `tail -f`.
 //!
 //! Run with `cargo run --example wimax_compliance --release [-- --full]
-//! [-- --standard wimax|80211n|lte] [-- --workers <n>] [-- --json <path>]`.
+//! [-- --standard wimax|80211n|lte|80222|dvbrcs] [-- --workers <n>]
+//! [-- --json <path>]`.
 
 use fec_json::{Json, StreamedRows};
 use noc_decoder::{run_multi_compliance_sharded, ComplianceScope, DecoderConfig, Standard};

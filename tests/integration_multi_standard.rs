@@ -1,7 +1,7 @@
 //! Multi-standard integration tests: every standard's codes must decode
 //! through the unified Monte-Carlo engine with bit-identical counts at any
 //! worker count, and the architectural layer must evaluate codes from all
-//! three standards in one compliance sweep.
+//! five standards in one compliance sweep.
 
 use fec_channel::ber::MonteCarloConfig;
 use fec_channel::sim::{EngineConfig, SimulationEngine};
@@ -60,39 +60,74 @@ fn per_standard_round_trip_is_error_free_and_worker_invariant() {
 }
 
 #[test]
-fn quantized_datapath_is_also_worker_invariant_on_wifi_codes() {
-    // The fixed-point hardware datapath must run the new 802.11n tables
-    // through the engine unchanged.
-    let code = smallest_corner(Standard::Wifi80211n);
-    let codec = code.quantized_codec().expect("LDPC has a quantized path");
-    let reference = engine(1).run_point(codec.as_ref(), 5.0);
-    assert_eq!(reference.bit_errors, 0, "{}", codec.name());
-    for workers in [2usize, 8] {
-        assert_eq!(
-            engine(workers).run_point(codec.as_ref(), 5.0),
-            reference,
-            "workers = {workers}"
-        );
+fn quantized_datapath_is_also_worker_invariant_on_ldpc_standards() {
+    // The fixed-point hardware datapath must run the 802.11n and 802.22
+    // tables through the engine unchanged.
+    for standard in [Standard::Wifi80211n, Standard::Wran80222] {
+        let code = smallest_corner(standard);
+        let codec = code.quantized_codec().expect("LDPC has a quantized path");
+        let reference = engine(1).run_point(codec.as_ref(), 5.0);
+        assert_eq!(reference.bit_errors, 0, "{}", codec.name());
+        for workers in [2usize, 8] {
+            assert_eq!(
+                engine(workers).run_point(codec.as_ref(), 5.0),
+                reference,
+                "{}: workers = {workers}",
+                codec.name()
+            );
+        }
     }
 }
 
 #[test]
-fn corners_compliance_sweep_covers_all_three_standards() {
+fn corners_compliance_sweep_covers_all_five_standards() {
     let report = run_multi_compliance(
         &DecoderConfig::paper_design_point(),
         &ComplianceScope::all_corners(),
     )
     .expect("multi-standard sweep evaluates");
-    assert_eq!(report.standards(), vec!["802.16e", "802.11n", "LTE"]);
+    assert_eq!(
+        report.standards(),
+        vec!["802.16e", "802.11n", "LTE", "802.22", "DVB-RCS"]
+    );
     // every evaluated entry carries a positive throughput and its own
     // standard's requirement
     for e in &report.entries {
         assert!(e.throughput_mbps > 0.0, "{}", e.code);
-        assert!(e.required_mbps >= 70.0, "{}", e.code);
+        assert!(e.required_mbps > 0.0, "{}", e.code);
     }
     // both operating modes are represented
     assert!(report.worst_ldpc_mbps > 0.0);
     assert!(report.worst_turbo_mbps > 0.0);
+}
+
+#[test]
+fn new_standard_round_trips_are_bit_identical_at_1_2_and_8_workers() {
+    // The satellite engine check for the two new standards, on the larger
+    // corner codes too (the per-standard loop above only covers the
+    // smallest): the counts must not depend on the worker count.
+    let codes = [
+        registry_for(Standard::Wran80222)
+            .worst_ldpc()
+            .expect("802.22 defines LDPC"),
+        registry_for(Standard::DvbRcs)
+            .worst_turbo()
+            .expect("DVB-RCS defines turbo"),
+    ];
+    for code in codes {
+        let codec = code.codec();
+        let reference = engine(1).run_point(codec.as_ref(), 5.0);
+        assert_eq!(reference.frames, 24, "{}", codec.name());
+        assert_eq!(reference.bit_errors, 0, "{}", codec.name());
+        for workers in [2usize, 8] {
+            assert_eq!(
+                engine(workers).run_point(codec.as_ref(), 5.0),
+                reference,
+                "{}: workers = {workers}",
+                codec.name()
+            );
+        }
+    }
 }
 
 #[test]
