@@ -11,7 +11,9 @@
 //! JSON (`BENCH_kernels.json` in CI) for trajectory tracking.
 
 use decoder_bench::harness::{bench, print_header, BenchReport};
-use decoder_bench::{json_flag_from_args, ldpc_codec, write_json, LdpcFlavor};
+use decoder_bench::{
+    json_flag_from_args, ldpc_codec, quantized_ldpc_codec, write_json, LdpcFlavor,
+};
 use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_fixed::Llr;
 use fec_json::{Json, ToJson};
@@ -154,6 +156,75 @@ fn main() {
         }),
     );
 
+    // The lockstep batch MEU scan: the same 4096 degree-7 rows, laid out as
+    // struct-of-arrays groups of 8 and 16 frame lanes.
+    let mut scan_out = wimax_ldpc::decoder::BatchTwoMinScan::new();
+    for lanes in [8usize, 16] {
+        let name = format!("meu_two_min_deg7_x4096/scan_batch_b{lanes}");
+        let q_soa = q_fixed.clone(); // same values; chunked as 7 * lanes
+        run(
+            &mut reports,
+            bench(name.leak(), 3, 40, || {
+                let mut acc = 0i32;
+                for group in q_soa.chunks_exact(7 * lanes) {
+                    MinimumExtractionUnit::scan_batch(group, lanes, &mut scan_out);
+                    for f in 0..lanes {
+                        acc += i32::from(scan_out.min1[f]) + i32::from(scan_out.min2[f]);
+                    }
+                }
+                std::hint::black_box(acc);
+            }),
+        );
+    }
+
+    // Serial vs lockstep batch fixed decode on n576/R12, full 10-iteration
+    // budget with early termination off so every variant does identical
+    // work: the b8/b1 ratio is the pure lockstep (SoA) datapath speedup.
+    let fixed10 = FixedLayeredDecoder::new(
+        &code576,
+        FixedLayeredConfig {
+            max_iterations: 10,
+            early_termination: false,
+            ..FixedLayeredConfig::default()
+        },
+    );
+    let batch_total = 16usize;
+    let mut frame_rng = rand::rngs::StdRng::seed_from_u64(13);
+    let quantized_frames: Vec<i16> = (0..batch_total * code576.n())
+        .map(|_| frame_rng.gen_range(-64i16..=63))
+        .collect();
+    let n576 = code576.n();
+    let b1_report = bench("fixed_layered_n576_x16f/serial_b1", 2, 12, || {
+        for f in 0..batch_total {
+            std::hint::black_box(
+                fixed10.decode_quantized(&quantized_frames[f * n576..(f + 1) * n576]),
+            );
+        }
+    });
+    let b8_report = bench("fixed_layered_n576_x16f/lockstep_b8", 2, 12, || {
+        for half in quantized_frames.chunks_exact(8 * n576) {
+            std::hint::black_box(fixed10.decode_batch_quantized(half, 8));
+        }
+    });
+    let b16_report = bench("fixed_layered_n576_x16f/lockstep_b16", 2, 12, || {
+        std::hint::black_box(fixed10.decode_batch_quantized(&quantized_frames, 16));
+    });
+    let batch_speedup_b8 = b1_report.min_ns / b8_report.min_ns;
+    let frames_per_s = |r: &BenchReport| batch_total as f64 / (r.min_ns * 1e-9);
+    let rates = [
+        frames_per_s(&b1_report),
+        frames_per_s(&b8_report),
+        frames_per_s(&b16_report),
+    ];
+    run(&mut reports, b1_report);
+    run(&mut reports, b8_report);
+    run(&mut reports, b16_report);
+    println!(
+        "    -> fixed layered n576 frames/s (10 it, no ET): b1 {:.0}, b8 {:.0}, b16 {:.0}; \
+         b8 speedup {batch_speedup_b8:.2}x (min/min)",
+        rates[0], rates[1], rates[2]
+    );
+
     // The pooled (point, shard) Monte-Carlo path end to end: a short-budget
     // multi-point curve on the n576 layered codec, so BENCH_kernels.json
     // tracks the shared work-pool scheduler's throughput across commits.
@@ -165,6 +236,21 @@ fn main() {
         &mut reports,
         bench("engine_curve_n576_6pt_x24f/pool_w4", 1, 8, || {
             std::hint::black_box(engine.run_curve(engine_codec.as_ref(), &engine_snrs));
+        }),
+    );
+
+    // The same pooled curve on the quantized codec with 8-frame lockstep
+    // batches: the engine-level face of the batch datapath.
+    let batch_codec = quantized_ldpc_codec(576, 7);
+    let batch_engine = SimulationEngine::new(
+        EngineConfig::fixed_frames(24, 11)
+            .with_workers(4)
+            .with_batch_frames(8),
+    );
+    run(
+        &mut reports,
+        bench("engine_curve_n576_6pt_x24f/pool_w4_b8_q7", 1, 8, || {
+            std::hint::black_box(batch_engine.run_curve(batch_codec.as_ref(), &engine_snrs));
         }),
     );
 
@@ -205,6 +291,7 @@ fn main() {
         let json = Json::obj([
             ("table", Json::str("kernels")),
             ("fixed_vs_f64_speedup_n576", Json::from(speedup)),
+            ("batch_speedup_b8_n576", Json::from(batch_speedup_b8)),
             ("rows", reports.to_json()),
         ]);
         write_json(&path, &json);

@@ -19,7 +19,8 @@
 //!
 //! Usage: `cargo run -p decoder-bench --bin ber_study --release --
 //! [frames] [--standard wimax|80211n|lte|80222|dvbrcs] [--quantized]
-//! [--lambda-bits <n>] [--workers <n>] [--json <path>]`
+//! [--lambda-bits <n>] [--workers <n>] [--batch-frames <n>]
+//! [--json <path>]`
 //!
 //! `--quantized` adds the fixed-point layered LDPC curve (the hardware
 //! datapath model) next to the floating-point reference, quantizing channel
@@ -28,12 +29,19 @@
 //! `--workers` sets the worker count of the shared simulation pool (default
 //! one per core); every curve schedules its `(point, shard)` work units
 //! onto one pool, and the counts are bit-identical for any worker count.
+//!
+//! `--batch-frames` hands that many frames per call to the codecs'
+//! lockstep batch decoder (default 1, the classic loop).  Channel noise is
+//! drawn frame by frame before decoding and batch decodes are bit-identical
+//! per frame, so every count — and the `--json` output — is byte-for-byte
+//! independent of the batch size.
 
 use code_tables::Standard;
 use decoder_bench::{
-    dvb_rcs_turbo_codec, json_flag_from_args, ldpc_codec, lte_turbo_codec, print_curve,
-    quantized_ldpc_codec, standard_flag_from_args, standard_snrs, turbo_codec, wifi_ldpc_codec,
-    workers_flag_from_args, wran_ldpc_codec, write_json, BerCurve, LdpcFlavor,
+    batch_frames_flag_from_args, dvb_rcs_turbo_codec, json_flag_from_args, ldpc_codec,
+    lte_turbo_codec, print_curve, quantized_ldpc_codec, standard_flag_from_args, standard_snrs,
+    turbo_codec, wifi_ldpc_codec, workers_flag_from_args, wran_ldpc_codec, write_json, BerCurve,
+    LdpcFlavor,
 };
 use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_json::{Json, ToJson};
@@ -43,6 +51,7 @@ fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
     let (standard, rest) = standard_flag_from_args(rest.into_iter());
     let (workers, rest) = workers_flag_from_args(rest.into_iter());
+    let (batch, rest) = batch_frames_flag_from_args(rest.into_iter());
     let standard = standard.unwrap_or(Standard::Wimax);
     let mut quantized = false;
     let mut lambda_bits: u32 = 7;
@@ -65,11 +74,11 @@ fn main() {
     }
 
     let curves = match standard {
-        Standard::Wimax => wimax_study(frames, workers, quantized, lambda_bits),
-        Standard::Wifi80211n => wifi_study(frames, workers),
-        Standard::Lte => lte_study(frames, workers),
-        Standard::Wran80222 => wran_study(frames, workers),
-        Standard::DvbRcs => dvbrcs_study(frames, workers),
+        Standard::Wimax => wimax_study(frames, workers, batch, quantized, lambda_bits),
+        Standard::Wifi80211n => wifi_study(frames, workers, batch),
+        Standard::Lte => lte_study(frames, workers, batch),
+        Standard::Wran80222 => wran_study(frames, workers, batch),
+        Standard::DvbRcs => dvbrcs_study(frames, workers, batch),
     };
 
     if let Some(path) = json_path {
@@ -83,12 +92,24 @@ fn main() {
     }
 }
 
-fn wimax_study(frames: u64, workers: usize, quantized: bool, lambda_bits: u32) -> Vec<BerCurve> {
+fn wimax_study(
+    frames: u64,
+    workers: usize,
+    batch: usize,
+    quantized: bool,
+    lambda_bits: u32,
+) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wimax);
-    let ldpc_engine =
-        SimulationEngine::new(EngineConfig::fixed_frames(frames, 11).with_workers(workers));
-    let turbo_engine =
-        SimulationEngine::new(EngineConfig::fixed_frames(frames, 13).with_workers(workers));
+    let ldpc_engine = SimulationEngine::new(
+        EngineConfig::fixed_frames(frames, 11)
+            .with_workers(workers)
+            .with_batch_frames(batch),
+    );
+    let turbo_engine = SimulationEngine::new(
+        EngineConfig::fixed_frames(frames, 13)
+            .with_workers(workers)
+            .with_batch_frames(batch),
+    );
 
     println!("WiMAX LDPC N = 576, r = 1/2 ({frames} frames per point)\n");
     let layered = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Layered).as_ref(), snrs);
@@ -129,10 +150,13 @@ fn wimax_study(frames: u64, workers: usize, quantized: bool, lambda_bits: u32) -
     curves
 }
 
-fn wifi_study(frames: u64, workers: usize) -> Vec<BerCurve> {
+fn wifi_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wifi80211n);
-    let engine =
-        SimulationEngine::new(EngineConfig::fixed_frames(frames, 17).with_workers(workers));
+    let engine = SimulationEngine::new(
+        EngineConfig::fixed_frames(frames, 17)
+            .with_workers(workers)
+            .with_batch_frames(batch),
+    );
 
     println!("802.11n LDPC N = 648, r = 1/2 ({frames} frames per point)\n");
     let layered = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Layered).as_ref(), snrs);
@@ -161,10 +185,13 @@ fn wifi_study(frames: u64, workers: usize) -> Vec<BerCurve> {
     vec![layered, fixed, flooding, layered_1296]
 }
 
-fn wran_study(frames: u64, workers: usize) -> Vec<BerCurve> {
+fn wran_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wran80222);
-    let engine =
-        SimulationEngine::new(EngineConfig::fixed_frames(frames, 23).with_workers(workers));
+    let engine = SimulationEngine::new(
+        EngineConfig::fixed_frames(frames, 23)
+            .with_workers(workers)
+            .with_batch_frames(batch),
+    );
 
     println!("802.22 LDPC N = 480, r = 1/2 ({frames} frames per point)\n");
     let layered = engine.run_curve(wran_ldpc_codec(480, LdpcFlavor::Layered).as_ref(), snrs);
@@ -193,10 +220,13 @@ fn wran_study(frames: u64, workers: usize) -> Vec<BerCurve> {
     vec![layered, fixed, flooding, layered_1440]
 }
 
-fn dvbrcs_study(frames: u64, workers: usize) -> Vec<BerCurve> {
+fn dvbrcs_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::DvbRcs);
-    let engine =
-        SimulationEngine::new(EngineConfig::fixed_frames(frames, 29).with_workers(workers));
+    let engine = SimulationEngine::new(
+        EngineConfig::fixed_frames(frames, 29)
+            .with_workers(workers)
+            .with_batch_frames(batch),
+    );
 
     println!("DVB-RCS CTC 212 couples (ATM cell), rate 1/2 ({frames} frames per point)\n");
     let bit = engine.run_curve(
@@ -229,10 +259,13 @@ fn dvbrcs_study(frames: u64, workers: usize) -> Vec<BerCurve> {
     vec![bit, symbol, small]
 }
 
-fn lte_study(frames: u64, workers: usize) -> Vec<BerCurve> {
+fn lte_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Lte);
-    let engine =
-        SimulationEngine::new(EngineConfig::fixed_frames(frames, 19).with_workers(workers));
+    let engine = SimulationEngine::new(
+        EngineConfig::fixed_frames(frames, 19)
+            .with_workers(workers)
+            .with_batch_frames(batch),
+    );
 
     println!("LTE turbo K = 1024, r = 1/3 ({frames} frames per point)\n");
     let k1024 = engine.run_curve(lte_turbo_codec(1024).as_ref(), snrs);

@@ -24,8 +24,8 @@ pub use ber::{
 };
 pub use harness::{bench, BenchReport};
 pub use results::{
-    json_flag_from_args, rows_json, standard_flag_from_args, workers_flag_from_args, write_json,
-    StreamedRows,
+    batch_frames_flag_from_args, json_flag_from_args, rows_json, standard_flag_from_args,
+    workers_flag_from_args, write_json, StreamedRows,
 };
 pub use table1::{print_table1, run_table1, run_table1_for, table1_code};
 pub use table2::{print_table2, run_table2, run_table2_for, table2_codes};

@@ -77,6 +77,31 @@ pub fn workers_flag_from_args(args: impl Iterator<Item = String>) -> (usize, Vec
     (workers, rest)
 }
 
+/// Extracts a `--batch-frames <n>` flag from a raw argument list, returning
+/// the decode batch size (default `1`: the classic one-frame-at-a-time loop,
+/// byte-for-byte identical output) and the remaining arguments in order —
+/// the shared parser behind every binary's batched-decode support.
+///
+/// # Panics
+///
+/// Panics if `--batch-frames` is given without a count, with a non-integer,
+/// or with `0` (a batch must hold at least one frame).
+pub fn batch_frames_flag_from_args(args: impl Iterator<Item = String>) -> (usize, Vec<String>) {
+    let mut batch = 1usize;
+    let mut rest = Vec::new();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        if arg == "--batch-frames" {
+            let value = args.next().expect("--batch-frames requires a frame count");
+            batch = value.parse().expect("--batch-frames takes an integer");
+            assert!(batch > 0, "--batch-frames must be at least 1");
+        } else {
+            rest.push(arg);
+        }
+    }
+    (batch, rest)
+}
+
 /// Writes `value` to `path` as pretty-printed JSON (with a trailing
 /// newline), creating parent directories as needed.
 ///
@@ -154,6 +179,32 @@ mod tests {
     #[should_panic(expected = "--workers requires")]
     fn dangling_workers_flag_panics() {
         let _ = workers_flag_from_args(["--workers"].map(String::from).into_iter());
+    }
+
+    #[test]
+    fn batch_frames_flag_is_extracted_anywhere_and_defaults_to_one() {
+        let (batch, rest) = batch_frames_flag_from_args(
+            ["--quick", "--batch-frames", "8", "60"]
+                .map(String::from)
+                .into_iter(),
+        );
+        assert_eq!(batch, 8);
+        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
+        let (batch, rest) = batch_frames_flag_from_args(["60"].map(String::from).into_iter());
+        assert_eq!(batch, 1);
+        assert_eq!(rest, vec!["60".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--batch-frames requires")]
+    fn dangling_batch_frames_flag_panics() {
+        let _ = batch_frames_flag_from_args(["--batch-frames"].map(String::from).into_iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_batch_frames_panics() {
+        let _ = batch_frames_flag_from_args(["--batch-frames", "0"].map(String::from).into_iter());
     }
 
     #[test]

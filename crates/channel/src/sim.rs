@@ -106,6 +106,20 @@ pub trait FecCodec: Send + Sync {
     /// Decodes one frame of channel LLRs (length `codeword_bits()`).
     fn decode(&self, llrs: &[Llr]) -> DecodedFrame;
 
+    /// Decodes a batch of frames, returning one [`DecodedFrame`] per input
+    /// frame in order.
+    ///
+    /// The default implementation simply loops over [`decode`]
+    /// (batch-oblivious codecs stay correct for free); codecs with a
+    /// lockstep batch datapath override it.  Overrides must return results
+    /// **bit-identical** to decoding each frame alone — the engine's
+    /// determinism contract extends to the batch size.
+    ///
+    /// [`decode`]: FecCodec::decode
+    fn decode_batch(&self, frames: &[&[Llr]]) -> Vec<DecodedFrame> {
+        frames.iter().map(|f| self.decode(f)).collect()
+    }
+
     /// Code rate `k / n`, used to set the AWGN noise variance for a target
     /// `Eb/N0`.
     fn rate(&self) -> f64 {
@@ -127,6 +141,11 @@ pub struct EngineConfig {
     pub frames_per_shard_round: u64,
     /// Base seed; each shard stream is derived from it with SplitMix64.
     pub seed: u64,
+    /// Frames handed to [`FecCodec::decode_batch`] per call (`1` = the
+    /// classic one-frame-at-a-time loop).  Because batch decodes are
+    /// bit-identical per frame and the channel RNG is consumed frame by
+    /// frame *before* decoding, results do not depend on this value.
+    pub batch_frames: usize,
     /// Stopping rules (frame budget, error target, minimum frames).
     pub stop: MonteCarloConfig,
 }
@@ -138,6 +157,7 @@ impl Default for EngineConfig {
             shards: 32,
             frames_per_shard_round: 8,
             seed: 0x5EED,
+            batch_frames: 1,
             stop: MonteCarloConfig::default(),
         }
     }
@@ -187,6 +207,17 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for the decode batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_frames` is zero.
+    pub fn with_batch_frames(mut self, batch_frames: usize) -> Self {
+        assert!(batch_frames > 0, "need at least one frame per decode batch");
+        self.batch_frames = batch_frames;
+        self
+    }
+
     /// Checks the configuration for internal consistency.
     ///
     /// `shards == 0` is rejected here (it would be a division by zero in the
@@ -199,6 +230,12 @@ impl EngineConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.shards == 0 {
             return Err("need at least one shard (shards == 0 cannot schedule any frame)".into());
+        }
+        if self.batch_frames == 0 {
+            return Err(
+                "need at least one frame per decode batch (batch_frames == 0 decodes nothing)"
+                    .into(),
+            );
         }
         self.stop.validate()
     }
@@ -432,6 +469,7 @@ fn schedule_round<'env>(
     let codec = ctx.codec;
     let channel = &ctx.channels[point];
     let modulator = ctx.modulator;
+    let batch = cfg.batch_frames;
     let mut jobs = Vec::new();
     for (shard, &n) in counts.iter().enumerate() {
         if n == 0 {
@@ -440,8 +478,21 @@ fn schedule_round<'env>(
         let mut rng = state.rngs[shard].take().expect("shard RNG checked back in");
         jobs.push(Job::new(point * shards + shard, move || {
             let mut acc = PointAccumulator::default();
-            for _ in 0..n {
-                simulate_frame(codec, channel, modulator, &mut rng, &mut acc);
+            if batch <= 1 {
+                for _ in 0..n {
+                    simulate_frame(codec, channel, modulator, &mut rng, &mut acc);
+                }
+            } else {
+                // Chunk the shard's quota into decode batches; the final
+                // chunk may be ragged.  The RNG is consumed frame by frame
+                // during generation, so the stream order — and therefore
+                // every count — is independent of `batch`.
+                let mut done = 0u64;
+                while done < n {
+                    let b = (n - done).min(batch as u64) as usize;
+                    simulate_batch(codec, channel, modulator, &mut rng, &mut acc, b);
+                    done += b as u64;
+                }
             }
             (rng, acc)
         }));
@@ -485,6 +536,42 @@ fn simulate_frame(
     let decoded = codec.decode(&channel.llrs(&received));
     acc.counter.record_frame(&info, &decoded.info_bits);
     acc.iterations += decoded.iterations as u64;
+}
+
+/// Simulates `batch` frames end to end with one [`FecCodec::decode_batch`]
+/// call and records them into `acc` in generation order.
+///
+/// Each frame's channel randomness is drawn **fully, frame by frame, before
+/// any decode** — the exact call order of the serial loop — so the shard's
+/// RNG stream (and with it every error count) is bit-identical to
+/// `batch_frames == 1`.
+fn simulate_batch(
+    codec: &dyn FecCodec,
+    channel: &AwgnChannel,
+    modulator: &BpskModulator,
+    rng: &mut StdRng,
+    acc: &mut PointAccumulator,
+    batch: usize,
+) {
+    let mut infos = Vec::with_capacity(batch);
+    let mut llr_frames = Vec::with_capacity(batch);
+    for _ in 0..batch {
+        let info: Vec<u8> = (0..codec.info_bits())
+            .map(|_| rng.gen_range(0..=1))
+            .collect();
+        let codeword = codec.encode(&info);
+        debug_assert_eq!(codeword.len(), codec.codeword_bits());
+        let received = channel.transmit(&modulator.modulate(&codeword), rng);
+        llr_frames.push(channel.llrs(&received));
+        infos.push(info);
+    }
+    let frames: Vec<&[Llr]> = llr_frames.iter().map(|f| f.as_slice()).collect();
+    let decoded = codec.decode_batch(&frames);
+    debug_assert_eq!(decoded.len(), batch);
+    for (info, frame) in infos.iter().zip(&decoded) {
+        acc.counter.record_frame(info, &frame.info_bits);
+        acc.iterations += frame.iterations as u64;
+    }
 }
 
 /// Splits `round` frames over `shards` streams: low-index shards take the
@@ -591,6 +678,7 @@ mod tests {
             shards: 8,
             frames_per_shard_round: 4,
             seed: 99,
+            batch_frames: 1,
             stop,
         })
     }
@@ -626,6 +714,59 @@ mod tests {
             let curve = engine(workers, stop).run_curve(&codec, &snrs);
             assert_eq!(curve, reference, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn batched_counts_are_identical_for_any_worker_and_batch_size() {
+        // The determinism contract extends to `batch_frames`: the RNG is
+        // drawn frame by frame before decoding, so any (workers, batch)
+        // combination must reproduce the serial single-frame counts.
+        let codec = Repetition { k: 24 };
+        let stop = MonteCarloConfig {
+            max_frames: 300,
+            target_frame_errors: 40,
+            min_frames: 50,
+        };
+        let reference = engine(1, stop).run_point(&codec, 1.0);
+        for workers in [1, 2, 8] {
+            for batch in [1, 4, 8] {
+                let eng = SimulationEngine::new(EngineConfig {
+                    workers,
+                    shards: 8,
+                    frames_per_shard_round: 4,
+                    seed: 99,
+                    batch_frames: batch,
+                    stop,
+                });
+                let point = eng.run_point(&codec, 1.0);
+                assert_eq!(point, reference, "workers = {workers}, batch = {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_validate_rejects_zero_batch_frames() {
+        let config = EngineConfig {
+            batch_frames: 0,
+            ..EngineConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.contains("batch"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame per decode batch")]
+    fn with_batch_frames_rejects_zero() {
+        let _ = EngineConfig::default().with_batch_frames(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decode batch")]
+    fn engine_rejects_zero_batch_frames() {
+        let _ = SimulationEngine::new(EngineConfig {
+            batch_frames: 0,
+            ..EngineConfig::default()
+        });
     }
 
     #[test]

@@ -179,6 +179,12 @@ impl<C: FecCodec> FecCodec for NamedCodec<C> {
     fn decode(&self, llrs: &[Llr]) -> DecodedFrame {
         self.inner.decode(llrs)
     }
+
+    fn decode_batch(&self, frames: &[&[Llr]]) -> Vec<DecodedFrame> {
+        // Forward so a wrapped codec's lockstep batch override is not lost
+        // behind the loop-over-decode default.
+        self.inner.decode_batch(frames)
+    }
 }
 
 /// A standard's code set: the full list (compliance sweeps) and the corner

@@ -17,9 +17,64 @@
 //! `cargo bench -p decoder-bench --bench kernels` for the comparison against
 //! the scalar f64 baseline.
 
-use super::{DecodeOutcome, MinimumExtractionUnit};
+use super::{BatchTwoMinScan, DecodeOutcome, MinimumExtractionUnit};
 use crate::code::QcLdpcCode;
 use fec_fixed::{Llr, MinSumArith, Quantizer, LAMBDA_BITS, R_BITS};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread default scratch: the convenience entry points
+    /// ([`FixedLayeredDecoder::decode`] and friends) borrow this so steady-
+    /// state decoding is allocation-free without forcing every caller to
+    /// carry a [`FixedScratch`].  Buffers only grow, so one thread decoding
+    /// the same code repeatedly never reallocates.
+    static SCRATCH: RefCell<FixedScratch> = RefCell::new(FixedScratch::new());
+}
+
+/// Reusable working memory of the fixed-point decoder, for both the serial
+/// and the batch lockstep paths.
+///
+/// The decoder's hot buffers (λ, the `R` message memory, the `Q_lk` row
+/// scratch, hard decisions, per-lane scan results) historically were
+/// reallocated on every `decode` call.  A `FixedScratch` owns them instead:
+/// pass one to the `*_with` entry points to make repeated decoding
+/// allocation-free in steady state (aside from the returned
+/// [`DecodeOutcome`]s, which own their results by contract).
+///
+/// In the batch path the buffers hold **struct-of-arrays** data, frame
+/// innermost: `lambda[v * batch + f]` is variable `v` of frame lane `f`,
+/// `r[e * batch + f]` edge `e` of lane `f` — so every message update runs
+/// over `batch` contiguous lanes.
+#[derive(Debug, Clone, Default)]
+pub struct FixedScratch {
+    /// λ registers, `[var][frame]`.
+    lambda: Vec<i16>,
+    /// `R_lk` message memory, `[edge][frame]`.
+    r: Vec<i16>,
+    /// `Q_lk` row scratch, `[position][frame]` up to the maximum degree.
+    q: Vec<i16>,
+    /// Hard decisions of one frame (syndrome-check scratch).
+    hard: Vec<u8>,
+    /// Per-lane two-minimum results, reused across rows.
+    scan: BatchTwoMinScan,
+    /// Scaled `3/4` message magnitudes for `min1`, per lane.
+    mag1: Vec<i16>,
+    /// Scaled `3/4` message magnitudes for `min2`, per lane.
+    mag2: Vec<i16>,
+    /// Per-lane live mask: `false` once a lane's stopping rule fired.
+    active: Vec<bool>,
+    /// Per-lane iteration counts.
+    iterations: Vec<usize>,
+    /// Per-lane convergence flags.
+    converged: Vec<bool>,
+}
+
+impl FixedScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        FixedScratch::default()
+    }
+}
 
 /// Configuration of the fixed-point layered decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,31 +204,60 @@ impl FixedLayeredDecoder {
         &self.quantizer
     }
 
-    /// Quantizes floating-point channel LLRs and decodes.
+    /// Quantizes floating-point channel LLRs and decodes (per-thread default
+    /// scratch; see [`FixedLayeredDecoder::decode_with`]).
     ///
     /// # Panics
     ///
     /// Panics if `channel.len() != code.n()`.
     pub fn decode(&self, channel: &[Llr]) -> DecodeOutcome {
+        SCRATCH.with(|s| self.decode_with(channel, &mut s.borrow_mut()))
+    }
+
+    /// Quantizes floating-point channel LLRs and decodes using the caller's
+    /// scratch buffers — allocation-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != code.n()`.
+    pub fn decode_with(&self, channel: &[Llr], scratch: &mut FixedScratch) -> DecodeOutcome {
         assert_eq!(
             channel.len(),
             self.code.n(),
             "LLR vector length must equal the code length"
         );
-        let mut lambda: Vec<i16> = channel
-            .iter()
-            .map(|l| self.quantizer.quantize(l.value()).value() as i16)
-            .collect();
-        self.decode_lambda(&mut lambda)
+        scratch.lambda.clear();
+        scratch.lambda.extend(
+            channel
+                .iter()
+                .map(|l| self.quantizer.quantize(l.value()).value() as i16),
+        );
+        self.decode_lambda(scratch)
     }
 
     /// Decodes already-quantized channel LLRs (integer λ values in LSB
     /// units).  Out-of-range inputs are saturated to the register width.
+    /// Uses the per-thread default scratch; see
+    /// [`FixedLayeredDecoder::decode_quantized_with`].
     ///
     /// # Panics
     ///
     /// Panics if `quantized.len() != code.n()`.
     pub fn decode_quantized(&self, quantized: &[i16]) -> DecodeOutcome {
+        SCRATCH.with(|s| self.decode_quantized_with(quantized, &mut s.borrow_mut()))
+    }
+
+    /// [`decode_quantized`](FixedLayeredDecoder::decode_quantized) with
+    /// caller-owned scratch buffers — allocation-free in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantized.len() != code.n()`.
+    pub fn decode_quantized_with(
+        &self,
+        quantized: &[i16],
+        scratch: &mut FixedScratch,
+    ) -> DecodeOutcome {
         assert_eq!(
             quantized.len(),
             self.code.n(),
@@ -181,22 +265,129 @@ impl FixedLayeredDecoder {
         );
         let lo = self.arith.lambda_min() as i16;
         let hi = self.arith.lambda_max() as i16;
-        let mut lambda: Vec<i16> = quantized.iter().map(|&v| v.clamp(lo, hi)).collect();
-        self.decode_lambda(&mut lambda)
+        scratch.lambda.clear();
+        scratch
+            .lambda
+            .extend(quantized.iter().map(|&v| v.clamp(lo, hi)));
+        self.decode_lambda(scratch)
     }
 
-    /// The fixed-point layered iteration over the CSR message buffers.
-    fn decode_lambda(&self, lambda: &mut [i16]) -> DecodeOutcome {
+    /// Decodes a batch of frames in lockstep (per-thread default scratch;
+    /// see [`FixedLayeredDecoder::decode_batch_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame's length differs from `code.n()`.
+    pub fn decode_batch(&self, frames: &[&[Llr]]) -> Vec<DecodeOutcome> {
+        SCRATCH.with(|s| self.decode_batch_with(frames, &mut s.borrow_mut()))
+    }
+
+    /// Quantizes `frames.len()` frames of channel LLRs and decodes them **in
+    /// lockstep** over the shared CSR structure: λ and `R` live in
+    /// struct-of-arrays buffers (frame innermost), so the two-minimum scan
+    /// and every saturating message update run over `B` contiguous lanes.
+    /// Per-frame results are bit-identical to decoding each frame alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame's length differs from `code.n()`.
+    pub fn decode_batch_with(
+        &self,
+        frames: &[&[Llr]],
+        scratch: &mut FixedScratch,
+    ) -> Vec<DecodeOutcome> {
+        let n = self.code.n();
+        let batch = frames.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        scratch.lambda.clear();
+        scratch.lambda.resize(n * batch, 0);
+        for (f, frame) in frames.iter().enumerate() {
+            assert_eq!(
+                frame.len(),
+                n,
+                "LLR vector length must equal the code length"
+            );
+            for (v, l) in frame.iter().enumerate() {
+                scratch.lambda[v * batch + f] = self.quantizer.quantize(l.value()).value() as i16;
+            }
+        }
+        self.decode_lanes(batch, scratch)
+    }
+
+    /// Decodes `batch` already-quantized frames in lockstep.  `quantized`
+    /// holds the frames back to back (frame-major: frame `f` occupies
+    /// `quantized[f * n .. (f + 1) * n]`); out-of-range λ values are
+    /// saturated like in
+    /// [`decode_quantized`](FixedLayeredDecoder::decode_quantized).  Returns
+    /// one [`DecodeOutcome`] per frame, in input order, each bit-identical
+    /// to the serial `decode_quantized` result for that frame.
+    ///
+    /// Uses the per-thread default scratch; see
+    /// [`FixedLayeredDecoder::decode_batch_quantized_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `quantized.len() != batch * code.n()`.
+    pub fn decode_batch_quantized(&self, quantized: &[i16], batch: usize) -> Vec<DecodeOutcome> {
+        SCRATCH.with(|s| self.decode_batch_quantized_with(quantized, batch, &mut s.borrow_mut()))
+    }
+
+    /// [`decode_batch_quantized`](FixedLayeredDecoder::decode_batch_quantized)
+    /// with caller-owned scratch buffers — allocation-free in steady state
+    /// (aside from the returned outcomes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `quantized.len() != batch * code.n()`.
+    pub fn decode_batch_quantized_with(
+        &self,
+        quantized: &[i16],
+        batch: usize,
+        scratch: &mut FixedScratch,
+    ) -> Vec<DecodeOutcome> {
+        let n = self.code.n();
+        assert!(batch > 0, "batch must hold at least one frame");
+        assert_eq!(
+            quantized.len(),
+            batch * n,
+            "quantized input must hold exactly batch * n LLR values"
+        );
+        let lo = self.arith.lambda_min() as i16;
+        let hi = self.arith.lambda_max() as i16;
+        // Transpose the frame-major input into the [var][frame] SoA layout.
+        scratch.lambda.clear();
+        scratch.lambda.resize(n * batch, 0);
+        for f in 0..batch {
+            let frame = &quantized[f * n..(f + 1) * n];
+            for (v, &value) in frame.iter().enumerate() {
+                scratch.lambda[v * batch + f] = value.clamp(lo, hi);
+            }
+        }
+        self.decode_lanes(batch, scratch)
+    }
+
+    /// The serial fixed-point layered iteration over the CSR message
+    /// buffers; `scratch.lambda` holds the quantized λ values on entry.
+    fn decode_lambda(&self, scratch: &mut FixedScratch) -> DecodeOutcome {
         let m = self.code.m();
         let h = self.code.parity_check();
         let arith = &self.arith;
 
+        let FixedScratch {
+            lambda, r, q, hard, ..
+        } = scratch;
+
         // Contiguous R message memory, one entry per parity-check edge
-        // (i16: `r_bits` may legally be up to 15).
-        let mut r = vec![0i16; self.cols.len()];
+        // (i16: `r_bits` may legally be up to 15); zeroed for this frame.
+        r.clear();
+        r.resize(self.cols.len(), 0);
         // Scratch Q_lk buffer, reused across rows.
-        let mut q = vec![0i16; self.max_degree];
-        let mut hard = vec![0u8; lambda.len()];
+        q.clear();
+        q.resize(self.max_degree, 0);
+        hard.clear();
+        hard.resize(lambda.len(), 0);
 
         let mut iterations = 0;
         let mut converged = false;
@@ -240,7 +431,7 @@ impl FixedLayeredDecoder {
             for (hb, &l) in hard.iter_mut().zip(lambda.iter()) {
                 *hb = u8::from(l < 0);
             }
-            if self.config.early_termination && h.is_codeword(&hard) {
+            if self.config.early_termination && h.is_codeword(hard) {
                 converged = true;
                 break;
             }
@@ -250,15 +441,177 @@ impl FixedLayeredDecoder {
             for (hb, &l) in hard.iter_mut().zip(lambda.iter()) {
                 *hb = u8::from(l < 0);
             }
-            converged = h.is_codeword(&hard);
+            converged = h.is_codeword(hard);
         }
         let scale = self.quantizer.scale();
         DecodeOutcome {
-            hard_bits: hard,
+            hard_bits: hard.clone(),
             posterior: lambda.iter().map(|&l| f64::from(l) / scale).collect(),
             iterations,
             converged,
         }
+    }
+
+    /// The lockstep batch iteration: identical arithmetic to
+    /// [`decode_lambda`](FixedLayeredDecoder::decode_lambda) per lane, but
+    /// every loop body runs over `batch` contiguous frame lanes of the
+    /// struct-of-arrays buffers.  `scratch.lambda` holds the `[var][frame]`
+    /// λ values on entry.
+    ///
+    /// Early termination is per-lane: a converged frame's λ and `R` lanes
+    /// are frozen (masked writes), so its result — and every other
+    /// lane's — matches the serial path bit for bit; once every lane has
+    /// converged the iteration stops entirely.
+    fn decode_lanes(&self, batch: usize, scratch: &mut FixedScratch) -> Vec<DecodeOutcome> {
+        let n = self.code.n();
+        let m = self.code.m();
+        let h = self.code.parity_check();
+        let arith = &self.arith;
+
+        let FixedScratch {
+            lambda,
+            r,
+            q,
+            hard,
+            scan,
+            mag1,
+            mag2,
+            active,
+            iterations,
+            converged,
+        } = scratch;
+
+        r.clear();
+        r.resize(self.cols.len() * batch, 0);
+        q.clear();
+        q.resize(self.max_degree * batch, 0);
+        hard.clear();
+        hard.resize(n, 0);
+        mag1.clear();
+        mag1.resize(batch, 0);
+        mag2.clear();
+        mag2.resize(batch, 0);
+        active.clear();
+        active.resize(batch, true);
+        iterations.clear();
+        iterations.resize(batch, 0);
+        converged.clear();
+        converged.resize(batch, false);
+        let mut live = batch;
+
+        for it in 0..self.config.max_iterations {
+            for f in 0..batch {
+                if active[f] {
+                    iterations[f] = it + 1;
+                }
+            }
+            for row in 0..m {
+                let start = self.row_ptr[row] as usize;
+                let end = self.row_ptr[row + 1] as usize;
+                let cols = &self.cols[start..end];
+                let q_rows = &mut q[..cols.len() * batch];
+
+                // Q_lk = lambda_old - R_old per lane, Eq. (6), saturated.
+                for (j, &col) in cols.iter().enumerate() {
+                    arith.q_message_lanes(
+                        &mut q_rows[j * batch..(j + 1) * batch],
+                        &lambda[col as usize * batch..(col as usize + 1) * batch],
+                        &r[(start + j) * batch..(start + j + 1) * batch],
+                    );
+                }
+
+                // Per-lane two-minimum extraction, Eq. (11), one lockstep
+                // scan over the whole row.
+                MinimumExtractionUnit::scan_batch(q_rows, batch, scan);
+                arith.scaled_magnitude_lanes(mag1, &scan.min1);
+                arith.scaled_magnitude_lanes(mag2, &scan.min2);
+
+                // R_new and lambda update per lane, Eq. (9)-(10).  Inactive
+                // (converged) lanes keep their frozen λ/R via the select on
+                // `active`, which stays branch-light for the vectorizer.
+                let all_active = live == batch;
+                for (j, &col) in cols.iter().enumerate() {
+                    let j32 = j as u32;
+                    let q_row = &q_rows[j * batch..(j + 1) * batch];
+                    let lam = &mut lambda[col as usize * batch..(col as usize + 1) * batch];
+                    let r_row = &mut r[(start + j) * batch..(start + j + 1) * batch];
+                    if all_active {
+                        // Fast path — no convergence mask in flight: write
+                        // the signed R messages straight into the edge
+                        // memory, then one pure element-wise saturating
+                        // update over the contiguous lanes.
+                        for ((((&qj, &pos), (&m1, &m2)), &par), rf) in q_row
+                            .iter()
+                            .zip(scan.min1_pos.iter())
+                            .zip(mag1.iter().zip(mag2.iter()))
+                            .zip(scan.negative_parity.iter())
+                            .zip(r_row.iter_mut())
+                        {
+                            let mag = if j32 == pos { m2 } else { m1 };
+                            let negative = (qj < 0) != par;
+                            *rf = if negative { -mag } else { mag };
+                        }
+                        arith.lambda_update_lanes(lam, q_row, r_row);
+                    } else {
+                        // Masked path: converged lanes keep their frozen
+                        // λ and R via branch-light selects.
+                        for ((((((&qj, &pos), (&m1, &m2)), &par), &act), lamf), rf) in q_row
+                            .iter()
+                            .zip(scan.min1_pos.iter())
+                            .zip(mag1.iter().zip(mag2.iter()))
+                            .zip(scan.negative_parity.iter())
+                            .zip(active.iter())
+                            .zip(lam.iter_mut())
+                            .zip(r_row.iter_mut())
+                        {
+                            let mag = if j32 == pos { m2 } else { m1 };
+                            let negative = (qj < 0) != par;
+                            let r_new = if negative { -mag } else { mag };
+                            let lam_new = arith.lambda_update(i32::from(qj), i32::from(r_new));
+                            *lamf = if act { lam_new } else { *lamf };
+                            *rf = if act { r_new } else { *rf };
+                        }
+                    }
+                }
+            }
+
+            if self.config.early_termination {
+                for f in 0..batch {
+                    if !active[f] {
+                        continue;
+                    }
+                    for (v, hb) in hard.iter_mut().enumerate() {
+                        *hb = u8::from(lambda[v * batch + f] < 0);
+                    }
+                    if h.is_codeword(hard) {
+                        converged[f] = true;
+                        active[f] = false;
+                        live -= 1;
+                    }
+                }
+                if live == 0 {
+                    break;
+                }
+            }
+        }
+
+        let scale = self.quantizer.scale();
+        (0..batch)
+            .map(|f| {
+                let hard_bits: Vec<u8> = (0..n)
+                    .map(|v| u8::from(lambda[v * batch + f] < 0))
+                    .collect();
+                let lane_converged = converged[f] || h.is_codeword(&hard_bits);
+                DecodeOutcome {
+                    posterior: (0..n)
+                        .map(|v| f64::from(lambda[v * batch + f]) / scale)
+                        .collect(),
+                    hard_bits,
+                    iterations: iterations[f],
+                    converged: lane_converged,
+                }
+            })
+            .collect()
     }
 }
 
@@ -268,6 +621,7 @@ mod tests {
     use crate::base_matrix::CodeRate;
     use crate::decoder::{LayeredConfig, LayeredDecoder};
     use crate::encoder::QcEncoder;
+    use proptest::prelude::*;
     use rand::{Rng, SeedableRng};
 
     fn noisy_llrs(cw: &[u8], sigma: f64, seed: u64) -> Vec<Llr> {
@@ -425,6 +779,140 @@ mod tests {
         let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
         let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
         let _ = dec.decode(&[Llr::new(1.0); 10]);
+    }
+
+    #[test]
+    fn batch_decode_is_bit_identical_to_serial_for_every_lane() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let n = code.n();
+        for (seed, batch) in [(1u64, 1usize), (2, 2), (3, 3), (4, 5), (5, 8)] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // ±300 exceeds the 7-bit λ range, so saturation is exercised too.
+            let q: Vec<i16> = (0..batch * n)
+                .map(|_| rng.gen_range(-300i16..=300))
+                .collect();
+            let batched = dec.decode_batch_quantized(&q, batch);
+            assert_eq!(batched.len(), batch);
+            for f in 0..batch {
+                let serial = dec.decode_quantized(&q[f * n..(f + 1) * n]);
+                assert_eq!(batched[f], serial, "lane {f} of batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_with_mixed_convergence_match_serial() {
+        // Lanes that converge at different iterations freeze at different
+        // times; every frozen lane must still equal its own serial run.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let frames: Vec<Vec<Llr>> = (0..4)
+            .map(|i| {
+                let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+                let cw = enc.encode(&info).unwrap();
+                // The last lane gets much heavier noise so it stays busy
+                // (or fails) while the clean lanes finish early.
+                let sigma = if i == 3 { 1.8 } else { 0.5 + 0.1 * i as f64 };
+                noisy_llrs(&cw, sigma, 100 + i as u64)
+            })
+            .collect();
+        let refs: Vec<&[Llr]> = frames.iter().map(|f| f.as_slice()).collect();
+        let batched = dec.decode_batch(&refs);
+        let serial: Vec<DecodeOutcome> = frames.iter().map(|f| dec.decode(f)).collect();
+        assert_eq!(batched, serial);
+        let iters: Vec<usize> = serial.iter().map(|o| o.iterations).collect();
+        assert!(
+            iters.iter().any(|&i| i != iters[0]),
+            "test frames all converged in {} iterations — noise levels no \
+             longer exercise per-lane early termination",
+            iters[0]
+        );
+    }
+
+    #[test]
+    fn batch_decode_matches_serial_at_paper_widths() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let enc = QcEncoder::new(&code);
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::paper());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let frames: Vec<Vec<Llr>> = (0..3)
+            .map(|i| {
+                let info: Vec<u8> = (0..code.k()).map(|_| rng.gen_range(0..=1)).collect();
+                let cw = enc.encode(&info).unwrap();
+                noisy_llrs(&cw, 0.63f64.sqrt(), 500 + i as u64)
+            })
+            .collect();
+        let refs: Vec<&[Llr]> = frames.iter().map(|f| f.as_slice()).collect();
+        let batched = dec.decode_batch(&refs);
+        for (f, frame) in frames.iter().enumerate() {
+            assert_eq!(batched[f], dec.decode(frame), "lane {f}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_decodes_to_no_outcomes() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        assert!(dec.decode_batch(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_batch_of_quantized_frames_panics() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let _ = dec.decode_batch_quantized(&[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch * n")]
+    fn ragged_quantized_batch_panics() {
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let _ = dec.decode_batch_quantized(&vec![0i16; code.n() + 1], 1);
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls_is_harmless() {
+        // One scratch driven through serial and batch entry points in
+        // alternation must not leak state between calls.
+        let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+        let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+        let n = code.n();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let q: Vec<i16> = (0..3 * n).map(|_| rng.gen_range(-100i16..=100)).collect();
+        let mut scratch = FixedScratch::new();
+        let expected: Vec<DecodeOutcome> = (0..3)
+            .map(|f| dec.decode_quantized(&q[f * n..(f + 1) * n]))
+            .collect();
+        let serial_reused = dec.decode_quantized_with(&q[..n], &mut scratch);
+        assert_eq!(serial_reused, expected[0]);
+        let batched = dec.decode_batch_quantized_with(&q, 3, &mut scratch);
+        assert_eq!(batched, expected);
+        let serial_again = dec.decode_quantized_with(&q[2 * n..], &mut scratch);
+        assert_eq!(serial_again, expected[2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn batch_decode_agrees_with_serial_on_random_lanes(
+            frames in proptest::collection::vec(
+                proptest::collection::vec(-300i16..=300, 576), 1..6)
+        ) {
+            let code = QcLdpcCode::wimax(576, CodeRate::R12).unwrap();
+            let dec = FixedLayeredDecoder::new(&code, FixedLayeredConfig::default());
+            let batch = frames.len();
+            let flat: Vec<i16> = frames.concat();
+            let batched = dec.decode_batch_quantized(&flat, batch);
+            for (f, frame) in frames.iter().enumerate() {
+                let serial = dec.decode_quantized(frame);
+                prop_assert!(batched[f] == serial, "lane {} of batch {} diverged", f, batch);
+            }
+        }
     }
 
     #[test]

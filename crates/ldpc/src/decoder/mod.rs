@@ -10,8 +10,8 @@ mod meu;
 
 pub use flooding::{FloodingConfig, FloodingDecoder, FloodingKind};
 pub use layered::{LayeredConfig, LayeredDecoder};
-pub use layered_fixed::{FixedLayeredConfig, FixedLayeredDecoder};
-pub use meu::{MinimumExtractionUnit, TwoMinScan};
+pub use layered_fixed::{FixedLayeredConfig, FixedLayeredDecoder, FixedScratch};
+pub use meu::{BatchTwoMinScan, MinimumExtractionUnit, TwoMinScan};
 
 /// Result of a decoding attempt.
 #[derive(Debug, Clone, PartialEq)]

@@ -78,6 +78,39 @@ fn quantized_ldpc_counts_are_identical_for_1_2_and_8_workers() {
     }
 }
 
+/// The batched decode path satisfies the full determinism contract with the
+/// real fixed-point LDPC codec in the loop: every (workers, batch_frames)
+/// combination — including ragged final batches — produces bit-identical
+/// error counts, because channel noise is drawn frame by frame before
+/// decoding and the lockstep batch decoder is bit-exact per lane.
+#[test]
+fn quantized_ldpc_counts_are_identical_for_any_worker_and_batch_size() {
+    let codec = quantized_ldpc_codec();
+    let stop = MonteCarloConfig {
+        max_frames: 60,
+        target_frame_errors: 10,
+        min_frames: 20,
+    };
+    let reference = engine(1, stop).run_point(&codec, 1.5);
+    for workers in [1, 2, 8] {
+        for batch in [1, 4, 8] {
+            let eng = SimulationEngine::new(
+                EngineConfig {
+                    shards: 16,
+                    frames_per_shard_round: 2,
+                    seed: 2012,
+                    stop,
+                    ..EngineConfig::default()
+                }
+                .with_workers(workers)
+                .with_batch_frames(batch),
+            );
+            let point = eng.run_point(&codec, 1.5);
+            assert_eq!(point, reference, "workers = {workers}, batch = {batch}");
+        }
+    }
+}
+
 /// The turbo codec satisfies the same worker-count invariance.
 #[test]
 fn turbo_counts_are_identical_for_1_2_and_8_workers() {

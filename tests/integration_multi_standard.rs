@@ -23,6 +23,7 @@ fn engine(workers: usize) -> SimulationEngine {
         shards: 8,
         frames_per_shard_round: 2,
         seed: 0xC0DE5,
+        batch_frames: 1,
         stop: MonteCarloConfig {
             max_frames: 24,
             target_frame_errors: u64::MAX,
