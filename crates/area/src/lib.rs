@@ -19,6 +19,7 @@
 //! configurations share the same unit-area constants.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod noc_area;

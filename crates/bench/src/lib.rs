@@ -8,6 +8,7 @@
 //! written as machine-readable JSON via [`results`].
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod ber;

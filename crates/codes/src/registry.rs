@@ -159,6 +159,14 @@ impl<C: FecCodec> NamedCodec<C> {
     }
 }
 
+impl<C: FecCodec> std::fmt::Debug for NamedCodec<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamedCodec")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
 impl<C: FecCodec> FecCodec for NamedCodec<C> {
     fn name(&self) -> String {
         self.name.clone()

@@ -50,6 +50,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 #![cfg_attr(feature = "simd", feature(portable_simd))]
 

@@ -230,6 +230,7 @@ impl FixedLayeredDecoder {
         scratch.lambda.extend(
             channel
                 .iter()
+                // fec-lint: allow(fixed-narrowing-cast, quantizer output is a SatFixed already clamped to the lambda register range, which new() bounds to 15 bits)
                 .map(|l| self.quantizer.quantize(l.value()).value() as i16),
         );
         self.decode_lambda(scratch)
@@ -263,7 +264,9 @@ impl FixedLayeredDecoder {
             self.code.n(),
             "LLR vector length must equal the code length"
         );
+        // fec-lint: allow(fixed-narrowing-cast, lambda register bounds fit i16 because MinSumArith::new rejects lambda_bits > 15)
         let lo = self.arith.lambda_min() as i16;
+        // fec-lint: allow(fixed-narrowing-cast, lambda register bounds fit i16 because MinSumArith::new rejects lambda_bits > 15)
         let hi = self.arith.lambda_max() as i16;
         scratch.lambda.clear();
         scratch
@@ -310,6 +313,7 @@ impl FixedLayeredDecoder {
                 "LLR vector length must equal the code length"
             );
             for (v, l) in frame.iter().enumerate() {
+                // fec-lint: allow(fixed-narrowing-cast, quantizer output is a SatFixed already clamped to the lambda register range, which new() bounds to 15 bits)
                 scratch.lambda[v * batch + f] = self.quantizer.quantize(l.value()).value() as i16;
             }
         }
@@ -354,7 +358,9 @@ impl FixedLayeredDecoder {
             batch * n,
             "quantized input must hold exactly batch * n LLR values"
         );
+        // fec-lint: allow(fixed-narrowing-cast, lambda register bounds fit i16 because MinSumArith::new rejects lambda_bits > 15)
         let lo = self.arith.lambda_min() as i16;
+        // fec-lint: allow(fixed-narrowing-cast, lambda register bounds fit i16 because MinSumArith::new rejects lambda_bits > 15)
         let hi = self.arith.lambda_max() as i16;
         // Transpose the frame-major input into the [var][frame] SoA layout.
         scratch.lambda.clear();

@@ -150,9 +150,24 @@ impl SparseBinaryMatrix {
     /// Counts length-4 cycles in the Tanner graph (pairs of rows sharing two
     /// or more columns).  Useful as a code-quality diagnostic.
     pub fn count_four_cycles(&self) -> usize {
+        self.four_cycle_pairs()
+            .iter()
+            .map(|&(_, _, c)| c * (c - 1) / 2)
+            .sum()
+    }
+
+    /// The row pairs participating in length-4 cycles, as sorted
+    /// `(row_a, row_b, shared_columns)` triples with `row_a < row_b` and
+    /// `shared_columns >= 2`.
+    ///
+    /// The accumulator is a `BTreeMap` (not a hash map) so the returned
+    /// order is a pure function of the matrix contents: identical matrices
+    /// yield identical vectors on every run, which keeps any downstream
+    /// iteration over the diagnostic deterministic.
+    pub fn four_cycle_pairs(&self) -> Vec<(usize, usize, usize)> {
         let cols = self.column_lists();
-        let mut pair_counts: std::collections::HashMap<(usize, usize), usize> =
-            std::collections::HashMap::new();
+        let mut pair_counts: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
         for rows in &cols {
             for i in 0..rows.len() {
                 for j in i + 1..rows.len() {
@@ -161,10 +176,10 @@ impl SparseBinaryMatrix {
             }
         }
         pair_counts
-            .values()
-            .filter(|&&c| c >= 2)
-            .map(|&c| c * (c - 1) / 2)
-            .sum()
+            .into_iter()
+            .filter(|&(_, c)| c >= 2)
+            .map(|((a, b), c)| (a, b, c))
+            .collect()
     }
 
     /// The set of columns participating in at least one row (useful for
@@ -268,6 +283,47 @@ mod tests {
         }
         assert_eq!(h.count_four_cycles(), 1);
         assert_eq!(small_matrix().count_four_cycles(), 0);
+    }
+
+    #[test]
+    fn four_cycle_pairs_are_order_stable_across_runs() {
+        // Regression for the old HashMap accumulator: iteration order over
+        // the pair counts must be a pure function of the matrix contents,
+        // independent of insertion order (and hence of hash seeding).
+        let entries = [
+            (0, 0),
+            (0, 1),
+            (0, 5),
+            (1, 0),
+            (1, 1),
+            (1, 4),
+            (2, 0),
+            (2, 1),
+            (2, 4),
+            (3, 4),
+            (3, 5),
+        ];
+        let mut forward = SparseBinaryMatrix::new(4, 6);
+        for &(r, c) in &entries {
+            forward.set(r, c);
+        }
+        let mut backward = SparseBinaryMatrix::new(4, 6);
+        for &(r, c) in entries.iter().rev() {
+            backward.set(r, c);
+        }
+        let pairs = forward.four_cycle_pairs();
+        assert_eq!(pairs, backward.four_cycle_pairs());
+        // Stable across repeated calls on the same matrix, too.
+        assert_eq!(pairs, forward.four_cycle_pairs());
+        // Sorted (row_a, row_b) with row_a < row_b, counts >= 2.
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        assert!(pairs.iter().all(|&(a, b, c)| a < b && c >= 2));
+        // Rows 0/1 and 0/2 share columns {0,1}; rows 1/2 share {0,1,4}.
+        assert_eq!(pairs, vec![(0, 1, 2), (0, 2, 2), (1, 2, 3)]);
+        assert_eq!(
+            forward.count_four_cycles(),
+            1 + 1 + 3 // C(2,2) + C(2,2) + C(3,2)
+        );
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! Negative fixture: the canonical workspace header.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub fn widget() -> u32 {
+    7
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: crate root missing deny(missing_debug_implementations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn widget() -> u32 {
+    7
+}

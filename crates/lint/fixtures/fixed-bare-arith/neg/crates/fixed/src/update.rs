@@ -1,0 +1,24 @@
+//! Negative fixture: saturating ops, widened i32 intermediates, usize
+//! index arithmetic and test-module fixture arithmetic are all fine.
+
+pub fn lambda_refresh(lambda: i16, r_new: i16) -> i16 {
+    lambda.saturating_add(r_new)
+}
+
+pub fn widened(lambda: i16, r_new: i16) -> i32 {
+    i32::from(lambda) + i32::from(r_new)
+}
+
+pub fn index_math(q: &[i16], lanes: usize, j: usize, f: usize) -> i16 {
+    q[j * lanes + f]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixture_arithmetic_is_exempt() {
+        let a: i16 = 12000;
+        let b: i16 = 3;
+        assert_eq!(a + b, 12003);
+    }
+}

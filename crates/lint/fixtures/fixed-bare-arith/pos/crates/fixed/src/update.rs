@@ -1,0 +1,5 @@
+//! Positive fixture: bare i16 addition in the fixed-point datapath.
+
+pub fn lambda_refresh(lambda: i16, r_new: i16) -> i16 {
+    lambda + r_new
+}

@@ -1,0 +1,11 @@
+//! Negative fixture: audited helpers may cast after clamping, and an
+//! allow comment with a reason covers an audited call site.
+
+pub fn q_message(lambda: i32, r: i32, lo: i32, hi: i32) -> i16 {
+    (lambda - r).clamp(lo, hi) as i16
+}
+
+pub fn checked_site(wide: i32) -> i16 {
+    // fec-lint: allow(fixed-narrowing-cast, wide is clamped by the caller to the 7-bit lambda range)
+    wide as i16
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: bare narrowing cast outside the audited helpers.
+
+pub fn to_message(wide: i32) -> i16 {
+    wide as i16
+}

@@ -1,0 +1,7 @@
+//! Negative fixture: an allow with a reason suppresses the finding.
+
+pub fn elapsed_ns() -> u128 {
+    // fec-lint: allow(no-wall-clock, calibration probe agreed in PR review; result never feeds simulation output)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: a reasonless allow is itself an error and does not
+//! suppress the underlying finding.
+
+pub fn elapsed_ns() -> u128 {
+    // fec-lint: allow(no-wall-clock)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

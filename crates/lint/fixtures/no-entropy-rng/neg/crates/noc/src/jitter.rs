@@ -1,0 +1,8 @@
+//! Negative fixture: explicitly seeded RNG construction is the contract.
+
+use rand::{Rng, SeedableRng};
+
+pub fn jitter_source(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.gen()
+}

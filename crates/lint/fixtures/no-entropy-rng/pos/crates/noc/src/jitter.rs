@@ -1,0 +1,6 @@
+//! Positive fixture: entropy-seeded RNG construction.
+
+pub fn jitter_source() -> u64 {
+    let mut rng = StdRng::from_entropy();
+    rng.next_u64()
+}

@@ -1,0 +1,12 @@
+//! Negative fixture: crates/bench is not result-producing, so hash
+//! collections are allowed (e.g. for report keying).
+
+use std::collections::HashMap;
+
+pub fn label_count(labels: &[&str]) -> usize {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for l in labels {
+        *seen.entry((*l).to_string()).or_insert(0) += 1;
+    }
+    seen.len()
+}

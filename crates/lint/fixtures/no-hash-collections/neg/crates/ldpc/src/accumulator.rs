@@ -1,0 +1,14 @@
+//! Negative fixture: BTreeMap keeps iteration order content-determined.
+//! A "HashMap" in a string or comment must not fire either.
+
+use std::collections::BTreeMap;
+
+pub fn pair_counts(pairs: &[(usize, usize)]) -> usize {
+    // HashMap would be a hazard here; BTreeMap is the deterministic choice.
+    let label = "not a HashMap";
+    let mut counts: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for &p in pairs {
+        *counts.entry(p).or_insert(0) += 1;
+    }
+    counts.len() + label.len()
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: a HashMap accumulator in a result-producing crate.
+
+use std::collections::HashMap;
+
+pub fn pair_counts(pairs: &[(usize, usize)]) -> usize {
+    let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+    for &p in pairs {
+        *counts.entry(p).or_insert(0) += 1;
+    }
+    counts.len()
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: fec-sched owns the one place threads are created.
+
+pub fn run_scoped(n: usize) -> usize {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        let h = scope.spawn(|| n + 1);
+        total = h.join().unwrap();
+    });
+    total
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: ad-hoc thread spawn outside fec-sched.
+
+pub fn fan_out(shards: usize) -> Vec<std::thread::JoinHandle<usize>> {
+    (0..shards)
+        .map(|i| std::thread::spawn(move || i * 2))
+        .collect()
+}

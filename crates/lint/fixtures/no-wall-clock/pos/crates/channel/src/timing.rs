@@ -1,0 +1,6 @@
+//! Positive fixture: wall-clock read inside a simulation crate.
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

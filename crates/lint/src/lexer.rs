@@ -1,0 +1,587 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The build environment is fully offline, so `syn`/`proc-macro2` are not
+//! available; the lint rules instead run over this token stream.  The lexer
+//! handles exactly the constructs that would otherwise produce false
+//! positives in a naive text scan:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//!   (`/* /* .. */ */`) — emitted separately so suppression comments can be
+//!   parsed without polluting the code token stream;
+//! * string literals with escapes, byte strings, raw strings
+//!   (`r"…"`, `r#"…"#`, any number of `#`s) — their contents never produce
+//!   identifier tokens;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * numeric literals including type suffixes (`1_000i16`, `0xFFu8`,
+//!   `1.5e-3f64`) without swallowing range operators (`0..6`);
+//! * multi-character operators (`::`, `->`, `+=`, `..=`, …) combined into
+//!   single punct tokens so rules can match them directly.
+//!
+//! Every token and comment carries a 1-based line/column span.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `as`, …).
+    Ident,
+    /// Lifetime such as `'a` (without a closing quote).
+    Lifetime,
+    /// Integer or float literal, including any type suffix.
+    Number,
+    /// String, raw-string, byte-string or char literal.
+    Literal,
+    /// Punctuation / operator, possibly multi-character (`::`, `+=`).
+    Punct,
+}
+
+/// One code token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// One comment (line or block) with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based source line where the comment starts.
+    pub line: u32,
+    /// 1-based source column where the comment starts.
+    pub col: u32,
+}
+
+/// Result of lexing one source file: code tokens and comments, separately.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Cursor<'a> {
+    src: &'a [char],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// The lexer is lossy only about whitespace; unterminated strings or block
+/// comments simply run to end-of-file rather than erroring, so a malformed
+/// file still produces a best-effort stream (rustc itself is the authority
+/// on syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut cur = Cursor {
+        src: &chars,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line, col });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(ch) = cur.peek(0) {
+                if ch == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    cur.bump();
+                    cur.bump();
+                } else if ch == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment { text, line, col });
+            continue;
+        }
+
+        // Raw strings / raw byte strings: r"…", r#"…"#, br#"…"#.
+        if (c == 'r' || c == 'b') && looks_like_raw_string(&cur) {
+            let text = lex_raw_string(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Byte string b"…" (raw handled above).
+        if c == 'b' && cur.peek(1) == Some('"') {
+            cur.bump(); // b
+            let mut text = String::from("b");
+            text.push_str(&lex_quoted(&mut cur, '"'));
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Identifiers / keywords (after raw-string disambiguation).
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let text = lex_quoted(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            let is_lifetime = match (cur.peek(1), cur.peek(2)) {
+                (Some(c1), Some('\'')) if c1 != '\\' => false, // 'a'
+                (Some(c1), _) if is_ident_start(c1) => true,   // 'a, 'static
+                _ => false,
+            };
+            if is_lifetime {
+                cur.bump(); // '
+                let mut text = String::from("'");
+                while let Some(ch) = cur.peek(0) {
+                    if is_ident_continue(ch) {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let text = lex_quoted(&mut cur, '\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Multi-char punctuation, longest match first.
+        let mut matched = false;
+        for p in MULTI_PUNCTS {
+            let plen = p.chars().count();
+            if (0..plen).all(|i| cur.peek(i) == p.chars().nth(i)) {
+                for _ in 0..plen {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                    col,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+
+        // Single-char punctuation (anything else).
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// True when the cursor sits on `r"`, `r#`, `br"` or `br#` starting a raw
+/// (byte) string — as opposed to an identifier like `r` or `broken`.
+fn looks_like_raw_string(cur: &Cursor<'_>) -> bool {
+    let (first, rest) = match cur.peek(0) {
+        Some('r') => ('r', 1),
+        Some('b') if cur.peek(1) == Some('r') => ('b', 2),
+        _ => return false,
+    };
+    let _ = first;
+    let mut i = rest;
+    while cur.peek(i) == Some('#') {
+        i += 1;
+    }
+    cur.peek(i) == Some('"')
+}
+
+/// Consumes a raw string starting at the cursor (`r`/`br` + `#…#` + `"…"`).
+fn lex_raw_string(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    // r or br prefix
+    while let Some(ch) = cur.peek(0) {
+        if ch == 'r' || ch == 'b' {
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        text.push('#');
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        text.push('"');
+        cur.bump();
+    }
+    // Body: runs until `"` followed by `hashes` `#`s.
+    'body: while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            let closes = (0..hashes).all(|i| cur.peek(1 + i) == Some('#'));
+            if closes {
+                text.push('"');
+                cur.bump();
+                for _ in 0..hashes {
+                    text.push('#');
+                    cur.bump();
+                }
+                break 'body;
+            }
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Consumes a quoted literal (string or char) with backslash escapes.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char) -> String {
+    let mut text = String::new();
+    text.push(quote);
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.peek(0) {
+                text.push(esc);
+                cur.bump();
+            }
+            continue;
+        }
+        if ch == quote {
+            text.push(ch);
+            cur.bump();
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Consumes a numeric literal (int/float, any radix, `_` separators, type
+/// suffix) without swallowing a following range operator (`0..6`).
+fn lex_number(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    // Radix prefix.
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x') | Some('o') | Some('b')) {
+        text.push(cur.bump().unwrap());
+        text.push(cur.bump().unwrap());
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_ascii_hexdigit() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else {
+        while let Some(ch) = cur.peek(0) {
+            if ch.is_ascii_digit() || ch == '_' {
+                text.push(ch);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part only when '.' is followed by a digit ('0..6' and
+        // '1.max(2)' must not consume the dot).
+        if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            text.push('.');
+            cur.bump();
+            while let Some(ch) = cur.peek(0) {
+                if ch.is_ascii_digit() || ch == '_' {
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(0), Some('e') | Some('E')) {
+            let sign_ok = match cur.peek(1) {
+                Some('+') | Some('-') => cur.peek(2).is_some_and(|d| d.is_ascii_digit()),
+                Some(d) => d.is_ascii_digit(),
+                None => false,
+            };
+            if sign_ok {
+                text.push(cur.bump().unwrap());
+                if matches!(cur.peek(0), Some('+') | Some('-')) {
+                    text.push(cur.bump().unwrap());
+                }
+                while let Some(ch) = cur.peek(0) {
+                    if ch.is_ascii_digit() || ch == '_' {
+                        text.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Type suffix (i16, u8, f64, usize, …).
+    while let Some(ch) = cur.peek(0) {
+        if is_ident_continue(ch) {
+            text.push(ch);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // a HashMap in a line comment
+            /* a HashMap in a /* nested */ block comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw "string""#;
+            let c = 'H';
+            let b = b"HashMap bytes";
+        "##;
+        let names = idents(src);
+        assert!(
+            !names.iter().any(|n| n == "HashMap"),
+            "no HashMap ident expected, got {names:?}"
+        );
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("line comment"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'x'"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let lexed = lex(r"let q = '\''; let n = '\n';");
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let lexed = lex("let a = 1;\n  let bb = 2;");
+        let bb = lexed.tokens.iter().find(|t| t.text == "bb").unwrap();
+        assert_eq!((bb.line, bb.col), (2, 7));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..6 { let x = 1.5e-3f64 + 0xFFu8 as f64; }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "6", "1.5e-3f64", "0xFFu8"]);
+        assert!(lexed.tokens.iter().any(|t| t.text == ".."));
+    }
+
+    #[test]
+    fn multichar_puncts_combine() {
+        let lexed = lex("a += b; c::d; e -> f; g ..= h; i << j;");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(puncts.contains(&"+=".to_string()));
+        assert!(puncts.contains(&"::".to_string()));
+        assert!(puncts.contains(&"->".to_string()));
+        assert!(puncts.contains(&"..=".to_string()));
+        assert!(puncts.contains(&"<<".to_string()));
+    }
+
+    #[test]
+    fn suffixed_literals_keep_suffix() {
+        let lexed = lex("let v = -16000i16;");
+        assert!(lexed.tokens.iter().any(|t| t.text == "16000i16"));
+    }
+
+    #[test]
+    fn raw_identifier_like_r_is_still_ident() {
+        // `r` alone and `rows` must not be mistaken for raw-string starts.
+        let names = idents("let r = rows + 1;");
+        assert_eq!(names, vec!["let", "r", "rows"]);
+    }
+}

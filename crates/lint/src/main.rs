@@ -1,0 +1,66 @@
+//! CI entry point: lints the workspace and fails on any finding.
+//!
+//! ```text
+//! cargo run -p fec-lint -- [--root <dir>] [--json <report.json>] [--list-rules]
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--list-rules" => {
+                for r in fec_lint::all_rules() {
+                    println!("{:24} {}", r.name, r.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match fec_lint::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        let text = report.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("fec-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("fec-lint: wrote {}", path.display());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("fec-lint: {err}");
+    eprintln!("usage: fec-lint [--root <dir>] [--json <report.json>] [--list-rules]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,67 @@
+//! Machine-readable report (via `fec-json`) and human-readable rendering.
+
+use crate::rules::{all_rules, Finding};
+use fec_json::Json;
+
+/// Outcome of linting a workspace root.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Root the walk started from (as given).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by path, then line/col.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the JSON report uploaded as a CI artifact.
+    pub fn to_json(&self) -> Json {
+        let rules = Json::arr(all_rules().iter().map(|r| {
+            Json::obj([
+                ("name", Json::str(r.name)),
+                ("description", Json::str(r.description)),
+            ])
+        }));
+        let findings = Json::arr(self.findings.iter().map(|f| {
+            Json::obj([
+                ("rule", Json::str(f.rule)),
+                ("path", Json::str(&f.path)),
+                ("line", Json::UInt(f.line.into())),
+                ("col", Json::UInt(f.col.into())),
+                ("message", Json::str(&f.message)),
+            ])
+        }));
+        Json::obj([
+            ("tool", Json::str("fec-lint")),
+            ("root", Json::str(&self.root)),
+            ("files_scanned", Json::UInt(self.files_scanned as u64)),
+            ("clean", Json::Bool(self.is_clean())),
+            ("rules", rules),
+            ("findings", findings),
+        ])
+    }
+
+    /// Renders the human-readable finding list (one line per finding, in
+    /// `path:line:col: [rule] message` form), plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n",
+                f.path, f.line, f.col, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "fec-lint: {} file(s) scanned, {} finding(s)\n",
+            self.files_scanned,
+            self.findings.len()
+        ));
+        out
+    }
+}

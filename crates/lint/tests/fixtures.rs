@@ -1,0 +1,154 @@
+//! Fixture-based self-tests: one positive (must fire, with exact line/col)
+//! and one negative (must not fire) mini workspace tree per rule, plus the
+//! suppression-comment contract and a workspace-at-HEAD cleanliness gate.
+
+use std::path::{Path, PathBuf};
+
+use fec_lint::{lint_root, Finding};
+
+fn fixture(rule: &str, variant: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(variant)
+}
+
+fn findings(rule: &str, variant: &str) -> Vec<Finding> {
+    let root = fixture(rule, variant);
+    lint_root(&root)
+        .unwrap_or_else(|e| panic!("lint_root({}) failed: {e}", root.display()))
+        .findings
+}
+
+/// Asserts the positive fixture fires exactly `expected` `(rule, path,
+/// line, col)` findings and the negative fixture is fully clean.
+fn check_rule(rule: &str, expected: &[(&str, &str, u32, u32)]) {
+    let pos = findings(rule, "pos");
+    let got: Vec<(&str, &str, u32, u32)> = pos
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line, f.col))
+        .collect();
+    assert_eq!(got, expected, "positive fixture for `{rule}`: {pos:#?}");
+
+    let neg = findings(rule, "neg");
+    assert!(
+        neg.is_empty(),
+        "negative fixture for `{rule}` must be clean, got {neg:#?}"
+    );
+}
+
+#[test]
+fn no_hash_collections_fixtures() {
+    // The import and both halves of the type annotation each fire; the
+    // BTreeMap rewrite (plus a bench-crate HashMap) is clean.
+    check_rule(
+        "no-hash-collections",
+        &[
+            (
+                "no-hash-collections",
+                "crates/ldpc/src/accumulator.rs",
+                3,
+                23,
+            ),
+            (
+                "no-hash-collections",
+                "crates/ldpc/src/accumulator.rs",
+                6,
+                21,
+            ),
+            (
+                "no-hash-collections",
+                "crates/ldpc/src/accumulator.rs",
+                6,
+                54,
+            ),
+        ],
+    );
+}
+
+#[test]
+fn no_thread_spawn_fixtures() {
+    check_rule(
+        "no-thread-spawn",
+        &[("no-thread-spawn", "crates/core/src/fanout.rs", 5, 23)],
+    );
+}
+
+#[test]
+fn no_wall_clock_fixtures() {
+    check_rule(
+        "no-wall-clock",
+        &[("no-wall-clock", "crates/channel/src/timing.rs", 4, 25)],
+    );
+}
+
+#[test]
+fn no_entropy_rng_fixtures() {
+    check_rule(
+        "no-entropy-rng",
+        &[("no-entropy-rng", "crates/noc/src/jitter.rs", 4, 27)],
+    );
+}
+
+#[test]
+fn fixed_bare_arith_fixtures() {
+    check_rule(
+        "fixed-bare-arith",
+        &[("fixed-bare-arith", "crates/fixed/src/update.rs", 4, 12)],
+    );
+}
+
+#[test]
+fn fixed_narrowing_cast_fixtures() {
+    check_rule(
+        "fixed-narrowing-cast",
+        &[("fixed-narrowing-cast", "crates/fixed/src/convert.rs", 4, 10)],
+    );
+}
+
+#[test]
+fn crate_lint_headers_fixtures() {
+    let pos = findings("crate-lint-headers", "pos");
+    assert_eq!(pos.len(), 1, "{pos:#?}");
+    assert_eq!(
+        (pos[0].rule, pos[0].path.as_str(), pos[0].line, pos[0].col),
+        ("crate-lint-headers", "crates/widget/src/lib.rs", 1, 1)
+    );
+    assert!(
+        pos[0].message.contains("missing_debug_implementations"),
+        "finding must name the missing attribute: {}",
+        pos[0].message
+    );
+    assert!(findings("crate-lint-headers", "neg").is_empty());
+}
+
+#[test]
+fn reasonless_allow_is_an_error_and_does_not_suppress() {
+    // The positive fixture carries a reasonless `allow(no-wall-clock)`
+    // suppression comment directly above an Instant::now(): the allow
+    // itself is flagged AND the wall-clock finding still comes through.
+    let pos = findings("lint-allow-syntax", "pos");
+    let got: Vec<(&str, u32, u32)> = pos.iter().map(|f| (f.rule, f.line, f.col)).collect();
+    assert_eq!(
+        got,
+        vec![("lint-allow-syntax", 5, 5), ("no-wall-clock", 6, 25)],
+        "{pos:#?}"
+    );
+    // With a reason, the same site is silent.
+    assert!(findings("lint-allow-syntax", "neg").is_empty());
+}
+
+#[test]
+fn workspace_at_head_is_clean() {
+    // The acceptance contract: `cargo run -p fec-lint` exits zero on the
+    // full workspace.  Running it here means any PR that introduces a
+    // violation fails `cargo test` too, not just the dedicated CI job.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_root(&root).expect("linting the workspace must not error");
+    assert!(report.files_scanned > 100, "walker found too few files");
+    assert!(
+        report.is_clean(),
+        "workspace must be fec-lint clean:\n{}",
+        report.render_text()
+    );
+}

@@ -17,6 +17,7 @@
 //! need.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod ldpc_core;

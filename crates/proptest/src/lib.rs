@@ -25,6 +25,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
@@ -121,6 +122,7 @@ pub mod collection {
 
     /// A strategy producing `Vec`s whose elements come from `element` and
     /// whose length is drawn from `len`.
+    #[derive(Debug)]
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,

@@ -39,6 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
@@ -70,6 +71,12 @@ impl<'env, T> Job<'env, T> {
     }
 }
 
+impl<T> std::fmt::Debug for Job<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("id", &self.id).finish()
+    }
+}
+
 /// Submission handle passed to the [`WorkPool::run_jobs`] completion
 /// handler: jobs submitted here enter the running pool's queue.
 pub struct JobSink<'env, T> {
@@ -81,6 +88,14 @@ impl<'env, T> JobSink<'env, T> {
     /// completion handler returns.
     pub fn submit(&mut self, job: Job<'env, T>) {
         self.buffered.push(job);
+    }
+}
+
+impl<T> std::fmt::Debug for JobSink<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSink")
+            .field("buffered", &self.buffered.len())
+            .finish()
     }
 }
 
