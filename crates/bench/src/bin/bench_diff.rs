@@ -256,3 +256,29 @@ fn main() -> ExitCode {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(text: &str) -> BTreeMap<String, Row> {
+        load_rows("test", &Json::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn extra_row_keys_are_ignored_and_min_ns_alone_gates() {
+        // A baseline written before `p50_ns`/`p95_ns` existed must stay
+        // comparable with a current file that carries them — and a p95
+        // regression alone must not fail the diff.
+        let baseline = rows_of(r#"{"rows":[{"name":"k","mean_ns":100.0,"min_ns":90.0}]}"#);
+        let current = rows_of(
+            r#"{"rows":[{"name":"k","mean_ns":120.0,"min_ns":92.0,"p50_ns":110.0,"p95_ns":900.0}]}"#,
+        );
+        assert_eq!(diff_kernels(&baseline, &current, 0.15), 0);
+        // min_ns growth beyond the threshold still regresses.
+        let slow = rows_of(
+            r#"{"rows":[{"name":"k","mean_ns":120.0,"min_ns":150.0,"p50_ns":110.0,"p95_ns":120.0}]}"#,
+        );
+        assert_eq!(diff_kernels(&baseline, &slow, 0.15), 1);
+    }
+}

@@ -20,7 +20,7 @@
 //! Usage: `cargo run -p decoder-bench --bin ber_study --release --
 //! [frames] [--standard wimax|80211n|lte|80222|dvbrcs] [--quantized]
 //! [--lambda-bits <n>] [--workers <n>] [--batch-frames <n>]
-//! [--json <path>]`
+//! [--json <path>] [--metrics <path>] [--metrics-report]`
 //!
 //! `--quantized` adds the fixed-point layered LDPC curve (the hardware
 //! datapath model) next to the floating-point reference, quantizing channel
@@ -35,13 +35,20 @@
 //! drawn frame by frame before decoding and batch decodes are bit-identical
 //! per frame, so every count — and the `--json` output — is byte-for-byte
 //! independent of the batch size.
+//!
+//! `--metrics` writes the observability registry of the whole study (codec,
+//! fixed-datapath, engine and pool metrics) as an `OBS_*.json` export; its
+//! `counts` section is byte-identical for any `--workers`/`--batch-frames`
+//! combination.  `--metrics-report` prints the ASCII report instead of (or
+//! next to) the file.
 
 use code_tables::Standard;
 use decoder_bench::{
     batch_frames_flag_from_args, dvb_rcs_turbo_codec, json_flag_from_args, ldpc_codec,
-    lte_turbo_codec, print_curve, quantized_ldpc_codec, standard_flag_from_args, standard_snrs,
-    turbo_codec, wifi_ldpc_codec, workers_flag_from_args, wran_ldpc_codec, write_json, BerCurve,
-    LdpcFlavor,
+    lte_turbo_codec, metrics_flags_from_args, print_curve, quantized_ldpc_codec,
+    run_curve_maybe_observed as run_observed, standard_flag_from_args, standard_snrs, turbo_codec,
+    wifi_ldpc_codec, workers_flag_from_args, wran_ldpc_codec, write_json, BerCurve, LdpcFlavor,
+    ObsCollector,
 };
 use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_json::{Json, ToJson};
@@ -49,6 +56,7 @@ use wimax_turbo::ExtrinsicExchange;
 
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let (metrics, rest) = metrics_flags_from_args(rest.into_iter());
     let (standard, rest) = standard_flag_from_args(rest.into_iter());
     let (workers, rest) = workers_flag_from_args(rest.into_iter());
     let (batch, rest) = batch_frames_flag_from_args(rest.into_iter());
@@ -73,13 +81,17 @@ fn main() {
         }
     }
 
+    let mut obs = metrics.enabled().then(ObsCollector::new);
     let curves = match standard {
-        Standard::Wimax => wimax_study(frames, workers, batch, quantized, lambda_bits),
-        Standard::Wifi80211n => wifi_study(frames, workers, batch),
-        Standard::Lte => lte_study(frames, workers, batch),
-        Standard::Wran80222 => wran_study(frames, workers, batch),
-        Standard::DvbRcs => dvbrcs_study(frames, workers, batch),
+        Standard::Wimax => wimax_study(frames, workers, batch, quantized, lambda_bits, &mut obs),
+        Standard::Wifi80211n => wifi_study(frames, workers, batch, &mut obs),
+        Standard::Lte => lte_study(frames, workers, batch, &mut obs),
+        Standard::Wran80222 => wran_study(frames, workers, batch, &mut obs),
+        Standard::DvbRcs => dvbrcs_study(frames, workers, batch, &mut obs),
     };
+    if let Some(collector) = &obs {
+        metrics.emit(&collector.registry);
+    }
 
     if let Some(path) = json_path {
         let json = Json::obj([
@@ -98,6 +110,7 @@ fn wimax_study(
     batch: usize,
     quantized: bool,
     lambda_bits: u32,
+    obs: &mut Option<ObsCollector>,
 ) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wimax);
     let ldpc_engine = SimulationEngine::new(
@@ -112,15 +125,30 @@ fn wimax_study(
     );
 
     println!("WiMAX LDPC N = 576, r = 1/2 ({frames} frames per point)\n");
-    let layered = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Layered).as_ref(), snrs);
+    let layered = run_observed(
+        &ldpc_engine,
+        ldpc_codec(576, LdpcFlavor::Layered).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve("Layered normalized min-sum (Itmax = 10)", &layered.points);
-    let flooding = ldpc_engine.run_curve(ldpc_codec(576, LdpcFlavor::Flooding).as_ref(), snrs);
+    let flooding = run_observed(
+        &ldpc_engine,
+        ldpc_codec(576, LdpcFlavor::Flooding).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Two-phase (flooding) normalized min-sum (Itmax = 10)",
         &flooding.points,
     );
     let quantized_curve = quantized.then(|| {
-        let curve = ldpc_engine.run_curve(quantized_ldpc_codec(576, lambda_bits).as_ref(), snrs);
+        let curve = run_observed(
+            &ldpc_engine,
+            quantized_ldpc_codec(576, lambda_bits).as_ref(),
+            snrs,
+            obs,
+        );
         print_curve(
             &format!("Fixed-point layered min-sum, {lambda_bits}-bit lambda (Itmax = 10)"),
             &curve.points,
@@ -129,15 +157,22 @@ fn wimax_study(
     });
 
     println!("WiMAX DBTC 240 couples, rate 1/2 ({frames} frames per point)\n");
-    let symbol = turbo_engine.run_curve(
+    let symbol = run_observed(
+        &turbo_engine,
         turbo_codec(240, ExtrinsicExchange::SymbolLevel).as_ref(),
         snrs,
+        obs,
     );
     print_curve(
         "Symbol-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
         &symbol.points,
     );
-    let bit = turbo_engine.run_curve(turbo_codec(240, ExtrinsicExchange::BitLevel).as_ref(), snrs);
+    let bit = run_observed(
+        &turbo_engine,
+        turbo_codec(240, ExtrinsicExchange::BitLevel).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
         &bit.points,
@@ -150,7 +185,12 @@ fn wimax_study(
     curves
 }
 
-fn wifi_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
+fn wifi_study(
+    frames: u64,
+    workers: usize,
+    batch: usize,
+    obs: &mut Option<ObsCollector>,
+) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wifi80211n);
     let engine = SimulationEngine::new(
         EngineConfig::fixed_frames(frames, 17)
@@ -159,24 +199,44 @@ fn wifi_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     );
 
     println!("802.11n LDPC N = 648, r = 1/2 ({frames} frames per point)\n");
-    let layered = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Layered).as_ref(), snrs);
+    let layered = run_observed(
+        &engine,
+        wifi_ldpc_codec(648, LdpcFlavor::Layered).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Layered normalized min-sum, f64 reference (Itmax = 10)",
         &layered.points,
     );
-    let fixed = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Quantized).as_ref(), snrs);
+    let fixed = run_observed(
+        &engine,
+        wifi_ldpc_codec(648, LdpcFlavor::Quantized).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Fixed-point layered min-sum, 7-bit lambda (Itmax = 10)",
         &fixed.points,
     );
-    let flooding = engine.run_curve(wifi_ldpc_codec(648, LdpcFlavor::Flooding).as_ref(), snrs);
+    let flooding = run_observed(
+        &engine,
+        wifi_ldpc_codec(648, LdpcFlavor::Flooding).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Two-phase (flooding) normalized min-sum (Itmax = 10)",
         &flooding.points,
     );
 
     println!("802.11n LDPC N = 1296, r = 1/2 ({frames} frames per point)\n");
-    let layered_1296 = engine.run_curve(wifi_ldpc_codec(1296, LdpcFlavor::Layered).as_ref(), snrs);
+    let layered_1296 = run_observed(
+        &engine,
+        wifi_ldpc_codec(1296, LdpcFlavor::Layered).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Layered normalized min-sum, f64 reference (Itmax = 10)",
         &layered_1296.points,
@@ -185,7 +245,12 @@ fn wifi_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     vec![layered, fixed, flooding, layered_1296]
 }
 
-fn wran_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
+fn wran_study(
+    frames: u64,
+    workers: usize,
+    batch: usize,
+    obs: &mut Option<ObsCollector>,
+) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Wran80222);
     let engine = SimulationEngine::new(
         EngineConfig::fixed_frames(frames, 23)
@@ -194,24 +259,44 @@ fn wran_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     );
 
     println!("802.22 LDPC N = 480, r = 1/2 ({frames} frames per point)\n");
-    let layered = engine.run_curve(wran_ldpc_codec(480, LdpcFlavor::Layered).as_ref(), snrs);
+    let layered = run_observed(
+        &engine,
+        wran_ldpc_codec(480, LdpcFlavor::Layered).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Layered normalized min-sum, f64 reference (Itmax = 10)",
         &layered.points,
     );
-    let fixed = engine.run_curve(wran_ldpc_codec(480, LdpcFlavor::Quantized).as_ref(), snrs);
+    let fixed = run_observed(
+        &engine,
+        wran_ldpc_codec(480, LdpcFlavor::Quantized).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Fixed-point layered min-sum, 7-bit lambda (Itmax = 10)",
         &fixed.points,
     );
-    let flooding = engine.run_curve(wran_ldpc_codec(480, LdpcFlavor::Flooding).as_ref(), snrs);
+    let flooding = run_observed(
+        &engine,
+        wran_ldpc_codec(480, LdpcFlavor::Flooding).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Two-phase (flooding) normalized min-sum (Itmax = 10)",
         &flooding.points,
     );
 
     println!("802.22 LDPC N = 1440, r = 1/2 ({frames} frames per point)\n");
-    let layered_1440 = engine.run_curve(wran_ldpc_codec(1440, LdpcFlavor::Layered).as_ref(), snrs);
+    let layered_1440 = run_observed(
+        &engine,
+        wran_ldpc_codec(1440, LdpcFlavor::Layered).as_ref(),
+        snrs,
+        obs,
+    );
     print_curve(
         "Layered normalized min-sum, f64 reference (Itmax = 10)",
         &layered_1440.points,
@@ -220,7 +305,12 @@ fn wran_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     vec![layered, fixed, flooding, layered_1440]
 }
 
-fn dvbrcs_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
+fn dvbrcs_study(
+    frames: u64,
+    workers: usize,
+    batch: usize,
+    obs: &mut Option<ObsCollector>,
+) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::DvbRcs);
     let engine = SimulationEngine::new(
         EngineConfig::fixed_frames(frames, 29)
@@ -229,17 +319,21 @@ fn dvbrcs_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     );
 
     println!("DVB-RCS CTC 212 couples (ATM cell), rate 1/2 ({frames} frames per point)\n");
-    let bit = engine.run_curve(
+    let bit = run_observed(
+        &engine,
         dvb_rcs_turbo_codec(212, ExtrinsicExchange::BitLevel).as_ref(),
         snrs,
+        obs,
     );
     print_curve(
         "Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
         &bit.points,
     );
-    let symbol = engine.run_curve(
+    let symbol = run_observed(
+        &engine,
         dvb_rcs_turbo_codec(212, ExtrinsicExchange::SymbolLevel).as_ref(),
         snrs,
+        obs,
     );
     print_curve(
         "Symbol-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
@@ -247,9 +341,11 @@ fn dvbrcs_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     );
 
     println!("DVB-RCS CTC 48 couples (signalling burst), rate 1/2 ({frames} frames per point)\n");
-    let small = engine.run_curve(
+    let small = run_observed(
+        &engine,
         dvb_rcs_turbo_codec(48, ExtrinsicExchange::BitLevel).as_ref(),
         snrs,
+        obs,
     );
     print_curve(
         "Bit-level extrinsic exchange (Max-Log-MAP, Itmax = 8)",
@@ -259,7 +355,12 @@ fn dvbrcs_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     vec![bit, symbol, small]
 }
 
-fn lte_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
+fn lte_study(
+    frames: u64,
+    workers: usize,
+    batch: usize,
+    obs: &mut Option<ObsCollector>,
+) -> Vec<BerCurve> {
     let snrs = standard_snrs(Standard::Lte);
     let engine = SimulationEngine::new(
         EngineConfig::fixed_frames(frames, 19)
@@ -268,11 +369,11 @@ fn lte_study(frames: u64, workers: usize, batch: usize) -> Vec<BerCurve> {
     );
 
     println!("LTE turbo K = 1024, r = 1/3 ({frames} frames per point)\n");
-    let k1024 = engine.run_curve(lte_turbo_codec(1024).as_ref(), snrs);
+    let k1024 = run_observed(&engine, lte_turbo_codec(1024).as_ref(), snrs, obs);
     print_curve("QPP + binary Max-Log-MAP (Itmax = 8)", &k1024.points);
 
     println!("LTE turbo K = 104, r = 1/3 ({frames} frames per point)\n");
-    let k104 = engine.run_curve(lte_turbo_codec(104).as_ref(), snrs);
+    let k104 = run_observed(&engine, lte_turbo_codec(104).as_ref(), snrs, obs);
     print_curve("QPP + binary Max-Log-MAP (Itmax = 8)", &k104.points);
 
     vec![k1024, k104]

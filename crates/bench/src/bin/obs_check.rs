@@ -1,0 +1,56 @@
+//! Validates exported `OBS_*.json` metric files: every file must carry the
+//! three determinism sections (`counts`, `execution`, `timing_ns`) and the
+//! required Count-class metric families ([`REQUIRED_COUNT_METRICS`]), so a
+//! refactor that silently drops an instrumentation point fails CI instead
+//! of producing an empty dashboard.
+//!
+//! Usage: `cargo run -p decoder-bench --bin obs_check -- <OBS.json>...`
+//!
+//! Exit code: 0 when every file validates, 1 on any missing section or
+//! family, 2 on unreadable/unparsable input.
+//!
+//! [`REQUIRED_COUNT_METRICS`]: decoder_bench::obs::REQUIRED_COUNT_METRICS
+
+use decoder_bench::obs::check_obs_json;
+use fec_json::Json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: obs_check <OBS.json>...");
+        return ExitCode::from(2);
+    }
+    let mut failures = 0usize;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let json = match Json::parse(&text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("{path}: cannot parse: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_obs_json(&json) {
+            Ok(()) => println!("{path}: ok"),
+            Err(problems) => {
+                failures += 1;
+                for problem in problems {
+                    println!("{path}: {problem}");
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        println!("{failures} of {} file(s) failed validation", paths.len());
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,7 +1,12 @@
 //! Regenerates Table I of the paper.
 //!
 //! Usage: `cargo run -p decoder-bench --bin table1 --release --
-//! [--quick] [--standard wimax|80211n|lte] [--workers <n>] [--json <path>]`
+//! [--quick] [--standard wimax|80211n|lte] [--workers <n>] [--json <path>]
+//! [--metrics <path>] [--metrics-report]`
+//!
+//! `--metrics` writes the sweep's observability registry (`dse.*` counters,
+//! `pool.*` spans) as an `OBS_*.json` export; `--metrics-report` prints the
+//! ASCII report.
 //!
 //! The 72 design points are sharded over `--workers` scoped threads (default
 //! one per core; the rows are bit-identical for any worker count).  With
@@ -17,13 +22,15 @@
 
 use code_tables::Standard;
 use decoder_bench::{
-    json_flag_from_args, print_table1, run_table1_for, standard_flag_from_args, table1_code,
-    workers_flag_from_args, StreamedRows,
+    json_flag_from_args, metrics_flags_from_args, print_table1, run_table1_for,
+    run_table1_observed, standard_flag_from_args, table1_code, workers_flag_from_args,
+    ObsCollector, StreamedRows,
 };
 use fec_json::Json;
 
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let (metrics, rest) = metrics_flags_from_args(rest.into_iter());
     let (standard, rest) = standard_flag_from_args(rest.into_iter());
     let (workers, rest) = workers_flag_from_args(rest.into_iter());
     let standard = standard.unwrap_or(Standard::Wimax);
@@ -57,7 +64,8 @@ fn main() {
         )
     });
     let mut finished = 0usize;
-    let rows = run_table1_for(&code, workers, |idx, row| {
+    let mut obs = metrics.enabled().then(ObsCollector::new);
+    let on_row = |idx: usize, row: &noc_decoder::dse::Table1Row| {
         finished += 1;
         if let Some(stream) = &mut stream {
             stream.push(row);
@@ -66,7 +74,20 @@ fn main() {
             "  [{finished:>2}/72] point {idx:>2}: {} D={} P={} {} ({}) -> {:.2} Mb/s",
             row.topology, row.degree, row.pes, row.routing, row.architecture, row.throughput_mbps
         );
-    });
+    };
+    let rows = match &mut obs {
+        Some(collector) => run_table1_observed(
+            &code,
+            workers,
+            on_row,
+            &collector.clock,
+            &mut collector.registry,
+        ),
+        None => run_table1_for(&code, workers, on_row),
+    };
+    if let Some(collector) = &obs {
+        metrics.emit(&collector.registry);
+    }
     if let Some(stream) = stream {
         let path = stream.path().to_path_buf();
         let rows = stream.finish();

@@ -2,21 +2,29 @@
 //! decoder supporting all turbo and LDPC codes.
 //!
 //! Usage: `cargo run -p decoder-bench --bin table2 --release --
-//! [--quick] [--standard wimax|80211n|lte] [--json <path>]`
+//! [--quick] [--standard wimax|80211n|lte] [--json <path>]
+//! [--metrics <path>] [--metrics-report]`
 //!
 //! `--standard` evaluates the flexible design point on the worst-case codes
 //! of another standard (802.11n LDPC N = 1944, LTE turbo K = 6144);
 //! standards lacking one family borrow the WiMAX code for the missing role.
 //! `--quick` uses the chosen standard's smallest corner codes instead.
+//!
+//! `--metrics` writes the run's observability registry (`dse.table2_*`
+//! counters plus the whole-run span) as an `OBS_*.json` export;
+//! `--metrics-report` prints the ASCII report.  Table II is a serial
+//! 3-row evaluation, so no pool metrics appear here.
 
 use code_tables::Standard;
 use decoder_bench::{
-    json_flag_from_args, print_table2, rows_json, run_table2_for, standard_flag_from_args,
-    table2_codes, write_json,
+    json_flag_from_args, metrics_flags_from_args, print_table2, rows_json, run_table2_for,
+    standard_flag_from_args, table2_codes, write_json,
 };
+use fec_obs::{Class, Clock, Registry, WallClock};
 
 fn main() {
     let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
+    let (metrics, rest) = metrics_flags_from_args(rest.into_iter());
     let (standard, rest) = standard_flag_from_args(rest.into_iter());
     let standard = standard.unwrap_or(Standard::Wimax);
     let quick = rest.iter().any(|a| a == "--quick");
@@ -27,6 +35,8 @@ fn main() {
         ldpc.label(),
         turbo.label()
     );
+    let clock = WallClock::new();
+    let t0 = clock.now_ns();
     let rows = run_table2_for(&ldpc, &turbo);
     // print_table2 labels columns by LDPC block length (k + m) and turbo
     // info bits (2 * couples).
@@ -35,6 +45,19 @@ fn main() {
         ldpc.info_bits() + ldpc.mapping_units(),
         turbo.info_bits() / 2,
     );
+
+    if metrics.enabled() {
+        let mut reg = Registry::new();
+        reg.incr(Class::Count, "dse.table2_rows", rows.len() as u64);
+        // Each Table II row evaluates the design point twice: LDPC + turbo.
+        reg.incr(
+            Class::Count,
+            "dse.table2_evaluations",
+            2 * rows.len() as u64,
+        );
+        reg.timing("dse.table2_run_ns", clock.now_ns().saturating_sub(t0));
+        metrics.emit(&reg);
+    }
 
     if let Some(path) = json_path {
         write_json(&path, &rows_json("table2", &rows));

@@ -18,15 +18,24 @@ pub struct BenchReport {
     pub mean_ns: f64,
     /// Fastest iteration, in nanoseconds.
     pub min_ns: f64,
+    /// Median iteration, in nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile iteration, in nanoseconds.  With fewer than 20
+    /// samples this degenerates toward the maximum.
+    pub p95_ns: f64,
 }
 
 impl ToJson for BenchReport {
     fn to_json(&self) -> Json {
+        // Additive keys only: `bench_diff` gates on `min_ns` and ignores
+        // the rest, so older baseline files stay comparable.
         Json::obj([
             ("name", Json::str(self.name.clone())),
             ("iterations", Json::from(u64::from(self.iterations))),
             ("mean_ns", Json::from(self.mean_ns)),
             ("min_ns", Json::from(self.min_ns)),
+            ("p50_ns", Json::from(self.p50_ns)),
+            ("p95_ns", Json::from(self.p95_ns)),
         ])
     }
 }
@@ -65,21 +74,30 @@ pub fn bench<F: FnMut()>(name: &str, warmup: u32, iterations: u32, mut f: F) -> 
         f();
     }
     let iterations = iterations.max(1);
-    let mut total_ns = 0f64;
-    let mut min_ns = f64::INFINITY;
+    let mut samples = Vec::with_capacity(iterations as usize);
     for _ in 0..iterations {
         let t0 = Instant::now();
         f();
-        let dt = t0.elapsed().as_nanos() as f64;
-        total_ns += dt;
-        min_ns = min_ns.min(dt);
+        samples.push(t0.elapsed().as_nanos() as f64);
     }
+    let total_ns: f64 = samples.iter().sum();
+    let min_ns = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     BenchReport {
         name: name.to_string(),
         iterations,
         mean_ns: total_ns / f64::from(iterations),
         min_ns,
+        p50_ns: percentile(&samples, 50.0),
+        p95_ns: percentile(&samples, 95.0),
     }
+}
+
+/// Nearest-rank percentile over sorted samples (`p` in `0..=100`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Prints the header row matching [`BenchReport::line`].
@@ -102,7 +120,35 @@ mod tests {
         assert_eq!(report.iterations, 5);
         assert!(report.mean_ns >= report.min_ns);
         assert!(report.min_ns >= 0.0);
+        assert!(report.p50_ns >= report.min_ns);
+        assert!(report.p95_ns >= report.p50_ns);
         assert!(counter > 0);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 5.0);
+        assert_eq!(percentile(&sorted, 95.0), 10.0);
+        assert_eq!(percentile(&sorted, 100.0), 10.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn report_json_carries_the_percentile_keys() {
+        let json = BenchReport {
+            name: "x".into(),
+            iterations: 3,
+            mean_ns: 2.0,
+            min_ns: 1.0,
+            p50_ns: 2.0,
+            p95_ns: 3.0,
+        }
+        .to_json()
+        .to_string();
+        assert!(json.contains("\"p50_ns\":2"), "{json}");
+        assert!(json.contains("\"p95_ns\":3"), "{json}");
+        assert!(json.contains("\"min_ns\":1"), "{json}");
     }
 
     #[test]
@@ -116,6 +162,8 @@ mod tests {
             iterations: 3,
             mean_ns: 1.0,
             min_ns: 1.0,
+            p50_ns: 1.0,
+            p95_ns: 1.0,
         }
         .line();
         assert!(line.contains("3 iters"));

@@ -13,6 +13,7 @@
 
 pub mod ber;
 pub mod harness;
+pub mod obs;
 pub mod results;
 pub mod table1;
 pub mod table2;
@@ -24,10 +25,14 @@ pub use ber::{
     BerCurve, BerPoint, LdpcFlavor,
 };
 pub use harness::{bench, BenchReport};
+pub use obs::{
+    check_obs_json, metrics_flags_from_args, registry_json, run_curve_maybe_observed, ObsCollector,
+    ObsOptions, REQUIRED_COUNT_METRICS,
+};
 pub use results::{
     batch_frames_flag_from_args, json_flag_from_args, rows_json, standard_flag_from_args,
     workers_flag_from_args, write_json, StreamedRows,
 };
-pub use table1::{print_table1, run_table1, run_table1_for, table1_code};
+pub use table1::{print_table1, run_table1, run_table1_for, run_table1_observed, table1_code};
 pub use table2::{print_table2, run_table2, run_table2_for, table2_codes};
 pub use table3::{print_table3, table3_rows, Table3Row};

@@ -1,0 +1,147 @@
+//! `--metrics` support for the study binaries: flag parsing, a per-run
+//! collector, and re-exports of the canonical `OBS_*.json` schema
+//! ([`noc_decoder::obs_export`]).
+//!
+//! Every study binary accepts `--metrics <path>`: the metrics collected
+//! during the run are written as an `OBS_*.json` file with one object per
+//! determinism section (`counts`, `execution`, `timing_ns`) plus a
+//! `derived` object of export-time ratios.  `--metrics-report` prints the
+//! human-readable ASCII report ([`fec_obs::render_report`]) instead of, or
+//! in addition to, the file.
+//!
+//! The `counts` section is the determinism-gated surface: it must be
+//! byte-identical for any worker count and decode batch size.  CI's
+//! `obs_check` binary validates exported files against
+//! [`REQUIRED_COUNT_METRICS`] via [`check_obs_json`].
+
+use fec_channel::sim::FecCodec;
+use fec_channel::sim::{BerCurve, SimulationEngine};
+use fec_obs::{Registry, WallClock};
+use std::path::PathBuf;
+
+pub use noc_decoder::obs_export::{
+    check_obs_json, registry_json, OBS_SECTIONS, REQUIRED_COUNT_METRICS,
+};
+
+/// Options parsed from the shared `--metrics` / `--metrics-report` flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsOptions {
+    /// Where to write the `OBS_*.json` export, if requested.
+    pub path: Option<PathBuf>,
+    /// Whether to print the ASCII report to stdout.
+    pub report: bool,
+}
+
+impl ObsOptions {
+    /// `true` when the run should collect metrics at all.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some() || self.report
+    }
+
+    /// Writes/prints the collected registry per the options: the JSON
+    /// export via [`crate::results::write_json`], the ASCII report to
+    /// stdout.
+    pub fn emit(&self, reg: &Registry) {
+        if let Some(path) = &self.path {
+            crate::results::write_json(path, &registry_json(reg));
+        }
+        if self.report {
+            println!("{}", fec_obs::render_report(reg));
+        }
+    }
+}
+
+/// A metric collector for the study binaries: one registry for the whole
+/// run plus the audited [`WallClock`] that times the pool's spans.
+#[derive(Debug, Default)]
+pub struct ObsCollector {
+    /// Wall clock injected into observed runs (Timing-class spans only).
+    pub clock: WallClock,
+    /// The metrics collected so far.
+    pub registry: Registry,
+}
+
+impl ObsCollector {
+    /// An empty collector with a freshly-anchored wall clock.
+    pub fn new() -> Self {
+        ObsCollector::default()
+    }
+
+    /// Runs [`SimulationEngine::run_curve_observed`] against this
+    /// collector's clock and registry.
+    pub fn run_curve(
+        &mut self,
+        engine: &SimulationEngine,
+        codec: &dyn FecCodec,
+        snrs: &[f64],
+    ) -> BerCurve {
+        engine.run_curve_observed(codec, snrs, &self.clock, &mut self.registry)
+    }
+}
+
+/// Runs a curve observed when a collector is present, plain otherwise —
+/// the one-liner the study binaries route every curve through.
+pub fn run_curve_maybe_observed(
+    engine: &SimulationEngine,
+    codec: &dyn FecCodec,
+    snrs: &[f64],
+    obs: &mut Option<ObsCollector>,
+) -> BerCurve {
+    match obs.as_mut() {
+        Some(collector) => collector.run_curve(engine, codec, snrs),
+        None => engine.run_curve(codec, snrs),
+    }
+}
+
+/// Extracts the `--metrics <path>` and `--metrics-report` flags from a raw
+/// argument list, returning the parsed options and the remaining arguments
+/// in order — the shared parser behind every binary's observability
+/// support.
+///
+/// # Panics
+///
+/// Panics if `--metrics` is given without a following path.
+pub fn metrics_flags_from_args(args: impl Iterator<Item = String>) -> (ObsOptions, Vec<String>) {
+    let mut opts = ObsOptions::default();
+    let mut rest = Vec::new();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics" => {
+                let value = args
+                    .next()
+                    .expect("--metrics requires a file path argument");
+                opts.path = Some(PathBuf::from(value));
+            }
+            "--metrics-report" => opts.report = true,
+            _ => rest.push(arg),
+        }
+    }
+    (opts, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_flags_are_extracted_anywhere() {
+        let (opts, rest) = metrics_flags_from_args(
+            ["--quick", "--metrics", "OBS.json", "--metrics-report", "60"]
+                .map(String::from)
+                .into_iter(),
+        );
+        assert_eq!(opts.path.as_deref(), Some(std::path::Path::new("OBS.json")));
+        assert!(opts.report);
+        assert!(opts.enabled());
+        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
+        let (opts, _) = metrics_flags_from_args(["60"].map(String::from).into_iter());
+        assert!(!opts.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "--metrics requires")]
+    fn dangling_metrics_flag_panics() {
+        let _ = metrics_flags_from_args(["--metrics"].map(String::from).into_iter());
+    }
+}

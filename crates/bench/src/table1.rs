@@ -41,6 +41,26 @@ pub fn run_table1_for(
         .expect("Table I sweep evaluates")
 }
 
+/// [`run_table1_for`] with observability: fills `obs` with the sweep's
+/// `dse.*` counters and the work pool's `pool.*` spans (timed with the
+/// injected `clock`).  Rows and Count-class metrics stay bit-identical for
+/// any worker count.
+///
+/// # Panics
+///
+/// Panics if an evaluation fails.
+pub fn run_table1_observed(
+    code: &StandardCode,
+    workers: usize,
+    on_row: impl FnMut(usize, &Table1Row),
+    clock: &dyn fec_obs::Clock,
+    obs: &mut fec_obs::Registry,
+) -> Vec<Table1Row> {
+    let dse = DesignSpaceExplorer::new(DecoderConfig::paper_design_point());
+    dse.table1_sharded_observed(code, workers, on_row, clock, obs)
+        .expect("Table I sweep evaluates")
+}
+
 /// The code a `--standard` Table I sweep exercises: the standard's
 /// worst-case (largest) code — LDPC where the standard defines LDPC, its
 /// turbo code otherwise (LTE).  `quick` selects the smallest corner code

@@ -33,6 +33,18 @@
 //! `(seed, shard, ebn0_db)`, so the counts are bit-identical to the
 //! point-at-a-time schedule.
 //!
+//! # Observability
+//!
+//! [`run_curve_observed`] runs the same schedule while filling a
+//! [`fec_obs::Registry`]: every shard job records into a private registry
+//! that is merged on completion (the merge is commutative, so Count-class
+//! metrics stay bit-identical for any worker count and batch size), the
+//! pool contributes `pool.*` spans via [`fec_sched::PoolObs`], and the
+//! engine emits per-point `engine.p{i}.*` counters.  Timing spans use the
+//! injected [`fec_obs::Clock`] and are excluded from determinism gating.
+//!
+//! [`run_curve_observed`]: SimulationEngine::run_curve_observed
+//!
 //! # Example
 //!
 //! ```
@@ -68,7 +80,8 @@ use crate::ber::{ErrorCounter, MonteCarloConfig};
 use crate::modulation::BpskModulator;
 use fec_fixed::Llr;
 use fec_json::{Json, ToJson};
-use fec_sched::{Job, WorkPool};
+use fec_obs::{Class, Clock, Registry};
+use fec_sched::{Job, PoolObs, WorkPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -120,10 +133,56 @@ pub trait FecCodec: Send + Sync {
         frames.iter().map(|f| self.decode(f)).collect()
     }
 
+    /// Decodes one frame while recording metrics into `obs`.
+    ///
+    /// The default decodes via [`decode`] and records the generic `codec.*`
+    /// Count metrics with [`record_decoded_frame`]; instrumented codecs
+    /// override it to thread a recorder through their datapath.  Overrides
+    /// must return a frame **bit-identical** to [`decode`] — observation
+    /// never changes results — and must keep their Count-class metrics a
+    /// pure per-frame function so the engine's determinism contract extends
+    /// to the registry.
+    ///
+    /// [`decode`]: FecCodec::decode
+    fn decode_observed(&self, llrs: &[Llr], obs: &mut Registry) -> DecodedFrame {
+        let frame = self.decode(llrs);
+        record_decoded_frame(obs, &frame);
+        frame
+    }
+
+    /// Decodes a batch of frames while recording metrics into `obs`.
+    ///
+    /// Same contract as [`decode_batch`] plus the metric rules of
+    /// [`decode_observed`]: the default loops over [`decode_observed`], and
+    /// overrides must emit Count-class metrics identical to decoding each
+    /// frame alone.
+    ///
+    /// [`decode_batch`]: FecCodec::decode_batch
+    /// [`decode_observed`]: FecCodec::decode_observed
+    fn decode_batch_observed(&self, frames: &[&[Llr]], obs: &mut Registry) -> Vec<DecodedFrame> {
+        frames
+            .iter()
+            .map(|f| self.decode_observed(f, obs))
+            .collect()
+    }
+
     /// Code rate `k / n`, used to set the AWGN noise variance for a target
     /// `Eb/N0`.
     fn rate(&self) -> f64 {
         self.info_bits() as f64 / self.codeword_bits() as f64
+    }
+}
+
+/// Records the codec-level Count metrics for one decoded frame:
+/// `codec.frames`, the `codec.iterations` histogram and `codec.converged`.
+///
+/// Shared by the [`FecCodec::decode_observed`] default and by instrumented
+/// overrides, so every codec reports the same baseline metric family.
+pub fn record_decoded_frame(obs: &mut Registry, frame: &DecodedFrame) {
+    obs.incr(Class::Count, "codec.frames", 1);
+    obs.observe(Class::Count, "codec.iterations", frame.iterations as u64);
+    if frame.converged {
+        obs.incr(Class::Count, "codec.converged", 1);
     }
 }
 
@@ -346,7 +405,7 @@ impl SimulationEngine {
     /// Simulates one `Eb/N0` point for `codec` (a single-point curve on the
     /// shared work pool).
     pub fn run_point(&self, codec: &dyn FecCodec, ebn0_db: f64) -> BerPoint {
-        self.run_points(codec, std::slice::from_ref(&ebn0_db))
+        self.run_points_inner(codec, std::slice::from_ref(&ebn0_db), None)
             .pop()
             .expect("one point per Eb/N0 value")
     }
@@ -359,14 +418,42 @@ impl SimulationEngine {
     pub fn run_curve(&self, codec: &dyn FecCodec, ebn0_dbs: &[f64]) -> BerCurve {
         BerCurve {
             label: codec.name(),
-            points: self.run_points(codec, ebn0_dbs),
+            points: self.run_points_inner(codec, ebn0_dbs, None),
+        }
+    }
+
+    /// Simulates a full curve while filling `obs`: shard jobs record into
+    /// private registries merged on completion, the pool reports `pool.*`
+    /// spans, and the engine emits per-point `engine.p{i}.*` counters.
+    ///
+    /// Count-class metrics are **bit-identical** for any worker count and
+    /// decode batch size (registry merge is commutative and every Count
+    /// metric is a pure per-frame function); Timing-class spans use the
+    /// injected `clock` and carry no determinism guarantee.
+    pub fn run_curve_observed(
+        &self,
+        codec: &dyn FecCodec,
+        ebn0_dbs: &[f64],
+        clock: &dyn Clock,
+        obs: &mut Registry,
+    ) -> BerCurve {
+        BerCurve {
+            label: codec.name(),
+            points: self.run_points_inner(codec, ebn0_dbs, Some((clock, obs))),
         }
     }
 
     /// Runs every `Eb/N0` point on one shared pool and returns the points in
     /// input order (results are merged by `(point, shard)` index, so the
-    /// counts are bit-identical for any worker count).
-    fn run_points(&self, codec: &dyn FecCodec, ebn0_dbs: &[f64]) -> Vec<BerPoint> {
+    /// counts are bit-identical for any worker count).  With
+    /// `observe = Some(..)` the same schedule additionally fills the
+    /// registry; the plain path pays nothing for the instrumentation.
+    fn run_points_inner(
+        &self,
+        codec: &dyn FecCodec,
+        ebn0_dbs: &[f64],
+        observe: Option<(&dyn Clock, &mut Registry)>,
+    ) -> Vec<BerPoint> {
         let cfg = &self.config;
         let shards = cfg.shards;
         let modulator = BpskModulator::new();
@@ -383,6 +470,7 @@ impl SimulationEngine {
                     .collect(),
                 total: PointAccumulator::default(),
                 in_flight: 0,
+                rounds: 0,
             })
             .collect();
 
@@ -392,6 +480,7 @@ impl SimulationEngine {
             modulator: &modulator,
             cfg,
             round_quota: (shards as u64).saturating_mul(cfg.frames_per_shard_round),
+            observed: observe.is_some(),
         };
 
         let mut initial = Vec::new();
@@ -400,18 +489,50 @@ impl SimulationEngine {
         }
         // The first round is the widest (`remaining` only shrinks), so its
         // job count is the concurrency the whole curve can ever expose.
-        WorkPool::new(cfg.workers).run_jobs(initial, |id, (rng, acc), sink| {
-            let (point, shard) = (id / shards, id % shards);
-            let state = &mut states[point];
-            state.rngs[shard] = Some(rng);
-            state.total.merge(&acc);
-            state.in_flight -= 1;
-            if state.in_flight == 0 {
-                for job in schedule_round(&ctx, state, point) {
-                    sink.submit(job);
+        match observe {
+            None => {
+                WorkPool::new(cfg.workers).run_jobs(initial, |id, (rng, acc, _), sink| {
+                    let (point, shard) = (id / shards, id % shards);
+                    let state = &mut states[point];
+                    state.rngs[shard] = Some(rng);
+                    state.total.merge(&acc);
+                    state.in_flight -= 1;
+                    if state.in_flight == 0 {
+                        for job in schedule_round(&ctx, state, point) {
+                            sink.submit(job);
+                        }
+                    }
+                });
+            }
+            Some((clock, obs)) => {
+                let mut pool_obs = PoolObs::new();
+                WorkPool::new(cfg.workers).run_jobs_observed(
+                    initial,
+                    |id, (rng, acc, reg), sink| {
+                        if let Some(reg) = reg {
+                            obs.merge(&reg);
+                        }
+                        let (point, shard) = (id / shards, id % shards);
+                        let state = &mut states[point];
+                        state.rngs[shard] = Some(rng);
+                        state.total.merge(&acc);
+                        state.in_flight -= 1;
+                        if state.in_flight == 0 {
+                            for job in schedule_round(&ctx, state, point) {
+                                sink.submit(job);
+                            }
+                        }
+                    },
+                    clock,
+                    &mut pool_obs,
+                );
+                pool_obs.record_into(obs, "pool");
+                obs.incr(Class::Count, "engine.points", ebn0_dbs.len() as u64);
+                for (i, state) in states.iter().enumerate() {
+                    record_point_obs(obs, i, state, &cfg.stop);
                 }
             }
-        });
+        }
 
         states
             .iter()
@@ -421,9 +542,44 @@ impl SimulationEngine {
     }
 }
 
+/// Emits the per-point `engine.p{i}.*` Count metrics: frames, bit/frame
+/// errors, decoder iterations, scheduling rounds and whether the error
+/// target stopped the point before its frame budget.  All of these are
+/// pure functions of the merged counters, so they inherit the engine's
+/// worker-count determinism.
+fn record_point_obs(obs: &mut Registry, point: usize, state: &PointState, stop: &MonteCarloConfig) {
+    let c = &state.total.counter;
+    obs.incr(Class::Count, &format!("engine.p{point}.frames"), c.frames());
+    obs.incr(
+        Class::Count,
+        &format!("engine.p{point}.bit_errors"),
+        c.bit_errors(),
+    );
+    obs.incr(
+        Class::Count,
+        &format!("engine.p{point}.frame_errors"),
+        c.frame_errors(),
+    );
+    obs.incr(
+        Class::Count,
+        &format!("engine.p{point}.iterations"),
+        state.total.iterations,
+    );
+    obs.incr(
+        Class::Count,
+        &format!("engine.p{point}.rounds"),
+        state.rounds,
+    );
+    if c.frames() < stop.max_frames {
+        obs.incr(Class::Count, &format!("engine.p{point}.early_stop"), 1);
+    }
+}
+
 /// The result of one `(point, shard)` job: the shard's RNG stream handed
-/// back for the next round, plus the counts of the frames it simulated.
-type ShardResult = (StdRng, PointAccumulator);
+/// back for the next round, the counts of the frames it simulated, and —
+/// on observed runs only — the shard's private metric registry (`None`
+/// keeps the plain path allocation-free).
+type ShardResult = (StdRng, PointAccumulator, Option<Box<Registry>>);
 
 /// Mutable per-point scheduling state, owned by the pool's calling thread.
 struct PointState {
@@ -432,6 +588,9 @@ struct PointState {
     total: PointAccumulator,
     /// Jobs of the point's current round still in the pool.
     in_flight: usize,
+    /// Scheduling rounds submitted for this point (a pure function of the
+    /// configuration and the merged counters, so worker-count independent).
+    rounds: u64,
 }
 
 /// The shared immutable context `(point, shard)` jobs capture.
@@ -441,6 +600,8 @@ struct CurveCtx<'env> {
     modulator: &'env BpskModulator,
     cfg: &'env EngineConfig,
     round_quota: u64,
+    /// Whether shard jobs should fill a private metric registry.
+    observed: bool,
 }
 
 /// Builds the jobs of `point`'s next scheduling round, or an empty vector
@@ -470,6 +631,7 @@ fn schedule_round<'env>(
     let channel = &ctx.channels[point];
     let modulator = ctx.modulator;
     let batch = cfg.batch_frames;
+    let observed = ctx.observed;
     let mut jobs = Vec::new();
     for (shard, &n) in counts.iter().enumerate() {
         if n == 0 {
@@ -478,9 +640,21 @@ fn schedule_round<'env>(
         let mut rng = state.rngs[shard].take().expect("shard RNG checked back in");
         jobs.push(Job::new(point * shards + shard, move || {
             let mut acc = PointAccumulator::default();
+            let mut reg = if observed {
+                Some(Box::new(Registry::new()))
+            } else {
+                None
+            };
             if batch <= 1 {
                 for _ in 0..n {
-                    simulate_frame(codec, channel, modulator, &mut rng, &mut acc);
+                    simulate_frame(
+                        codec,
+                        channel,
+                        modulator,
+                        &mut rng,
+                        &mut acc,
+                        reg.as_deref_mut(),
+                    );
                 }
             } else {
                 // Chunk the shard's quota into decode batches; the final
@@ -490,14 +664,23 @@ fn schedule_round<'env>(
                 let mut done = 0u64;
                 while done < n {
                     let b = (n - done).min(batch as u64) as usize;
-                    simulate_batch(codec, channel, modulator, &mut rng, &mut acc, b);
+                    simulate_batch(
+                        codec,
+                        channel,
+                        modulator,
+                        &mut rng,
+                        &mut acc,
+                        b,
+                        reg.as_deref_mut(),
+                    );
                     done += b as u64;
                 }
             }
-            (rng, acc)
+            (rng, acc, reg)
         }));
     }
     state.in_flight = jobs.len();
+    state.rounds += u64::from(!jobs.is_empty());
     jobs
 }
 
@@ -519,13 +702,15 @@ fn finish_point(ebn0_db: f64, total: &PointAccumulator) -> BerPoint {
     }
 }
 
-/// Simulates one frame end to end and records it into `acc`.
+/// Simulates one frame end to end and records it into `acc` (and, when
+/// observing, into the shard registry `obs`).
 fn simulate_frame(
     codec: &dyn FecCodec,
     channel: &AwgnChannel,
     modulator: &BpskModulator,
     rng: &mut StdRng,
     acc: &mut PointAccumulator,
+    obs: Option<&mut Registry>,
 ) {
     let info: Vec<u8> = (0..codec.info_bits())
         .map(|_| rng.gen_range(0..=1))
@@ -533,7 +718,11 @@ fn simulate_frame(
     let codeword = codec.encode(&info);
     debug_assert_eq!(codeword.len(), codec.codeword_bits());
     let received = channel.transmit(&modulator.modulate(&codeword), rng);
-    let decoded = codec.decode(&channel.llrs(&received));
+    let llrs = channel.llrs(&received);
+    let decoded = match obs {
+        Some(obs) => codec.decode_observed(&llrs, obs),
+        None => codec.decode(&llrs),
+    };
     acc.counter.record_frame(&info, &decoded.info_bits);
     acc.iterations += decoded.iterations as u64;
 }
@@ -552,6 +741,7 @@ fn simulate_batch(
     rng: &mut StdRng,
     acc: &mut PointAccumulator,
     batch: usize,
+    obs: Option<&mut Registry>,
 ) {
     let mut infos = Vec::with_capacity(batch);
     let mut llr_frames = Vec::with_capacity(batch);
@@ -566,7 +756,10 @@ fn simulate_batch(
         infos.push(info);
     }
     let frames: Vec<&[Llr]> = llr_frames.iter().map(|f| f.as_slice()).collect();
-    let decoded = codec.decode_batch(&frames);
+    let decoded = match obs {
+        Some(obs) => codec.decode_batch_observed(&frames, obs),
+        None => codec.decode_batch(&frames),
+    };
     debug_assert_eq!(decoded.len(), batch);
     for (info, frame) in infos.iter().zip(&decoded) {
         acc.counter.record_frame(info, &frame.info_bits);
@@ -893,6 +1086,56 @@ mod tests {
                 min_frames: 0,
             },
         );
+    }
+
+    #[test]
+    fn observed_counts_are_identical_for_any_worker_and_batch_size() {
+        // The observability contract: Count-class metrics (and the points
+        // themselves) must be byte-identical at any (workers, batch)
+        // combination, because shard registries merge commutatively.
+        let codec = Repetition { k: 24 };
+        let stop = MonteCarloConfig {
+            max_frames: 200,
+            target_frame_errors: 25,
+            min_frames: 30,
+        };
+        let clock = fec_obs::ManualClock::new();
+        let snrs = [0.0, 4.0];
+        let mut reference_obs = Registry::new();
+        let reference =
+            engine(1, stop).run_curve_observed(&codec, &snrs, &clock, &mut reference_obs);
+        assert_eq!(reference, engine(1, stop).run_curve(&codec, &snrs));
+        let reference_counts = reference_obs.render_counts();
+        assert!(reference_obs.counter("codec.frames").unwrap() >= 60);
+        assert!(
+            reference_counts.contains("engine.p0.frames"),
+            "{reference_counts}"
+        );
+        assert!(
+            reference_counts.contains("engine.p1.rounds"),
+            "{reference_counts}"
+        );
+        assert!(reference_obs.get("pool.task_run_ns").is_some());
+        for workers in [2, 8] {
+            for batch in [1, 8] {
+                let eng = SimulationEngine::new(EngineConfig {
+                    workers,
+                    shards: 8,
+                    frames_per_shard_round: 4,
+                    seed: 99,
+                    batch_frames: batch,
+                    stop,
+                });
+                let mut obs = Registry::new();
+                let curve = eng.run_curve_observed(&codec, &snrs, &clock, &mut obs);
+                assert_eq!(curve, reference, "workers = {workers}, batch = {batch}");
+                assert_eq!(
+                    obs.render_counts(),
+                    reference_counts,
+                    "workers = {workers}, batch = {batch}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::wifi::{wifi_ldpc, wifi_rates, WIFI_BLOCK_LENGTHS};
 use crate::wran::{wran_ldpc, wran_rates, WRAN_BLOCK_LENGTHS};
 use fec_channel::sim::{DecodedFrame, FecCodec};
 use fec_fixed::Llr;
+use fec_obs::Registry;
 use wimax_ldpc::decoder::{FixedLayeredConfig, LayeredConfig};
 use wimax_ldpc::{
     wimax_block_lengths, CodeRate, LayeredLdpcCodec, QcLdpcCode, QuantizedLayeredLdpcCodec,
@@ -192,6 +193,16 @@ impl<C: FecCodec> FecCodec for NamedCodec<C> {
         // Forward so a wrapped codec's lockstep batch override is not lost
         // behind the loop-over-decode default.
         self.inner.decode_batch(frames)
+    }
+
+    fn decode_observed(&self, llrs: &[Llr], obs: &mut Registry) -> DecodedFrame {
+        // Forward so a wrapped codec's instrumented datapath (fixed.*
+        // saturation counters) is not lost behind the generic default.
+        self.inner.decode_observed(llrs, obs)
+    }
+
+    fn decode_batch_observed(&self, frames: &[&[Llr]], obs: &mut Registry) -> Vec<DecodedFrame> {
+        self.inner.decode_batch_observed(frames, obs)
     }
 }
 

@@ -13,7 +13,8 @@ use crate::config::DecoderConfig;
 use crate::evaluation::{evaluate_standard_code, DecoderError};
 use code_tables::{registry_for, Standard, StandardCode};
 use fec_json::{Json, ToJson};
-use fec_sched::WorkPool;
+use fec_obs::{Class, Clock, Registry};
+use fec_sched::{PoolObs, WorkPool};
 
 /// The result of evaluating one code of a compliance sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -186,7 +187,37 @@ pub fn run_multi_compliance_sharded(
     config: &DecoderConfig,
     scopes: &[ComplianceScope],
     workers: usize,
+    on_entry: impl FnMut(usize, &ComplianceEntry),
+) -> Result<ComplianceReport, DecoderError> {
+    run_multi_compliance_inner(config, scopes, workers, on_entry, None)
+}
+
+/// Runs [`run_multi_compliance_sharded`] while filling `obs`: the pool
+/// reports `pool.*` spans (timed with the injected `clock`) and the sweep
+/// emits `compliance.*` counters (cells scheduled, entries produced, codes
+/// skipped by the mapping guard, compliant codes).  The report and every
+/// Count-class metric are bit-identical for any worker count.
+///
+/// # Errors
+///
+/// Same contract as [`run_compliance`].
+pub fn run_multi_compliance_observed(
+    config: &DecoderConfig,
+    scopes: &[ComplianceScope],
+    workers: usize,
+    on_entry: impl FnMut(usize, &ComplianceEntry),
+    clock: &dyn Clock,
+    obs: &mut Registry,
+) -> Result<ComplianceReport, DecoderError> {
+    run_multi_compliance_inner(config, scopes, workers, on_entry, Some((clock, obs)))
+}
+
+fn run_multi_compliance_inner(
+    config: &DecoderConfig,
+    scopes: &[ComplianceScope],
+    workers: usize,
     mut on_entry: impl FnMut(usize, &ComplianceEntry),
+    mut observe: Option<(&dyn Clock, &mut Registry)>,
 ) -> Result<ComplianceReport, DecoderError> {
     // Enumerate the sweep cells up front: the indexed task set the pool
     // executes.  The mapping-size guard is part of the schedule (not the
@@ -202,32 +233,44 @@ pub fn run_multi_compliance_sharded(
         .filter(|(_, code)| code.mapping_units() >= config.pes)
         .collect();
 
-    let results = WorkPool::new(workers).run_indexed_with(
-        cells.len(),
-        |index| {
-            let (standard, code) = cells[index];
-            let eval = match evaluate_standard_code(config, code) {
-                Ok(eval) => eval,
-                Err(DecoderError::InvalidConfiguration { .. }) => return Ok(None),
-                Err(e) => return Err(e),
-            };
-            let required = standard.required_throughput_mbps();
-            Ok(Some(ComplianceEntry {
-                standard: standard.name().to_string(),
-                code: code.label(),
-                info_bits: eval.info_bits,
-                throughput_mbps: eval.throughput_mbps,
-                phase_cycles: eval.phase_cycles,
-                required_mbps: required,
-                compliant: eval.throughput_mbps >= required,
-            }))
-        },
-        |index, result| {
-            if let Ok(Some(entry)) = result {
-                on_entry(index, entry);
-            }
-        },
-    );
+    let task = |index: usize| {
+        let (standard, code) = cells[index];
+        let eval = match evaluate_standard_code(config, code) {
+            Ok(eval) => eval,
+            Err(DecoderError::InvalidConfiguration { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let required = standard.required_throughput_mbps();
+        Ok(Some(ComplianceEntry {
+            standard: standard.name().to_string(),
+            code: code.label(),
+            info_bits: eval.info_bits,
+            throughput_mbps: eval.throughput_mbps,
+            phase_cycles: eval.phase_cycles,
+            required_mbps: required,
+            compliant: eval.throughput_mbps >= required,
+        }))
+    };
+    let mut on_done = |index: usize, result: &Result<Option<ComplianceEntry>, DecoderError>| {
+        if let Ok(Some(entry)) = result {
+            on_entry(index, entry);
+        }
+    };
+    let results = match observe.as_mut() {
+        None => WorkPool::new(workers).run_indexed_with(cells.len(), task, &mut on_done),
+        Some((clock, obs)) => {
+            let mut pool_obs = PoolObs::new();
+            let results = WorkPool::new(workers).run_indexed_observed(
+                cells.len(),
+                task,
+                &mut on_done,
+                *clock,
+                &mut pool_obs,
+            );
+            pool_obs.record_into(obs, "pool");
+            results
+        }
+    };
 
     let mut entries = Vec::new();
     let mut worst_ldpc = f64::INFINITY;
@@ -241,6 +284,21 @@ pub fn run_multi_compliance_sharded(
         };
         *worst = worst.min(entry.throughput_mbps);
         entries.push(entry);
+    }
+
+    if let Some((_, obs)) = observe.as_mut() {
+        obs.incr(Class::Count, "compliance.cells", cells.len() as u64);
+        obs.incr(Class::Count, "compliance.entries", entries.len() as u64);
+        obs.incr(
+            Class::Count,
+            "compliance.skipped",
+            (cells.len() - entries.len()) as u64,
+        );
+        obs.incr(
+            Class::Count,
+            "compliance.compliant",
+            entries.iter().filter(|e| e.compliant).count() as u64,
+        );
     }
 
     Ok(ComplianceReport {
@@ -358,6 +416,39 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen.len(), report.entries.len());
+    }
+
+    #[test]
+    fn observed_sweep_matches_and_counts_are_worker_invariant() {
+        let config = DecoderConfig::paper_design_point();
+        let scopes = ComplianceScope::all_corners();
+        let reference = run_multi_compliance(&config, &scopes).unwrap();
+        let clock = fec_obs::ManualClock::new();
+        let mut reference_counts = None;
+        for workers in [1usize, 4] {
+            let mut obs = Registry::new();
+            let report = run_multi_compliance_observed(
+                &config,
+                &scopes,
+                workers,
+                |_, _| {},
+                &clock,
+                &mut obs,
+            )
+            .unwrap();
+            assert_eq!(report, reference, "workers = {workers}");
+            assert_eq!(
+                obs.counter("compliance.entries"),
+                Some(reference.entries.len() as u64)
+            );
+            assert!(obs.get("pool.task_run_ns").is_some());
+            let counts = obs.render_counts();
+            if let Some(first) = &reference_counts {
+                assert_eq!(&counts, first, "workers = {workers}");
+            } else {
+                reference_counts = Some(counts);
+            }
+        }
     }
 
     #[test]

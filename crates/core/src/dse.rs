@@ -5,7 +5,8 @@ use crate::config::DecoderConfig;
 use crate::evaluation::{evaluate_ldpc, evaluate_standard_code, DecoderError, DesignEvaluation};
 use code_tables::{Standard, StandardCode};
 use fec_json::{Json, ToJson};
-use fec_sched::WorkPool;
+use fec_obs::{Class, Clock, Registry};
+use fec_sched::{PoolObs, WorkPool};
 use noc_sim::{NodeArchitecture, RoutingAlgorithm, TopologyKind};
 use wimax_ldpc::QcLdpcCode;
 use wimax_turbo::CtcCode;
@@ -260,6 +261,51 @@ impl DesignSpaceExplorer {
             .collect()
     }
 
+    /// Runs [`table1_sharded`] while filling `obs`: the pool reports
+    /// `pool.*` spans (timed with the injected `clock`) and the sweep emits
+    /// `dse.*` counters.  The rows and every Count-class metric are
+    /// bit-identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`table1_sharded`].
+    ///
+    /// [`table1_sharded`]: DesignSpaceExplorer::table1_sharded
+    pub fn table1_sharded_observed(
+        &self,
+        code: &StandardCode,
+        workers: usize,
+        mut on_row: impl FnMut(usize, &Table1Row),
+        clock: &dyn Clock,
+        obs: &mut Registry,
+    ) -> Result<Vec<Table1Row>, DecoderError> {
+        let points = Self::table1_points();
+        let mut pool_obs = PoolObs::new();
+        let rows: Result<Vec<Table1Row>, DecoderError> = WorkPool::new(workers)
+            .run_indexed_observed(
+                points.len(),
+                |index| {
+                    let (family, pes, row) = points[index];
+                    self.table1_cell_for(code, family, pes, row)
+                },
+                |index, result| {
+                    if let Ok(row) = result {
+                        on_row(index, row);
+                    }
+                },
+                clock,
+                &mut pool_obs,
+            )
+            .into_iter()
+            .collect();
+        pool_obs.record_into(obs, "pool");
+        obs.incr(Class::Count, "dse.table1_points", points.len() as u64);
+        if let Ok(rows) = &rows {
+            obs.incr(Class::Count, "dse.table1_rows", rows.len() as u64);
+        }
+        rows
+    }
+
     /// Regenerates Table II: the `P = 22`, `D = 3` generalized-Kautz decoder
     /// supporting all WiMAX turbo and LDPC codes, evaluated on the worst-case
     /// codes of each family.
@@ -485,6 +531,25 @@ mod tests {
             .unwrap();
         assert!(seen.iter().all(|&s| s));
         assert_eq!(rows.len(), 72);
+    }
+
+    #[test]
+    fn observed_table1_matches_the_serial_sweep() {
+        let dse = DesignSpaceExplorer::default();
+        let code = StandardCode::Ldpc {
+            standard: Standard::Wimax,
+            code: small_code(),
+        };
+        let serial = dse.table1_for(&code).unwrap();
+        let clock = fec_obs::ManualClock::new();
+        let mut obs = Registry::new();
+        let rows = dse
+            .table1_sharded_observed(&code, 4, |_, _| {}, &clock, &mut obs)
+            .unwrap();
+        assert_eq!(rows, serial);
+        assert_eq!(obs.counter("dse.table1_points"), Some(72));
+        assert_eq!(obs.counter("dse.table1_rows"), Some(72));
+        assert!(obs.get("pool.task_wait_ns").is_some());
     }
 
     #[test]

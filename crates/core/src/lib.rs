@@ -40,16 +40,18 @@ pub mod config;
 pub mod decoder;
 pub mod dse;
 pub mod evaluation;
+pub mod obs_export;
 pub mod throughput;
 
 pub use compliance::{
-    run_compliance, run_multi_compliance, run_multi_compliance_sharded, ComplianceEntry,
-    ComplianceReport, ComplianceScope,
+    run_compliance, run_multi_compliance, run_multi_compliance_observed,
+    run_multi_compliance_sharded, ComplianceEntry, ComplianceReport, ComplianceScope,
 };
 pub use config::DecoderConfig;
 pub use decoder::NocDecoder;
 pub use dse::{DesignSpaceExplorer, Table1Row, Table2Row};
 pub use evaluation::{DecoderError, DesignEvaluation};
+pub use obs_export::{check_obs_json, registry_json, OBS_SECTIONS, REQUIRED_COUNT_METRICS};
 pub use throughput::{ldpc_throughput_mbps, turbo_throughput_mbps};
 
 // Re-export the main substrate types so that downstream users (examples,

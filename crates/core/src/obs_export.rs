@@ -1,0 +1,207 @@
+//! fec-json export and validation of [`fec_obs::Registry`] snapshots — the
+//! canonical `OBS_*.json` schema shared by the study binaries and the
+//! compliance example.
+//!
+//! An export carries one object per determinism section (`counts`,
+//! `execution`, `timing_ns`) plus a `derived` object of export-time ratios.
+//! The `counts` section is the determinism-gated surface: it must be
+//! byte-identical for any worker count and decode batch size.  CI's
+//! `obs_check` binary validates exported files against
+//! [`REQUIRED_COUNT_METRICS`] via [`check_obs_json`].
+
+use fec_json::Json;
+use fec_obs::{Histogram, MetricValue, Registry, TimingStat};
+
+/// Count-class metric families every engine-backed `OBS_*.json` export must
+/// carry; `obs_check` fails CI when one is missing.
+pub const REQUIRED_COUNT_METRICS: [&str; 4] = [
+    "codec.frames",
+    "codec.iterations",
+    "codec.converged",
+    "engine.points",
+];
+
+/// The section keys of an OBS export, in file order.
+pub const OBS_SECTIONS: [&str; 3] = ["counts", "execution", "timing_ns"];
+
+fn histogram_json(h: &Histogram) -> Json {
+    let mut buckets: Vec<(String, Json)> = h
+        .bounds()
+        .iter()
+        .zip(h.counts())
+        .map(|(bound, &count)| (format!("le_{bound}"), Json::from(count)))
+        .collect();
+    buckets.push(("inf".to_string(), Json::from(h.overflow())));
+    Json::obj([
+        ("total", Json::from(h.total())),
+        ("sum", Json::from(h.sum())),
+        ("buckets", Json::obj(buckets)),
+    ])
+}
+
+fn timing_json(t: &TimingStat) -> Json {
+    Json::obj([
+        ("count", Json::from(t.count)),
+        ("total_ns", Json::from(t.total_ns)),
+        (
+            "min_ns",
+            Json::from(if t.count == 0 { 0 } else { t.min_ns }),
+        ),
+        ("max_ns", Json::from(t.max_ns)),
+        ("mean_ns", Json::from(t.mean_ns())),
+    ])
+}
+
+fn value_json(value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) | MetricValue::Gauge(v) => Json::from(*v),
+        MetricValue::Histogram(h) => histogram_json(h),
+        MetricValue::Timing(t) => timing_json(t),
+    }
+}
+
+/// Serializes a registry into the OBS export shape: one object per
+/// determinism section plus export-time `derived` ratios.
+pub fn registry_json(reg: &Registry) -> Json {
+    let mut sections: Vec<(&'static str, Vec<(String, Json)>)> = OBS_SECTIONS
+        .iter()
+        .map(|&section| (section, Vec::new()))
+        .collect();
+    for (name, metric) in reg.iter() {
+        let section = metric.class.section();
+        let slot = sections
+            .iter_mut()
+            .find(|(s, _)| *s == section)
+            .expect("every class maps to a known section");
+        slot.1.push((name.to_string(), value_json(&metric.value)));
+    }
+    let mut pairs: Vec<(&'static str, Json)> = sections
+        .into_iter()
+        .map(|(section, entries)| (section, Json::obj(entries)))
+        .collect();
+    pairs.push(("derived", derived_json(reg)));
+    Json::obj(pairs)
+}
+
+/// Export-time ratios derived from raw metrics.  Currently:
+///
+/// * `lockstep_overwork_pct` — extra lockstep loop iterations
+///   (`fixed.overwork_iters`) as a percentage of all iterations the batch
+///   datapath executed (useful per-lane iterations + over-work).  Present
+///   only when the lockstep decoder ran.
+fn derived_json(reg: &Registry) -> Json {
+    let mut pairs = Vec::new();
+    if let (Some(overwork), Some(lanes)) = (
+        reg.counter("fixed.overwork_iters"),
+        reg.get("fixed.lane_iterations"),
+    ) {
+        if let MetricValue::Histogram(h) = &lanes.value {
+            let executed = h.sum() + overwork;
+            if executed > 0 {
+                pairs.push((
+                    "lockstep_overwork_pct",
+                    Json::from(100.0 * overwork as f64 / executed as f64),
+                ));
+            }
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// Validates a parsed `OBS_*.json` export: all three sections must be
+/// present and every [`REQUIRED_COUNT_METRICS`] family must appear in
+/// `counts`.
+///
+/// # Errors
+///
+/// Returns one human-readable line per missing section or metric family.
+pub fn check_obs_json(json: &Json) -> Result<(), Vec<String>> {
+    let mut problems = Vec::new();
+    for section in OBS_SECTIONS {
+        if json.get(section).is_none() {
+            problems.push(format!("missing section {section:?}"));
+        }
+    }
+    if let Some(counts) = json.get("counts") {
+        for family in REQUIRED_COUNT_METRICS {
+            if counts.get(family).is_none() {
+                problems.push(format!("missing required count metric {family:?}"));
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_obs::Class;
+
+    fn sample_registry() -> Registry {
+        let mut reg = Registry::new();
+        reg.incr(Class::Count, "codec.frames", 10);
+        reg.observe(Class::Count, "codec.iterations", 3);
+        reg.incr(Class::Count, "codec.converged", 9);
+        reg.incr(Class::Count, "engine.points", 2);
+        reg.gauge_max(Class::Execution, "pool.queue_depth_hw", 5);
+        reg.timing("pool.task_run_ns", 120);
+        reg
+    }
+
+    #[test]
+    fn export_has_all_sections_and_passes_the_checker() {
+        let json = registry_json(&sample_registry());
+        assert!(check_obs_json(&json).is_ok(), "{json}");
+        assert!(json.get("counts").unwrap().get("codec.frames").is_some());
+        assert!(json
+            .get("execution")
+            .unwrap()
+            .get("pool.queue_depth_hw")
+            .is_some());
+        assert!(json
+            .get("timing_ns")
+            .unwrap()
+            .get("pool.task_run_ns")
+            .unwrap()
+            .get("mean_ns")
+            .is_some());
+    }
+
+    #[test]
+    fn checker_reports_missing_families_and_sections() {
+        let err = check_obs_json(&Json::parse(r#"{"counts":{}}"#).unwrap()).unwrap_err();
+        assert!(err.iter().any(|p| p.contains("execution")), "{err:?}");
+        assert!(err.iter().any(|p| p.contains("codec.frames")), "{err:?}");
+    }
+
+    #[test]
+    fn lockstep_overwork_pct_is_derived_from_the_lane_histogram() {
+        let mut reg = sample_registry();
+        // 3 lanes: 2, 4, 6 useful iterations; the lockstep batch executed 6
+        // for each lane, so over-work = (6-2) + (6-4) + (6-6) = 6 of 18.
+        for iters in [2u64, 4, 6] {
+            reg.observe(Class::Execution, "fixed.lane_iterations", iters);
+        }
+        reg.incr(Class::Execution, "fixed.overwork_iters", 6);
+        let json = registry_json(&reg);
+        let pct = json
+            .get("derived")
+            .unwrap()
+            .get("lockstep_overwork_pct")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((pct - 100.0 * 6.0 / 18.0).abs() < 1e-9, "{pct}");
+        // Without the lockstep metrics the field is absent.
+        let plain = registry_json(&sample_registry());
+        assert!(plain
+            .get("derived")
+            .unwrap()
+            .get("lockstep_overwork_pct")
+            .is_none());
+    }
+}

@@ -111,6 +111,32 @@ impl MinSumArith {
         (q + r_new).clamp(self.lambda_min, self.lambda_max) as i16
     }
 
+    /// True when `Q_lk = lambda - R_lk` hits a saturation rail — the
+    /// observability predicate matching [`q_message`](MinSumArith::q_message)
+    /// exactly, kept separate so the hot path only evaluates it when a
+    /// recorder is enabled.
+    #[inline]
+    pub fn q_saturates(&self, lambda: i32, r: i32) -> bool {
+        let raw = lambda - r;
+        raw < self.lambda_min || raw > self.lambda_max
+    }
+
+    /// True when the scaled two-minimum magnitude clips at the `R_lk`
+    /// message-memory rail (the `.min(r_max)` inside
+    /// [`r_message`](MinSumArith::r_message)).
+    #[inline]
+    pub fn r_clips(&self, magnitude: i32) -> bool {
+        self.scale_magnitude(magnitude) > self.r_max
+    }
+
+    /// True when `lambda = Q_lk + R_lk(new)` hits a saturation rail
+    /// (matching [`lambda_update`](MinSumArith::lambda_update)).
+    #[inline]
+    pub fn lambda_saturates(&self, q: i32, r_new: i32) -> bool {
+        let raw = q + r_new;
+        raw < self.lambda_min || raw > self.lambda_max
+    }
+
     /// Lane (struct-of-arrays) form of [`q_message`](MinSumArith::q_message):
     /// `q[f] = sat(lambda[f] - r[f])` for every frame lane `f` of a batch.
     ///
@@ -283,6 +309,24 @@ mod tests {
         assert_eq!(a.lambda_max(), 63);
         assert_eq!(a.lambda_min(), -64);
         assert_eq!(a.r_max(), 63);
+    }
+
+    #[test]
+    fn saturation_predicates_match_the_ops() {
+        let a = MinSumArith::new(7, 5);
+        for lambda in -70..=70 {
+            for r in -15..=15 {
+                let clamped = i32::from(a.q_message(lambda, r)) != lambda - r;
+                assert_eq!(a.q_saturates(lambda, r), clamped, "({lambda}, {r})");
+                let l = i32::from(a.lambda_update(lambda.clamp(-64, 63), r))
+                    != lambda.clamp(-64, 63) + r;
+                assert_eq!(a.lambda_saturates(lambda.clamp(-64, 63), r), l);
+            }
+        }
+        for mag in 0..=63 {
+            let clipped = i32::from(a.r_message(mag, false)) != a.scale_magnitude(mag);
+            assert_eq!(a.r_clips(mag), clipped, "magnitude {mag}");
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@ use crate::decoder::{
     LayeredDecoder,
 };
 use crate::encoder::QcEncoder;
-use fec_channel::sim::{DecodedFrame, FecCodec};
+use fec_channel::sim::{record_decoded_frame, DecodedFrame, FecCodec};
 use fec_fixed::Llr;
+use fec_obs::Registry;
 
 /// The layered normalized-min-sum decoder (the paper's hardware algorithm)
 /// behind the [`FecCodec`] interface.
@@ -188,6 +189,42 @@ impl FecCodec for QuantizedLayeredLdpcCodec {
             })
             .collect()
     }
+
+    fn decode_observed(&self, llrs: &[Llr], obs: &mut Registry) -> DecodedFrame {
+        // Thread the registry through the fixed datapath so quantizer
+        // saturation and min-sum clip counters (`fixed.*`) land next to the
+        // generic `codec.*` family.  Results stay bit-identical to
+        // `decode`; the `fixed.*` Count metrics are per-frame functions, so
+        // the engine's determinism contract extends to them.
+        let out = self.decoder.decode_recorded(llrs, obs);
+        let frame = DecodedFrame {
+            info_bits: out.hard_bits[..self.k].to_vec(),
+            iterations: out.iterations,
+            converged: out.converged,
+        };
+        record_decoded_frame(obs, &frame);
+        frame
+    }
+
+    fn decode_batch_observed(&self, frames: &[&[Llr]], obs: &mut Registry) -> Vec<DecodedFrame> {
+        // The lockstep datapath additionally reports Execution-class
+        // over-work metrics (`fixed.lane_iterations`,
+        // `fixed.batch_exec_iterations`); its Count-class metrics are
+        // gated on active lanes and therefore identical to serial decode.
+        self.decoder
+            .decode_batch_recorded(frames, obs)
+            .into_iter()
+            .map(|out| {
+                let frame = DecodedFrame {
+                    info_bits: out.hard_bits[..self.k].to_vec(),
+                    iterations: out.iterations,
+                    converged: out.converged,
+                };
+                record_decoded_frame(obs, &frame);
+                frame
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +307,41 @@ mod tests {
         let batched = codec.decode_batch(&refs);
         let serial: Vec<DecodedFrame> = frames.iter().map(|f| codec.decode(f)).collect();
         assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn observed_decode_is_bitwise_plain_and_counts_are_batch_invariant() {
+        use rand::{Rng, SeedableRng};
+        let codec = QuantizedLayeredLdpcCodec::new(&code(), FixedLayeredConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let frames: Vec<Vec<Llr>> = (0..5)
+            .map(|_| {
+                (0..codec.codeword_bits())
+                    .map(|_| Llr::new(rng.gen_range(-40i32..=40) as f64 / 8.0))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Llr]> = frames.iter().map(|f| f.as_slice()).collect();
+
+        let mut serial_obs = Registry::new();
+        let serial: Vec<DecodedFrame> = frames
+            .iter()
+            .map(|f| codec.decode_observed(f, &mut serial_obs))
+            .collect();
+        let plain: Vec<DecodedFrame> = frames.iter().map(|f| codec.decode(f)).collect();
+        assert_eq!(serial, plain, "observation must not change results");
+
+        let mut batch_obs = Registry::new();
+        let batched = codec.decode_batch_observed(&refs, &mut batch_obs);
+        assert_eq!(batched, plain);
+        // Count-class metrics (fixed.* saturation counters included) are
+        // active-lane gated in the lockstep path, so batch == serial.
+        assert_eq!(batch_obs.render_counts(), serial_obs.render_counts());
+        assert_eq!(serial_obs.counter("codec.frames"), Some(5));
+        assert!(serial_obs.get("fixed.iterations").is_some());
+        // The lockstep path alone reports Execution-class over-work.
+        assert!(batch_obs.get("fixed.lane_iterations").is_some());
+        assert!(serial_obs.get("fixed.lane_iterations").is_none());
     }
 
     #[test]

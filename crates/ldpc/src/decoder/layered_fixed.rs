@@ -19,7 +19,8 @@
 
 use super::{BatchTwoMinScan, DecodeOutcome, MinimumExtractionUnit};
 use crate::code::QcLdpcCode;
-use fec_fixed::{Llr, MinSumArith, Quantizer, LAMBDA_BITS, R_BITS};
+use fec_fixed::{Llr, MinSumArith, QuantStats, Quantizer, LAMBDA_BITS, R_BITS};
+use fec_obs::{Class, NoopRecorder, Recorder};
 use std::cell::RefCell;
 
 thread_local! {
@@ -221,19 +222,49 @@ impl FixedLayeredDecoder {
     ///
     /// Panics if `channel.len() != code.n()`.
     pub fn decode_with(&self, channel: &[Llr], scratch: &mut FixedScratch) -> DecodeOutcome {
+        self.decode_with_recorded(channel, scratch, &mut NoopRecorder)
+    }
+
+    /// Instrumented form of [`decode`](FixedLayeredDecoder::decode): emits
+    /// frame/iteration/saturation count metrics into `rec` (per-thread
+    /// default scratch).
+    pub fn decode_recorded<R: Recorder>(&self, channel: &[Llr], rec: &mut R) -> DecodeOutcome {
+        SCRATCH.with(|s| self.decode_with_recorded(channel, &mut s.borrow_mut(), rec))
+    }
+
+    /// [`decode_recorded`](FixedLayeredDecoder::decode_recorded) with
+    /// caller-owned scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel.len() != code.n()`.
+    pub fn decode_with_recorded<R: Recorder>(
+        &self,
+        channel: &[Llr],
+        scratch: &mut FixedScratch,
+        rec: &mut R,
+    ) -> DecodeOutcome {
         assert_eq!(
             channel.len(),
             self.code.n(),
             "LLR vector length must equal the code length"
         );
+        let mut quant = QuantStats::default();
         scratch.lambda.clear();
-        scratch.lambda.extend(
-            channel
-                .iter()
-                // fec-lint: allow(fixed-narrowing-cast, quantizer output is a SatFixed already clamped to the lambda register range, which new() bounds to 15 bits)
-                .map(|l| self.quantizer.quantize(l.value()).value() as i16),
-        );
-        self.decode_lambda(scratch)
+        scratch.lambda.extend(channel.iter().map(|l| {
+            let q = if R::ENABLED {
+                self.quantizer.quantize_tracked(l.value(), &mut quant)
+            } else {
+                self.quantizer.quantize(l.value())
+            };
+            // fec-lint: allow(fixed-narrowing-cast, quantizer output is a SatFixed already clamped to the lambda register range, which new() bounds to 15 bits)
+            q.value() as i16
+        }));
+        if R::ENABLED {
+            rec.incr(Class::Count, "fixed.sat_quantize", quant.saturated);
+            rec.incr(Class::Count, "fixed.quantized_llrs", quant.total);
+        }
+        self.decode_lambda(scratch, rec)
     }
 
     /// Decodes already-quantized channel LLRs (integer λ values in LSB
@@ -259,6 +290,32 @@ impl FixedLayeredDecoder {
         quantized: &[i16],
         scratch: &mut FixedScratch,
     ) -> DecodeOutcome {
+        self.decode_quantized_with_recorded(quantized, scratch, &mut NoopRecorder)
+    }
+
+    /// Instrumented form of
+    /// [`decode_quantized`](FixedLayeredDecoder::decode_quantized) (per-thread
+    /// default scratch).
+    pub fn decode_quantized_recorded<R: Recorder>(
+        &self,
+        quantized: &[i16],
+        rec: &mut R,
+    ) -> DecodeOutcome {
+        SCRATCH.with(|s| self.decode_quantized_with_recorded(quantized, &mut s.borrow_mut(), rec))
+    }
+
+    /// [`decode_quantized_recorded`](FixedLayeredDecoder::decode_quantized_recorded)
+    /// with caller-owned scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantized.len() != code.n()`.
+    pub fn decode_quantized_with_recorded<R: Recorder>(
+        &self,
+        quantized: &[i16],
+        scratch: &mut FixedScratch,
+        rec: &mut R,
+    ) -> DecodeOutcome {
         assert_eq!(
             quantized.len(),
             self.code.n(),
@@ -272,7 +329,7 @@ impl FixedLayeredDecoder {
         scratch
             .lambda
             .extend(quantized.iter().map(|&v| v.clamp(lo, hi)));
-        self.decode_lambda(scratch)
+        self.decode_lambda(scratch, rec)
     }
 
     /// Decodes a batch of frames in lockstep (per-thread default scratch;
@@ -299,11 +356,40 @@ impl FixedLayeredDecoder {
         frames: &[&[Llr]],
         scratch: &mut FixedScratch,
     ) -> Vec<DecodeOutcome> {
+        self.decode_batch_with_recorded(frames, scratch, &mut NoopRecorder)
+    }
+
+    /// Instrumented form of
+    /// [`decode_batch`](FixedLayeredDecoder::decode_batch): emits the same
+    /// count metrics as the serial recorded path (bit-identical at any batch
+    /// size) plus lockstep execution metrics — per-lane iteration histogram
+    /// and over-work counters (per-thread default scratch).
+    pub fn decode_batch_recorded<R: Recorder>(
+        &self,
+        frames: &[&[Llr]],
+        rec: &mut R,
+    ) -> Vec<DecodeOutcome> {
+        SCRATCH.with(|s| self.decode_batch_with_recorded(frames, &mut s.borrow_mut(), rec))
+    }
+
+    /// [`decode_batch_recorded`](FixedLayeredDecoder::decode_batch_recorded)
+    /// with caller-owned scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame's length differs from `code.n()`.
+    pub fn decode_batch_with_recorded<R: Recorder>(
+        &self,
+        frames: &[&[Llr]],
+        scratch: &mut FixedScratch,
+        rec: &mut R,
+    ) -> Vec<DecodeOutcome> {
         let n = self.code.n();
         let batch = frames.len();
         if batch == 0 {
             return Vec::new();
         }
+        let mut quant = QuantStats::default();
         scratch.lambda.clear();
         scratch.lambda.resize(n * batch, 0);
         for (f, frame) in frames.iter().enumerate() {
@@ -313,11 +399,20 @@ impl FixedLayeredDecoder {
                 "LLR vector length must equal the code length"
             );
             for (v, l) in frame.iter().enumerate() {
+                let q = if R::ENABLED {
+                    self.quantizer.quantize_tracked(l.value(), &mut quant)
+                } else {
+                    self.quantizer.quantize(l.value())
+                };
                 // fec-lint: allow(fixed-narrowing-cast, quantizer output is a SatFixed already clamped to the lambda register range, which new() bounds to 15 bits)
-                scratch.lambda[v * batch + f] = self.quantizer.quantize(l.value()).value() as i16;
+                scratch.lambda[v * batch + f] = q.value() as i16;
             }
         }
-        self.decode_lanes(batch, scratch)
+        if R::ENABLED {
+            rec.incr(Class::Count, "fixed.sat_quantize", quant.saturated);
+            rec.incr(Class::Count, "fixed.quantized_llrs", quant.total);
+        }
+        self.decode_lanes(batch, scratch, rec)
     }
 
     /// Decodes `batch` already-quantized frames in lockstep.  `quantized`
@@ -351,6 +446,36 @@ impl FixedLayeredDecoder {
         batch: usize,
         scratch: &mut FixedScratch,
     ) -> Vec<DecodeOutcome> {
+        self.decode_batch_quantized_with_recorded(quantized, batch, scratch, &mut NoopRecorder)
+    }
+
+    /// Instrumented form of
+    /// [`decode_batch_quantized`](FixedLayeredDecoder::decode_batch_quantized)
+    /// (per-thread default scratch).
+    pub fn decode_batch_quantized_recorded<R: Recorder>(
+        &self,
+        quantized: &[i16],
+        batch: usize,
+        rec: &mut R,
+    ) -> Vec<DecodeOutcome> {
+        SCRATCH.with(|s| {
+            self.decode_batch_quantized_with_recorded(quantized, batch, &mut s.borrow_mut(), rec)
+        })
+    }
+
+    /// [`decode_batch_quantized_recorded`](FixedLayeredDecoder::decode_batch_quantized_recorded)
+    /// with caller-owned scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `quantized.len() != batch * code.n()`.
+    pub fn decode_batch_quantized_with_recorded<R: Recorder>(
+        &self,
+        quantized: &[i16],
+        batch: usize,
+        scratch: &mut FixedScratch,
+        rec: &mut R,
+    ) -> Vec<DecodeOutcome> {
         let n = self.code.n();
         assert!(batch > 0, "batch must hold at least one frame");
         assert_eq!(
@@ -371,15 +496,38 @@ impl FixedLayeredDecoder {
                 scratch.lambda[v * batch + f] = value.clamp(lo, hi);
             }
         }
-        self.decode_lanes(batch, scratch)
+        self.decode_lanes(batch, scratch, rec)
+    }
+
+    /// Per-frame count metrics shared by the serial and lockstep paths.
+    /// Both must emit identical values for the same frame — lockstep lanes
+    /// are bit-identical to serial decodes, so these counts stay part of
+    /// the determinism contract at any batch size.
+    fn record_frame_counts<R: Recorder>(&self, rec: &mut R, iterations: usize, converged: bool) {
+        rec.incr(Class::Count, "fixed.frames", 1);
+        rec.observe(Class::Count, "fixed.iterations", iterations as u64);
+        if converged {
+            rec.incr(Class::Count, "fixed.converged", 1);
+        }
+        if converged && iterations < self.config.max_iterations {
+            rec.incr(Class::Count, "fixed.early_stops", 1);
+        }
     }
 
     /// The serial fixed-point layered iteration over the CSR message
     /// buffers; `scratch.lambda` holds the quantized λ values on entry.
-    fn decode_lambda(&self, scratch: &mut FixedScratch) -> DecodeOutcome {
+    ///
+    /// Generic over [`Recorder`]: every recording site sits behind
+    /// `R::ENABLED`, an associated `const`, so the [`NoopRecorder`]
+    /// monomorphization is the exact pre-instrumentation loop (gated by the
+    /// kernels bench).
+    fn decode_lambda<R: Recorder>(&self, scratch: &mut FixedScratch, rec: &mut R) -> DecodeOutcome {
         let m = self.code.m();
         let h = self.code.parity_check();
         let arith = &self.arith;
+        let mut sat_q = 0u64;
+        let mut r_clip = 0u64;
+        let mut sat_lambda = 0u64;
 
         let FixedScratch {
             lambda, r, q, hard, ..
@@ -410,11 +558,20 @@ impl FixedLayeredDecoder {
 
                 // Q_lk = lambda_old - R_old, Eq. (6), saturated.
                 for ((qj, &col), &rj) in q_row.iter_mut().zip(cols).zip(r_row.iter()) {
-                    *qj = arith.q_message(i32::from(lambda[col as usize]), i32::from(rj));
+                    let lam = i32::from(lambda[col as usize]);
+                    let rv = i32::from(rj);
+                    if R::ENABLED && arith.q_saturates(lam, rv) {
+                        sat_q += 1;
+                    }
+                    *qj = arith.q_message(lam, rv);
                 }
 
                 // Two-minimum extraction, Eq. (11), as one batch scan.
                 let scan = MinimumExtractionUnit::scan(q_row);
+                if R::ENABLED {
+                    r_clip += u64::from(arith.r_clips(i32::from(scan.min1)));
+                    r_clip += u64::from(arith.r_clips(i32::from(scan.min2)));
+                }
                 let mag1 = arith.r_message(i32::from(scan.min1), false);
                 let mag2 = arith.r_message(i32::from(scan.min2), false);
 
@@ -429,6 +586,9 @@ impl FixedLayeredDecoder {
                     };
                     let negative = (qj < 0) != scan.negative_parity;
                     let r_new = if negative { -mag } else { mag };
+                    if R::ENABLED && arith.lambda_saturates(i32::from(qj), i32::from(r_new)) {
+                        sat_lambda += 1;
+                    }
                     lambda[col as usize] = arith.lambda_update(i32::from(qj), i32::from(r_new));
                     *rj = r_new;
                 }
@@ -449,6 +609,12 @@ impl FixedLayeredDecoder {
             }
             converged = h.is_codeword(hard);
         }
+        if R::ENABLED {
+            self.record_frame_counts(rec, iterations, converged);
+            rec.incr(Class::Count, "fixed.sat_q", sat_q);
+            rec.incr(Class::Count, "fixed.r_clip", r_clip);
+            rec.incr(Class::Count, "fixed.sat_lambda", sat_lambda);
+        }
         let scale = self.quantizer.scale();
         DecodeOutcome {
             hard_bits: hard.clone(),
@@ -468,11 +634,19 @@ impl FixedLayeredDecoder {
     /// are frozen (masked writes), so its result — and every other
     /// lane's — matches the serial path bit for bit; once every lane has
     /// converged the iteration stops entirely.
-    fn decode_lanes(&self, batch: usize, scratch: &mut FixedScratch) -> Vec<DecodeOutcome> {
+    fn decode_lanes<R: Recorder>(
+        &self,
+        batch: usize,
+        scratch: &mut FixedScratch,
+        rec: &mut R,
+    ) -> Vec<DecodeOutcome> {
         let n = self.code.n();
         let m = self.code.m();
         let h = self.code.parity_check();
         let arith = &self.arith;
+        let mut sat_q = 0u64;
+        let mut r_clip = 0u64;
+        let mut sat_lambda = 0u64;
 
         let FixedScratch {
             lambda,
@@ -504,8 +678,10 @@ impl FixedLayeredDecoder {
         converged.clear();
         converged.resize(batch, false);
         let mut live = batch;
+        let mut exec = 0usize;
 
         for it in 0..self.config.max_iterations {
+            exec = it + 1;
             for f in 0..batch {
                 if active[f] {
                     iterations[f] = it + 1;
@@ -518,6 +694,22 @@ impl FixedLayeredDecoder {
                 let q_rows = &mut q[..cols.len() * batch];
 
                 // Q_lk = lambda_old - R_old per lane, Eq. (6), saturated.
+                // The saturation count only looks at live lanes, so it
+                // matches the serial path's count frame for frame (λ and R
+                // are still the pre-update values here).
+                if R::ENABLED {
+                    for (j, &col) in cols.iter().enumerate() {
+                        let lam = &lambda[col as usize * batch..(col as usize + 1) * batch];
+                        let r_row = &r[(start + j) * batch..(start + j + 1) * batch];
+                        for f in 0..batch {
+                            if active[f]
+                                && arith.q_saturates(i32::from(lam[f]), i32::from(r_row[f]))
+                            {
+                                sat_q += 1;
+                            }
+                        }
+                    }
+                }
                 for (j, &col) in cols.iter().enumerate() {
                     arith.q_message_lanes(
                         &mut q_rows[j * batch..(j + 1) * batch],
@@ -529,6 +721,19 @@ impl FixedLayeredDecoder {
                 // Per-lane two-minimum extraction, Eq. (11), one lockstep
                 // scan over the whole row.
                 MinimumExtractionUnit::scan_batch(q_rows, batch, scan);
+                if R::ENABLED {
+                    for ((&is_active, &m1), &m2) in active
+                        .iter()
+                        .zip(scan.min1.iter())
+                        .zip(scan.min2.iter())
+                        .take(batch)
+                    {
+                        if is_active {
+                            r_clip += u64::from(arith.r_clips(i32::from(m1)));
+                            r_clip += u64::from(arith.r_clips(i32::from(m2)));
+                        }
+                    }
+                }
                 arith.scaled_magnitude_lanes(mag1, &scan.min1);
                 arith.scaled_magnitude_lanes(mag2, &scan.min2);
 
@@ -557,6 +762,14 @@ impl FixedLayeredDecoder {
                             let negative = (qj < 0) != par;
                             *rf = if negative { -mag } else { mag };
                         }
+                        if R::ENABLED {
+                            // Every lane is live on this path.
+                            for (&qj, &rf) in q_row.iter().zip(r_row.iter()) {
+                                if arith.lambda_saturates(i32::from(qj), i32::from(rf)) {
+                                    sat_lambda += 1;
+                                }
+                            }
+                        }
                         arith.lambda_update_lanes(lam, q_row, r_row);
                     } else {
                         // Masked path: converged lanes keep their frozen
@@ -573,6 +786,12 @@ impl FixedLayeredDecoder {
                             let mag = if j32 == pos { m2 } else { m1 };
                             let negative = (qj < 0) != par;
                             let r_new = if negative { -mag } else { mag };
+                            if R::ENABLED
+                                && act
+                                && arith.lambda_saturates(i32::from(qj), i32::from(r_new))
+                            {
+                                sat_lambda += 1;
+                            }
                             let lam_new = arith.lambda_update(i32::from(qj), i32::from(r_new));
                             *lamf = if act { lam_new } else { *lamf };
                             *rf = if act { r_new } else { *rf };
@@ -602,7 +821,7 @@ impl FixedLayeredDecoder {
         }
 
         let scale = self.quantizer.scale();
-        (0..batch)
+        let outcomes: Vec<DecodeOutcome> = (0..batch)
             .map(|f| {
                 let hard_bits: Vec<u8> = (0..n)
                     .map(|v| u8::from(lambda[v * batch + f] < 0))
@@ -617,7 +836,31 @@ impl FixedLayeredDecoder {
                     converged: lane_converged,
                 }
             })
-            .collect()
+            .collect();
+        if R::ENABLED {
+            // Count-class metrics: identical to what the serial path would
+            // record for the same frames.  Execution-class metrics quantify
+            // the lockstep schedule itself: each lane occupies its SIMD slot
+            // for all `exec` loop iterations, so `exec - iterations[f]` is
+            // the over-work a lane's early termination could not reclaim.
+            let mut overwork = 0u64;
+            for out in &outcomes {
+                self.record_frame_counts(rec, out.iterations, out.converged);
+                rec.observe(
+                    Class::Execution,
+                    "fixed.lane_iterations",
+                    out.iterations as u64,
+                );
+                overwork += (exec - out.iterations) as u64;
+            }
+            rec.incr(Class::Count, "fixed.sat_q", sat_q);
+            rec.incr(Class::Count, "fixed.r_clip", r_clip);
+            rec.incr(Class::Count, "fixed.sat_lambda", sat_lambda);
+            rec.observe(Class::Execution, "fixed.batch_exec_iterations", exec as u64);
+            rec.incr(Class::Execution, "fixed.overwork_iters", overwork);
+            rec.incr(Class::Execution, "fixed.lockstep_lanes", batch as u64);
+        }
+        outcomes
     }
 }
 

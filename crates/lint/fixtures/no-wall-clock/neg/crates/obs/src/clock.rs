@@ -1,0 +1,8 @@
+//! Negative fixture: fec-obs's audited clock module is the one place a
+//! simulation crate may wrap the wall clock (behind the `Clock` trait).
+
+use std::time::Instant;
+
+pub fn now_ns() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

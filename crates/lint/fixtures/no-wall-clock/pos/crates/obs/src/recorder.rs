@@ -1,0 +1,7 @@
+//! Positive fixture: a wall-clock read in fec-obs *outside* the audited
+//! clock module (`crates/obs/src/clock.rs`) must still fire.
+
+pub fn stamp_ns() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -76,9 +76,15 @@ fn no_thread_spawn_fixtures() {
 
 #[test]
 fn no_wall_clock_fixtures() {
+    // Two positives: a wall-clock read in a simulation crate, and one in
+    // fec-obs *outside* the audited clock module.  The negative tree holds
+    // the two legitimate homes: crates/bench and crates/obs/src/clock.rs.
     check_rule(
         "no-wall-clock",
-        &[("no-wall-clock", "crates/channel/src/timing.rs", 4, 25)],
+        &[
+            ("no-wall-clock", "crates/channel/src/timing.rs", 4, 25),
+            ("no-wall-clock", "crates/obs/src/recorder.rs", 5, 25),
+        ],
     );
 }
 

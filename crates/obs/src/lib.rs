@@ -1,0 +1,45 @@
+//! Dependency-free instrumentation layer for the decoder workspace.
+//!
+//! Every other layer — the Monte-Carlo [`SimulationEngine`], the
+//! `fec-sched` work pool, the fixed-point layered LDPC datapath and the
+//! f64 reference decoders — reports through this crate.  The design
+//! splits metrics into three classes with different guarantees:
+//!
+//! * **Count** metrics ([`Class::Count`]) are part of the determinism
+//!   contract: for a fixed seed they are bit-identical at any worker
+//!   count and any batch size, exactly like error counts.  They are the
+//!   only class included in [`Registry::render_counts`], which the
+//!   determinism tests byte-compare.
+//! * **Execution** metrics ([`Class::Execution`]) describe *how* the run
+//!   was executed — per-worker task totals, queue high-water marks,
+//!   per-lane lockstep occupancy — and legitimately vary with the
+//!   worker/batch configuration while staying deterministic for a fixed
+//!   configuration.
+//! * **Timing** metrics ([`Class::Timing`]) are wall-clock spans.  They
+//!   go through an injectable [`Clock`] so that the one real wall-clock
+//!   read in the workspace lives in [`clock`] (audited and exempted by
+//!   `fec-lint`'s `no-wall-clock` rule); tests inject [`ManualClock`].
+//!   Timing values are excluded from determinism and diff gating.
+//!
+//! The hot decoder loops are generic over [`Recorder`], whose associated
+//! `const ENABLED: bool` lets every recording site sit behind an
+//! `if R::ENABLED` that the compiler folds away for [`NoopRecorder`]:
+//! the un-instrumented entry points monomorphize to exactly the code
+//! they compiled to before this crate existed (the kernels bench gates
+//! this).
+//!
+//! [`SimulationEngine`]: ../fec_channel/struct.SimulationEngine.html
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use metrics::{Class, Histogram, Metric, MetricValue, Registry, TimingStat};
+pub use recorder::{NoopRecorder, Recorder};
+pub use report::render_report;

@@ -1,0 +1,458 @@
+//! Metric primitives: counters, gauges, fixed-bucket histograms, timing
+//! aggregates, and the [`Registry`] that holds them.
+//!
+//! Everything in this module is plain deterministic data: a `BTreeMap`
+//! keyed by metric name (stable iteration order), `u64` arithmetic, and
+//! a **commutative, associative** [`Registry::merge`] so that per-shard
+//! registries produced by pool workers can be folded in completion
+//! order while still yielding bit-identical count metrics.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default bucket upper bounds for iteration-count style histograms.
+///
+/// Chosen for decoder iteration counts: dense at the low end (most
+/// frames converge in a handful of iterations), sparse toward the
+/// configured maxima (typically 10–30 in this workspace).
+pub const ITER_BUCKETS: &[u64] = &[1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 48, 64];
+
+/// Determinism class of a metric — governs export section and gating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Deterministic: bit-identical at any worker count × batch size for
+    /// a fixed seed, exactly like error counts.  Byte-compared by the
+    /// determinism tests via [`Registry::render_counts`].
+    Count,
+    /// Schedule-dependent: per-worker totals, queue high-water marks,
+    /// lockstep lane occupancy.  Deterministic only for a fixed
+    /// worker/batch configuration.
+    Execution,
+    /// Wall-clock spans (nanoseconds via an injected clock).  Never
+    /// deterministic; excluded from determinism and diff gating.
+    Timing,
+}
+
+impl Class {
+    /// Section name used by the JSON export and the ASCII report.
+    pub fn section(self) -> &'static str {
+        match self {
+            Class::Count => "counts",
+            Class::Execution => "execution",
+            Class::Timing => "timing_ns",
+        }
+    }
+}
+
+/// Fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are cumulative-style upper bounds (`value <= bound` lands in
+/// that bucket); observations above the last bound land in a dedicated
+/// overflow bucket, so the total count is always exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given upper-bound buckets.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Adds another histogram bucketwise.  Panics if bucket layouts
+    /// differ — merging histograms of different shapes is a bug, not a
+    /// recoverable condition.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge with mismatched bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts, parallel to [`Histogram::bounds`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations above the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Stable single-line rendering (`total=.. sum=.. [<=1:3 <=2:9 inf:0]`),
+    /// listing every bucket so the text is layout-stable.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(s, "total={} sum={} [", self.total, self.sum);
+        for (i, (&b, &c)) in self.bounds.iter().zip(&self.counts).enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            let _ = write!(s, "<={b}:{c}");
+        }
+        let _ = write!(s, " inf:{}]", self.overflow);
+        s
+    }
+}
+
+/// Aggregated timing span: count / total / min / max, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingStat {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of all span durations, in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest span (`u64::MAX` while empty).
+    pub min_ns: u64,
+    /// Longest span.
+    pub max_ns: u64,
+}
+
+impl TimingStat {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        TimingStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one span duration.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another aggregate in (commutative).
+    pub fn merge(&mut self, other: &TimingStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Mean span duration in nanoseconds (0 while empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl Default for TimingStat {
+    fn default() -> Self {
+        TimingStat::new()
+    }
+}
+
+/// The value half of a metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Maximum-tracking gauge (high-water mark).
+    Gauge(u64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+    /// Timing aggregate (nanoseconds).
+    Timing(TimingStat),
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+            MetricValue::Timing(_) => "timing",
+        }
+    }
+}
+
+/// A classified metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Determinism class (export section).
+    pub class: Class,
+    /// The value itself.
+    pub value: MetricValue,
+}
+
+/// Name-keyed store of metrics with deterministic iteration order.
+///
+/// `merge` is commutative and associative over every metric kind
+/// (counters add, gauges max, histograms add bucketwise, timing stats
+/// fold), so folding per-worker registries in completion order yields
+/// the same count metrics as any other order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Adds `by` to the counter `name`, creating it at zero.
+    pub fn incr(&mut self, class: Class, name: &str, by: u64) {
+        match self.slot(class, name, || MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += by,
+            other => Self::kind_conflict(name, "counter", other),
+        }
+    }
+
+    /// Raises the gauge `name` to at least `value`.
+    pub fn gauge_max(&mut self, class: Class, name: &str, value: u64) {
+        match self.slot(class, name, || MetricValue::Gauge(0)) {
+            MetricValue::Gauge(v) => *v = (*v).max(value),
+            other => Self::kind_conflict(name, "gauge", other),
+        }
+    }
+
+    /// Records `value` into the histogram `name` (default iteration
+    /// buckets).
+    pub fn observe(&mut self, class: Class, name: &str, value: u64) {
+        self.observe_with_bounds(class, name, value, ITER_BUCKETS);
+    }
+
+    /// Records `value` into the histogram `name` with explicit buckets.
+    pub fn observe_with_bounds(
+        &mut self,
+        class: Class,
+        name: &str,
+        value: u64,
+        bounds: &'static [u64],
+    ) {
+        match self.slot(class, name, || {
+            MetricValue::Histogram(Histogram::new(bounds))
+        }) {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => Self::kind_conflict(name, "histogram", other),
+        }
+    }
+
+    /// Records a span duration (always [`Class::Timing`]).
+    pub fn timing(&mut self, name: &str, ns: u64) {
+        match self.slot(Class::Timing, name, || {
+            MetricValue::Timing(TimingStat::new())
+        }) {
+            MetricValue::Timing(t) => t.record(ns),
+            other => Self::kind_conflict(name, "timing", other),
+        }
+    }
+
+    /// Folds a pre-aggregated timing stat in.
+    pub fn timing_stat(&mut self, name: &str, stat: &TimingStat) {
+        if stat.count == 0 {
+            return;
+        }
+        match self.slot(Class::Timing, name, || {
+            MetricValue::Timing(TimingStat::new())
+        }) {
+            MetricValue::Timing(t) => t.merge(stat),
+            other => Self::kind_conflict(name, "timing", other),
+        }
+    }
+
+    fn slot(
+        &mut self,
+        class: Class,
+        name: &str,
+        init: impl FnOnce() -> MetricValue,
+    ) -> &mut MetricValue {
+        if !self.metrics.contains_key(name) {
+            self.metrics.insert(
+                name.to_string(),
+                Metric {
+                    class,
+                    value: init(),
+                },
+            );
+        }
+        let metric = self.metrics.get_mut(name).expect("slot just inserted");
+        assert_eq!(
+            metric.class, class,
+            "metric `{name}` recorded under two determinism classes"
+        );
+        &mut metric.value
+    }
+
+    fn kind_conflict(name: &str, wanted: &str, found: &MetricValue) -> ! {
+        panic!(
+            "metric `{name}` recorded as {wanted} but already holds a {}",
+            found.kind()
+        );
+    }
+
+    /// Folds `other` into `self` (commutative and associative).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, metric) in &other.metrics {
+            match &metric.value {
+                MetricValue::Counter(v) => self.incr(metric.class, name, *v),
+                MetricValue::Gauge(v) => self.gauge_max(metric.class, name, *v),
+                MetricValue::Histogram(h) => {
+                    match self.slot(metric.class, name, || {
+                        MetricValue::Histogram(Histogram::new(h.bounds()))
+                    }) {
+                        MetricValue::Histogram(mine) => mine.merge(h),
+                        other => Self::kind_conflict(name, "histogram", other),
+                    }
+                }
+                MetricValue::Timing(t) => self.timing_stat(name, t),
+            }
+        }
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Convenience: the value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Stable text rendering of **count-class metrics only** — the
+    /// determinism tests byte-compare this across worker/batch
+    /// configurations, so it must not include execution or timing data.
+    pub fn render_counts(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.metrics {
+            if metric.class != Class::Count {
+                continue;
+            }
+            match &metric.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} max={v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "{name} {}", h.render());
+                }
+                MetricValue::Timing(_) => unreachable!("timing metrics are never Count-class"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.sum(), 1045);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Registry::new();
+        a.incr(Class::Count, "frames", 3);
+        a.observe(Class::Count, "iters", 5);
+        a.gauge_max(Class::Execution, "hw", 7);
+        a.timing("span", 100);
+
+        let mut b = Registry::new();
+        b.incr(Class::Count, "frames", 4);
+        b.observe(Class::Count, "iters", 2);
+        b.gauge_max(Class::Execution, "hw", 3);
+        b.timing("span", 50);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("frames"), Some(7));
+    }
+
+    #[test]
+    fn render_counts_excludes_execution_and_timing() {
+        let mut r = Registry::new();
+        r.incr(Class::Count, "frames", 1);
+        r.gauge_max(Class::Execution, "hw", 9);
+        r.timing("span", 42);
+        let text = r.render_counts();
+        assert!(text.contains("frames 1"));
+        assert!(!text.contains("hw"));
+        assert!(!text.contains("span"));
+    }
+
+    #[test]
+    #[should_panic(expected = "two determinism classes")]
+    fn class_conflict_panics() {
+        let mut r = Registry::new();
+        r.incr(Class::Count, "x", 1);
+        r.incr(Class::Execution, "x", 1);
+    }
+}

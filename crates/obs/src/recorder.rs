@@ -1,0 +1,93 @@
+//! The zero-cost [`Recorder`] trait and its two implementations.
+//!
+//! Hot decoder loops are generic over `R: Recorder` and wrap every
+//! recording site in `if R::ENABLED { .. }`.  `ENABLED` is an associated
+//! `const`, so for [`NoopRecorder`] the branch folds to nothing at
+//! monomorphization time and the un-instrumented entry points compile to
+//! exactly the code they produced before instrumentation existed — the
+//! kernels bench gates this staying true.
+
+use crate::metrics::{Class, Registry};
+
+/// Sink for metric events emitted by instrumented code.
+///
+/// Metric names are `&'static str` so that the enabled path pays one
+/// `BTreeMap` lookup per flush and the disabled path pays nothing at
+/// all (no formatting, no allocation).
+pub trait Recorder {
+    /// Whether this recorder observes anything.  Instrumented code must
+    /// gate every recording block on this constant.
+    const ENABLED: bool;
+
+    /// Adds `by` to counter `name`.
+    fn incr(&mut self, class: Class, name: &'static str, by: u64);
+
+    /// Raises gauge `name` to at least `value`.
+    fn gauge_max(&mut self, class: Class, name: &'static str, value: u64);
+
+    /// Records `value` into histogram `name`.
+    fn observe(&mut self, class: Class, name: &'static str, value: u64);
+
+    /// Records a span duration in nanoseconds (always timing-class).
+    fn timing(&mut self, name: &'static str, ns: u64);
+}
+
+/// The default sink: compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn incr(&mut self, _class: Class, _name: &'static str, _by: u64) {}
+
+    #[inline(always)]
+    fn gauge_max(&mut self, _class: Class, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _class: Class, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn timing(&mut self, _name: &'static str, _ns: u64) {}
+}
+
+impl Recorder for Registry {
+    const ENABLED: bool = true;
+
+    fn incr(&mut self, class: Class, name: &'static str, by: u64) {
+        Registry::incr(self, class, name, by);
+    }
+
+    fn gauge_max(&mut self, class: Class, name: &'static str, value: u64) {
+        Registry::gauge_max(self, class, name, value);
+    }
+
+    fn observe(&mut self, class: Class, name: &'static str, value: u64) {
+        Registry::observe(self, class, name, value);
+    }
+
+    fn timing(&mut self, name: &'static str, ns: u64) {
+        Registry::timing(self, name, ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_into<R: Recorder>(rec: &mut R) {
+        if R::ENABLED {
+            rec.incr(Class::Count, "calls", 1);
+        }
+    }
+
+    #[test]
+    fn registry_records_and_noop_exists() {
+        let mut reg = Registry::new();
+        record_into(&mut reg);
+        record_into(&mut NoopRecorder);
+        assert_eq!(reg.counter("calls"), Some(1));
+        const { assert!(!NoopRecorder::ENABLED) };
+    }
+}

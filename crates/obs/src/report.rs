@@ -1,0 +1,118 @@
+//! Human-readable ASCII rendering of a [`Registry`].
+//!
+//! Pure string formatting — no I/O, no time, no dependencies — so the
+//! same report can be printed by a binary or embedded in a test
+//! failure message.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Class, Histogram, MetricValue, Registry};
+
+const BAR_WIDTH: usize = 32;
+
+/// Renders the full registry as a sectioned ASCII report: counts first
+/// (the deterministic class), then execution, then timing, with
+/// proportional bars for histogram buckets.
+pub fn render_report(registry: &Registry) -> String {
+    let mut out = String::new();
+    for class in [Class::Count, Class::Execution, Class::Timing] {
+        let mut header_done = false;
+        for (name, metric) in registry.iter() {
+            if metric.class != class {
+                continue;
+            }
+            if !header_done {
+                let _ = writeln!(out, "== {} ==", class.section());
+                header_done = true;
+            }
+            match &metric.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name:<44} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name:<44} max={v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "{name:<44} n={} sum={}", h.total(), h.sum());
+                    render_histogram(&mut out, h);
+                }
+                MetricValue::Timing(t) => {
+                    let _ = writeln!(
+                        out,
+                        "{name:<44} n={} total={} mean={} min={} max={}",
+                        t.count,
+                        t.total_ns,
+                        t.mean_ns(),
+                        if t.count == 0 { 0 } else { t.min_ns },
+                        t.max_ns
+                    );
+                }
+            }
+        }
+        if header_done {
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, h: &Histogram) {
+    let peak = h
+        .counts()
+        .iter()
+        .copied()
+        .chain(std::iter::once(h.overflow()))
+        .max()
+        .unwrap_or(0);
+    if peak == 0 {
+        return;
+    }
+    for (&bound, &count) in h.bounds().iter().zip(h.counts()) {
+        if count == 0 {
+            continue;
+        }
+        render_bar(out, &format!("<={bound}"), count, peak);
+    }
+    if h.overflow() > 0 {
+        render_bar(out, "inf", h.overflow(), peak);
+    }
+}
+
+fn render_bar(out: &mut String, label: &str, count: u64, peak: u64) {
+    let width = ((count as u128 * BAR_WIDTH as u128).div_ceil(peak as u128)) as usize;
+    let _ = writeln!(
+        out,
+        "  {label:>8} | {:<BAR_WIDTH$} {count}",
+        "#".repeat(width)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_sections_and_bars() {
+        let mut r = Registry::new();
+        r.incr(Class::Count, "codec.frames", 10);
+        for v in [1, 2, 2, 3, 9] {
+            r.observe(Class::Count, "codec.iterations", v);
+        }
+        r.gauge_max(Class::Execution, "pool.queue_depth_hw", 4);
+        r.timing("pool.task_run_ns", 1_000);
+        let text = render_report(&r);
+        assert!(text.contains("== counts =="));
+        assert!(text.contains("== execution =="));
+        assert!(text.contains("== timing_ns =="));
+        assert!(text.contains("codec.frames"));
+        assert!(text.contains('#'), "histogram bars missing:\n{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_placeholder() {
+        assert!(render_report(&Registry::new()).contains("no metrics"));
+    }
+}

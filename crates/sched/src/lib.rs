@@ -44,8 +44,96 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
+
+use fec_obs::{Class, Clock, Registry, TimingStat};
+
+/// Per-worker completed-task counters, threaded into the inner run loops
+/// when a run is observed.  Workers increment their own slot, so the
+/// counters never contend.
+struct WorkerProbe {
+    counts: Vec<AtomicU64>,
+}
+
+impl WorkerProbe {
+    fn new(workers: usize) -> Self {
+        WorkerProbe {
+            counts: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn mark(&self, worker: usize) {
+        self.counts[worker].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn fold_into(&self, totals: &mut Vec<u64>) {
+        if totals.len() < self.counts.len() {
+            totals.resize(self.counts.len(), 0);
+        }
+        for (t, c) in totals.iter_mut().zip(&self.counts) {
+            *t += c.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// Aggregated observability of one or more pool runs.
+///
+/// Collected by [`WorkPool::run_jobs_observed`] /
+/// [`WorkPool::run_indexed_observed`] and folded into a metric
+/// [`Registry`] with [`PoolObs::record_into`].  Task counts are
+/// deterministic for callers honoring the pool's merge-by-id contract;
+/// per-worker totals and the queue high-water mark are execution-class
+/// (schedule-dependent); wait/run spans are timing-class.
+#[derive(Debug, Default)]
+pub struct PoolObs {
+    /// Total tasks executed (initial + continuations).
+    pub tasks: u64,
+    /// Continuation jobs submitted by completion handlers.
+    pub continuations: u64,
+    /// High-water mark of in-flight jobs (queued + running).
+    pub queue_high_water: u64,
+    /// Tasks completed per worker index.
+    pub per_worker_tasks: Vec<u64>,
+    /// Span from job submission to execution start.
+    pub wait: TimingStat,
+    /// Span from execution start to completion.
+    pub run: TimingStat,
+}
+
+impl PoolObs {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        PoolObs::default()
+    }
+
+    /// Folds this aggregate into `reg` under `prefix` (e.g. `"pool"`):
+    /// `<prefix>.tasks` / `.continuations` as count-class counters,
+    /// `<prefix>.queue_depth_hw` / `.worker<i>.tasks` as execution-class,
+    /// `<prefix>.task_wait_ns` / `.task_run_ns` as timing spans.
+    pub fn record_into(&self, reg: &mut Registry, prefix: &str) {
+        reg.incr(Class::Count, &format!("{prefix}.tasks"), self.tasks);
+        reg.incr(
+            Class::Count,
+            &format!("{prefix}.continuations"),
+            self.continuations,
+        );
+        reg.gauge_max(
+            Class::Execution,
+            &format!("{prefix}.queue_depth_hw"),
+            self.queue_high_water,
+        );
+        for (w, &tasks) in self.per_worker_tasks.iter().enumerate() {
+            reg.incr(
+                Class::Execution,
+                &format!("{prefix}.worker{w}.tasks"),
+                tasks,
+            );
+        }
+        reg.timing_stat(&format!("{prefix}.task_wait_ns"), &self.wait);
+        reg.timing_stat(&format!("{prefix}.task_run_ns"), &self.run);
+    }
+}
 
 /// A unit of work for [`WorkPool::run_jobs`]: a caller-chosen id (used to
 /// merge deterministically) plus the closure to execute on a worker.
@@ -97,6 +185,52 @@ impl<T> std::fmt::Debug for JobSink<'_, T> {
             .field("buffered", &self.buffered.len())
             .finish()
     }
+}
+
+/// Submission handle of [`WorkPool::run_jobs_observed`]: like [`JobSink`],
+/// but every submitted continuation is counted and time-stamped so its
+/// queue-wait span starts at submission.
+pub struct ObservedSink<'scope, 'env, T> {
+    inner: &'scope mut JobSink<'env, (T, u64, u64)>,
+    clock: &'env dyn Clock,
+    submitted: u64,
+}
+
+impl<'scope, 'env, T: Send + 'env> ObservedSink<'scope, 'env, T> {
+    /// Queues a follow-up job (see [`JobSink::submit`]).
+    pub fn submit(&mut self, job: Job<'env, T>) {
+        self.submitted += 1;
+        self.inner.submit(wrap_job(job, self.clock));
+    }
+}
+
+impl<T> std::fmt::Debug for ObservedSink<'_, '_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObservedSink")
+            .field("submitted", &self.submitted)
+            .finish()
+    }
+}
+
+/// Wraps a job so it reports `(value, wait_ns, run_ns)`: the submission
+/// timestamp is captured here (call time == enqueue time for both initial
+/// jobs and continuations), the start/end stamps on the executing worker.
+fn wrap_job<'env, T: Send + 'env>(
+    job: Job<'env, T>,
+    clock: &'env dyn Clock,
+) -> Job<'env, (T, u64, u64)> {
+    let submit_ns = clock.now_ns();
+    let Job { id, work } = job;
+    Job::new(id, move || {
+        let start_ns = clock.now_ns();
+        let value = work();
+        let end_ns = clock.now_ns();
+        (
+            value,
+            start_ns.saturating_sub(submit_ns),
+            end_ns.saturating_sub(start_ns),
+        )
+    })
 }
 
 /// State shared between the coordinator and the workers of one
@@ -183,7 +317,76 @@ impl WorkPool {
     /// # Panics
     ///
     /// Re-raises the panic of the first failing task on the calling thread.
-    pub fn run_indexed_with<T, F, C>(&self, count: usize, task: F, mut on_done: C) -> Vec<T>
+    pub fn run_indexed_with<T, F, C>(&self, count: usize, task: F, on_done: C) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FnMut(usize, &T),
+    {
+        self.run_indexed_inner(count, task, on_done, None)
+    }
+
+    /// Like [`run_indexed_with`], but additionally collects pool
+    /// observability into `obs`: task totals, per-worker completion counts
+    /// and per-task run spans measured with the injected `clock`.
+    ///
+    /// [`run_indexed_with`]: WorkPool::run_indexed_with
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing task on the calling thread.
+    pub fn run_indexed_observed<T, F, C>(
+        &self,
+        count: usize,
+        task: F,
+        mut on_done: C,
+        clock: &dyn Clock,
+        obs: &mut PoolObs,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: FnMut(usize, &T),
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let probe = WorkerProbe::new(self.effective_workers(count));
+        // The whole indexed set is "submitted" at t0, so a task's wait span
+        // is simply how long it sat before a worker picked it up.
+        let t0 = clock.now_ns();
+        obs.tasks += count as u64;
+        obs.queue_high_water = obs.queue_high_water.max(count as u64);
+        let mut wait = TimingStat::new();
+        let mut run = TimingStat::new();
+        let results = self.run_indexed_inner(
+            count,
+            |index| {
+                let start = clock.now_ns();
+                let value = task(index);
+                let end = clock.now_ns();
+                (value, start.saturating_sub(t0), end.saturating_sub(start))
+            },
+            |index, timed: &(T, u64, u64)| {
+                wait.record(timed.1);
+                run.record(timed.2);
+                on_done(index, &timed.0);
+            },
+            Some(&probe),
+        );
+        obs.wait.merge(&wait);
+        obs.run.merge(&run);
+        probe.fold_into(&mut obs.per_worker_tasks);
+        results.into_iter().map(|(value, _, _)| value).collect()
+    }
+
+    fn run_indexed_inner<T, F, C>(
+        &self,
+        count: usize,
+        task: F,
+        mut on_done: C,
+        probe: Option<&WorkerProbe>,
+    ) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -197,6 +400,9 @@ impl WorkPool {
             return (0..count)
                 .map(|index| {
                     let result = task(index);
+                    if let Some(p) = probe {
+                        p.mark(0);
+                    }
                     on_done(index, &result);
                     result
                 })
@@ -212,7 +418,7 @@ impl WorkPool {
             // scope joins: pending sends then fail and workers exit early
             // instead of finishing the whole remaining task set.
             let rx = rx;
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let task = &task;
@@ -222,6 +428,9 @@ impl WorkPool {
                         return;
                     }
                     let result = catch_unwind(AssertUnwindSafe(|| task(index)));
+                    if let Some(p) = probe {
+                        p.mark(worker);
+                    }
                     if tx.send((index, result)).is_err() {
                         return;
                     }
@@ -266,8 +475,84 @@ impl WorkPool {
     /// # Panics
     ///
     /// Re-raises the panic of the first failing job on the calling thread.
-    pub fn run_jobs<'env, T, F>(&self, initial: Vec<Job<'env, T>>, mut on_complete: F)
+    pub fn run_jobs<'env, T, F>(&self, initial: Vec<Job<'env, T>>, on_complete: F)
     where
+        T: Send,
+        F: FnMut(usize, T, &mut JobSink<'env, T>),
+    {
+        self.run_jobs_inner(initial, on_complete, None);
+    }
+
+    /// Like [`run_jobs`], but additionally collects pool observability into
+    /// `obs`: task/continuation totals, the in-flight high-water mark,
+    /// per-worker completion counts, and per-job wait/run spans measured
+    /// with the injected `clock` (submission time is captured when a job
+    /// enters the queue, including continuations submitted through the
+    /// [`ObservedSink`]).
+    ///
+    /// [`run_jobs`]: WorkPool::run_jobs
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing job on the calling thread.
+    pub fn run_jobs_observed<'env, T, F>(
+        &self,
+        initial: Vec<Job<'env, T>>,
+        mut on_complete: F,
+        clock: &'env dyn Clock,
+        obs: &mut PoolObs,
+    ) where
+        T: Send + 'env,
+        F: FnMut(usize, T, &mut ObservedSink<'_, 'env, T>),
+    {
+        if initial.is_empty() {
+            return;
+        }
+        let probe = WorkerProbe::new(self.effective_workers(initial.len()));
+        let mut in_flight = initial.len() as u64;
+        let mut high_water = in_flight;
+        let mut tasks = in_flight;
+        let mut continuations = 0u64;
+        let mut wait = TimingStat::new();
+        let mut run = TimingStat::new();
+        let wrapped: Vec<Job<'env, (T, u64, u64)>> = initial
+            .into_iter()
+            .map(|job| wrap_job(job, clock))
+            .collect();
+        self.run_jobs_inner(
+            wrapped,
+            |id, (value, wait_ns, run_ns), sink| {
+                wait.record(wait_ns);
+                run.record(run_ns);
+                in_flight -= 1;
+                let mut observed = ObservedSink {
+                    inner: sink,
+                    clock,
+                    submitted: 0,
+                };
+                on_complete(id, value, &mut observed);
+                let submitted = observed.submitted;
+                continuations += submitted;
+                tasks += submitted;
+                in_flight += submitted;
+                high_water = high_water.max(in_flight);
+            },
+            Some(&probe),
+        );
+        obs.tasks += tasks;
+        obs.continuations += continuations;
+        obs.queue_high_water = obs.queue_high_water.max(high_water);
+        obs.wait.merge(&wait);
+        obs.run.merge(&run);
+        probe.fold_into(&mut obs.per_worker_tasks);
+    }
+
+    fn run_jobs_inner<'env, T, F>(
+        &self,
+        initial: Vec<Job<'env, T>>,
+        mut on_complete: F,
+        probe: Option<&WorkerProbe>,
+    ) where
         T: Send,
         F: FnMut(usize, T, &mut JobSink<'env, T>),
     {
@@ -279,6 +564,9 @@ impl WorkPool {
             let mut pending: VecDeque<Job<'env, T>> = initial.into();
             while let Some(job) = pending.pop_front() {
                 let result = (job.work)();
+                if let Some(p) = probe {
+                    p.mark(0);
+                }
                 let mut sink = JobSink {
                     buffered: Vec::new(),
                 };
@@ -302,7 +590,7 @@ impl WorkPool {
             // Owned by the scope closure so an unwind drops it *before* the
             // scope joins: pending sends then fail and workers exit early.
             let rx = rx;
-            for _ in 0..workers {
+            for worker in 0..workers {
                 let tx = tx.clone();
                 let queue = &queue;
                 scope.spawn(move || loop {
@@ -320,6 +608,9 @@ impl WorkPool {
                     };
                     let Some(job) = job else { return };
                     let result = catch_unwind(AssertUnwindSafe(job.work));
+                    if let Some(p) = probe {
+                        p.mark(worker);
+                    }
                     if tx.send((job.id, result)).is_err() {
                         return;
                     }
@@ -477,6 +768,85 @@ mod tests {
             total.fetch_add(value as usize, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn observed_indexed_run_counts_every_task_once() {
+        use fec_obs::ManualClock;
+        for workers in [1, 2, 8] {
+            let clock = ManualClock::new();
+            let mut obs = PoolObs::new();
+            let out = WorkPool::new(workers).run_indexed_observed(
+                10,
+                |i| i + 1,
+                |_, _| {},
+                &clock,
+                &mut obs,
+            );
+            assert_eq!(out, (1..=10).collect::<Vec<_>>());
+            assert_eq!(obs.tasks, 10, "workers = {workers}");
+            assert_eq!(obs.continuations, 0);
+            assert_eq!(obs.queue_high_water, 10);
+            assert_eq!(
+                obs.per_worker_tasks.iter().sum::<u64>(),
+                10,
+                "workers = {workers}"
+            );
+            assert_eq!(obs.run.count, 10);
+        }
+    }
+
+    #[test]
+    fn observed_jobs_count_continuations_and_keep_merge_contract() {
+        use fec_obs::ManualClock;
+        for workers in [1, 2, 8] {
+            let clock = ManualClock::new();
+            let mut obs = PoolObs::new();
+            let mut rounds = [0usize; 4];
+            let initial = (0..4).map(|id| Job::new(id, move || id)).collect();
+            WorkPool::new(workers).run_jobs_observed(
+                initial,
+                |id, value, sink| {
+                    assert_eq!(value, id);
+                    rounds[id] += 1;
+                    if rounds[id] < 3 {
+                        sink.submit(Job::new(id, move || id));
+                    }
+                },
+                &clock,
+                &mut obs,
+            );
+            assert_eq!(rounds, [3; 4], "workers = {workers}");
+            // 4 initial + 8 continuations, independent of the worker count:
+            // the deterministic half of the observability contract.
+            assert_eq!(obs.tasks, 12, "workers = {workers}");
+            assert_eq!(obs.continuations, 8, "workers = {workers}");
+            assert!(obs.queue_high_water >= 1);
+            assert_eq!(obs.per_worker_tasks.iter().sum::<u64>(), 12);
+        }
+    }
+
+    #[test]
+    fn observed_spans_use_the_injected_clock() {
+        use fec_obs::{Class, ManualClock, MetricValue, Registry};
+        let clock = ManualClock::new();
+        let mut obs = PoolObs::new();
+        let initial = vec![Job::new(0, || {
+            // Runs on the single worker; the clock only moves when we say so.
+            7usize
+        })];
+        WorkPool::new(1).run_jobs_observed(initial, |_, _, _| {}, &clock, &mut obs);
+        assert_eq!(obs.run.count, 1);
+        assert_eq!(obs.run.total_ns, 0, "manual clock never advanced");
+
+        let mut reg = Registry::new();
+        obs.record_into(&mut reg, "pool");
+        assert_eq!(reg.counter("pool.tasks"), Some(1));
+        assert!(matches!(
+            reg.get("pool.queue_depth_hw").map(|m| (&m.value, m.class)),
+            Some((MetricValue::Gauge(_), Class::Execution))
+        ));
+        assert!(reg.get("pool.task_run_ns").is_some());
     }
 
     #[test]

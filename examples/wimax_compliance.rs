@@ -12,10 +12,19 @@
 //!
 //! Run with `cargo run --example wimax_compliance --release [-- --full]
 //! [-- --standard wimax|80211n|lte|80222|dvbrcs] [-- --workers <n>]
-//! [-- --json <path>]`.
+//! [-- --json <path>] [-- --metrics <path>] [-- --metrics-report]`.
+//!
+//! `--metrics` exports the sweep's observability registry (`compliance.*`
+//! counters, `pool.*` spans) as an `OBS_*.json` file in the canonical
+//! schema ([`noc_decoder::obs_export`]); `--metrics-report` prints the
+//! ASCII report.
 
 use fec_json::{Json, StreamedRows};
-use noc_decoder::{run_multi_compliance_sharded, ComplianceScope, DecoderConfig, Standard};
+use fec_obs::{Registry, WallClock};
+use noc_decoder::{
+    registry_json, run_multi_compliance_observed, run_multi_compliance_sharded, ComplianceScope,
+    DecoderConfig, Standard,
+};
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,6 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .position(|a| a == "--json")
         .map(|i| PathBuf::from(args.get(i + 1).expect("--json requires a file path")));
+    let metrics_path: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| PathBuf::from(args.get(i + 1).expect("--metrics requires a file path")));
+    let metrics_report = args.iter().any(|a| a == "--metrics-report");
 
     let scopes = match (standard, full) {
         (Some(s), true) => vec![ComplianceScope::full(s)],
@@ -75,11 +89,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ],
         )
     });
-    let report = run_multi_compliance_sharded(&config, &scopes, workers, |_, entry| {
+    let mut on_entry = |_: usize, entry: &noc_decoder::ComplianceEntry| {
         if let Some(stream) = &mut stream {
             stream.push(entry);
         }
-    })?;
+    };
+    let mut obs = (metrics_path.is_some() || metrics_report).then(Registry::new);
+    let report = match &mut obs {
+        Some(obs) => {
+            let clock = WallClock::new();
+            run_multi_compliance_observed(&config, &scopes, workers, &mut on_entry, &clock, obs)?
+        }
+        None => run_multi_compliance_sharded(&config, &scopes, workers, &mut on_entry)?,
+    };
+    if let Some(obs) = &obs {
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, registry_json(obs).to_string_pretty())?;
+            eprintln!("wrote {}", path.display());
+        }
+        if metrics_report {
+            println!("{}", fec_obs::render_report(obs));
+        }
+    }
     if let Some(stream) = stream {
         let path = stream.path().to_path_buf();
         let rows = stream.finish();
