@@ -16,8 +16,12 @@
 //! <baseline.json> <current.json> [--threshold <fraction>]`
 //!
 //! Rows are matched by kernel name / curve label + `Eb/N0`; entries present
-//! in only one file are reported but do not fail the diff.  Exit code: 0
-//! when clean, 1 on any regression, 2 on unreadable/unparsable input.
+//! in only one file are reported but do not fail the diff.  In BER mode the
+//! unshared points are additionally *counted* and summarised — an adaptive
+//! run that stopped a point early (or a changed grid) shows up as an
+//! explicit `skipped N point(s)` line, never as a silent shape mismatch.
+//! Exit code: 0 when clean, 1 on any regression, 2 on unreadable/unparsable
+//! input.
 
 use fec_json::Json;
 use std::collections::BTreeMap;
@@ -137,20 +141,26 @@ fn diff_kernels(
     regressions
 }
 
+/// Diffs the BER maps over their **shared** `(label, Eb/N0)` keys and
+/// returns `(regressions, skipped)`: points present in only one file — a
+/// changed grid, or a point the adaptive stop rule never reached — are
+/// counted and logged, never silently ignored and never a regression.
 fn diff_curves(
     baseline: &BTreeMap<String, f64>,
     current: &BTreeMap<String, f64>,
     threshold: f64,
-) -> usize {
+) -> (usize, usize) {
     println!(
         "{:<56} {:>12} {:>12} {:>9}  verdict",
         "curve point", "base BER", "curr BER", "delta"
     );
     let mut regressions = 0usize;
+    let mut skipped = 0usize;
     for (key, &base) in baseline {
         let Some(&curr) = current.get(key) else {
+            skipped += 1;
             println!(
-                "{key:<56} {:>12.3e} {:>12} {:>9}  missing in current",
+                "{key:<56} {:>12.3e} {:>12} {:>9}  skipped: missing in current",
                 base, "-", "-"
             );
             continue;
@@ -182,10 +192,20 @@ fn diff_curves(
     }
     for key in current.keys() {
         if !baseline.contains_key(key) {
-            println!("{key:<56} {:>12} {:>12} {:>9}  new point", "-", "-", "-");
+            skipped += 1;
+            println!(
+                "{key:<56} {:>12} {:>12} {:>9}  skipped: new point",
+                "-", "-", "-"
+            );
         }
     }
-    regressions
+    if skipped > 0 {
+        println!(
+            "\nskipped {skipped} point(s) present in only one file (grid change or \
+             adaptive early stop); only shared Eb/N0 points were diffed"
+        );
+    }
+    (regressions, skipped)
 }
 
 fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, String> {
@@ -207,10 +227,8 @@ fn run(baseline_path: &str, current_path: &str, threshold: f64) -> Result<bool, 
     let (regressions, what) = if curve_mode {
         let baseline = load_curves(baseline_path, &base_json)?;
         let current = load_curves(current_path, &curr_json)?;
-        (
-            diff_curves(&baseline, &current, threshold),
-            "curve point(s)",
-        )
+        let (regressions, _skipped) = diff_curves(&baseline, &current, threshold);
+        (regressions, "curve point(s)")
     } else {
         let baseline = load_rows(baseline_path, &base_json)?;
         let current = load_rows(current_path, &curr_json)?;
@@ -263,6 +281,34 @@ mod tests {
 
     fn rows_of(text: &str) -> BTreeMap<String, Row> {
         load_rows("test", &Json::parse(text).unwrap()).unwrap()
+    }
+
+    fn curves_of(text: &str) -> BTreeMap<String, f64> {
+        load_curves("test", &Json::parse(text).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn curve_diff_counts_unshared_points_and_gates_only_shared_ones() {
+        // Baseline has points at 1.0 and 2.0 dB; the adaptive current run
+        // stopped before 2.0 dB but added 3.0 dB.  Only the shared 1.0 dB
+        // point is compared; the two unshared ones are counted as skips.
+        let baseline = curves_of(
+            r#"{"curves":[{"label":"c","points":[
+                {"ebn0_db":1.0,"ber":1e-3},{"ebn0_db":2.0,"ber":1e-5}]}]}"#,
+        );
+        let current = curves_of(
+            r#"{"curves":[{"label":"c","points":[
+                {"ebn0_db":1.0,"ber":1e-3},{"ebn0_db":3.0,"ber":1e-7}]}]}"#,
+        );
+        assert_eq!(diff_curves(&baseline, &current, 0.15), (0, 2));
+        // A worsened shared point still regresses, independent of skips.
+        let worse = curves_of(
+            r#"{"curves":[{"label":"c","points":[
+                {"ebn0_db":1.0,"ber":5e-3},{"ebn0_db":3.0,"ber":1e-7}]}]}"#,
+        );
+        assert_eq!(diff_curves(&baseline, &worse, 0.15), (1, 2));
+        // Identical shapes: nothing skipped.
+        assert_eq!(diff_curves(&baseline, &baseline.clone(), 0.15), (0, 0));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! Usage: `cargo run -p decoder-bench --bin ber_study --release --
 //! [frames] [--standard wimax|80211n|lte|80222|dvbrcs] [--quantized]
 //! [--lambda-bits <n>] [--workers <n>] [--batch-frames <n>]
+//! [--adaptive] [--target-rel-width <f>] [--confidence <f>]
 //! [--json <path>] [--metrics <path>] [--metrics-report]`
 //!
 //! `--quantized` adds the fixed-point layered LDPC curve (the hardware
@@ -36,6 +37,15 @@
 //! per frame, so every count — and the `--json` output — is byte-for-byte
 //! independent of the batch size.
 //!
+//! `--adaptive` switches every curve to the confidence-targeted stop rule:
+//! a point keeps running continuation rounds until the Wilson relative
+//! half-width of its frame-error-rate estimate is at most
+//! `--target-rel-width` (default 0.2) at the two-sided `--confidence` level
+//! (default 0.95), capped by `[frames]` — which becomes the per-point
+//! budget instead of the exact frame count.  Round sizes are a pure
+//! function of the merged counts, so adaptive outputs too are
+//! byte-identical for any `--workers`/`--batch-frames` combination.
+//!
 //! `--metrics` writes the observability registry of the whole study (codec,
 //! fixed-datapath, engine and pool metrics) as an `OBS_*.json` export; its
 //! `counts` section is byte-identical for any `--workers`/`--batch-frames`
@@ -44,11 +54,11 @@
 
 use code_tables::Standard;
 use decoder_bench::{
-    batch_frames_flag_from_args, dvb_rcs_turbo_codec, json_flag_from_args, ldpc_codec,
-    lte_turbo_codec, metrics_flags_from_args, print_curve, quantized_ldpc_codec,
-    run_curve_maybe_observed as run_observed, standard_flag_from_args, standard_snrs, turbo_codec,
-    wifi_ldpc_codec, workers_flag_from_args, wran_ldpc_codec, write_json, BerCurve, LdpcFlavor,
-    ObsCollector,
+    adaptive_flags_from_args, batch_frames_flag_from_args, dvb_rcs_turbo_codec,
+    json_flag_from_args, ldpc_codec, lte_turbo_codec, metrics_flags_from_args, print_curve,
+    quantized_ldpc_codec, run_curve_maybe_observed as run_observed, standard_flag_from_args,
+    standard_snrs, turbo_codec, wifi_ldpc_codec, workers_flag_from_args, wran_ldpc_codec,
+    write_json, AdaptiveFlags, BerCurve, LdpcFlavor, ObsCollector,
 };
 use fec_channel::sim::{EngineConfig, SimulationEngine};
 use fec_json::{Json, ToJson};
@@ -60,6 +70,7 @@ fn main() {
     let (standard, rest) = standard_flag_from_args(rest.into_iter());
     let (workers, rest) = workers_flag_from_args(rest.into_iter());
     let (batch, rest) = batch_frames_flag_from_args(rest.into_iter());
+    let (adaptive, rest) = adaptive_flags_from_args(rest.into_iter());
     let standard = standard.unwrap_or(Standard::Wimax);
     let mut quantized = false;
     let mut lambda_bits: u32 = 7;
@@ -81,48 +92,89 @@ fn main() {
         }
     }
 
+    let study = StudyCfg {
+        frames,
+        workers,
+        batch,
+        adaptive,
+    };
+    if let Some(a) = adaptive {
+        println!(
+            "adaptive stop rule: target relative half-width {} at {}% confidence, \
+             cap {frames} frames per point\n",
+            a.target_rel_width,
+            100.0 * a.confidence
+        );
+    }
     let mut obs = metrics.enabled().then(ObsCollector::new);
     let curves = match standard {
-        Standard::Wimax => wimax_study(frames, workers, batch, quantized, lambda_bits, &mut obs),
-        Standard::Wifi80211n => wifi_study(frames, workers, batch, &mut obs),
-        Standard::Lte => lte_study(frames, workers, batch, &mut obs),
-        Standard::Wran80222 => wran_study(frames, workers, batch, &mut obs),
-        Standard::DvbRcs => dvbrcs_study(frames, workers, batch, &mut obs),
+        Standard::Wimax => wimax_study(&study, quantized, lambda_bits, &mut obs),
+        Standard::Wifi80211n => wifi_study(&study, &mut obs),
+        Standard::Lte => lte_study(&study, &mut obs),
+        Standard::Wran80222 => wran_study(&study, &mut obs),
+        Standard::DvbRcs => dvbrcs_study(&study, &mut obs),
     };
     if let Some(collector) = &obs {
         metrics.emit(&collector.registry);
     }
 
     if let Some(path) = json_path {
-        let json = Json::obj([
+        let mut pairs = vec![
             ("study", Json::str("ber_study")),
             ("standard", Json::str(standard.name())),
             ("frames_per_point", Json::from(frames)),
-            ("curves", Json::arr(curves.iter().map(ToJson::to_json))),
-        ]);
+            (
+                "stop_rule",
+                Json::str(if adaptive.is_some() {
+                    "relative_width"
+                } else {
+                    "fixed_budget"
+                }),
+            ),
+        ];
+        if let Some(a) = adaptive {
+            pairs.push(("target_rel_width", Json::from(a.target_rel_width)));
+            pairs.push(("confidence", Json::from(a.confidence)));
+        }
+        pairs.push(("curves", Json::arr(curves.iter().map(ToJson::to_json))));
+        let json = Json::obj(pairs);
         write_json(&path, &json);
     }
 }
 
-fn wimax_study(
+/// Per-study engine settings shared by all five standards: the frame
+/// budget (exact in fixed mode, a cap in adaptive mode), pool workers,
+/// decode batch size and the optional adaptive stop rule.
+#[derive(Debug, Clone, Copy)]
+struct StudyCfg {
     frames: u64,
     workers: usize,
     batch: usize,
+    adaptive: Option<AdaptiveFlags>,
+}
+
+impl StudyCfg {
+    /// Builds the engine for one curve family, with the standard-specific
+    /// RNG `seed` (fixed seeds keep the CI trajectory byte-identical).
+    fn engine(&self, seed: u64) -> SimulationEngine {
+        let cfg = match self.adaptive {
+            None => EngineConfig::fixed_frames(self.frames, seed),
+            Some(a) => EngineConfig::adaptive(self.frames, a.target_rel_width, a.confidence, seed),
+        };
+        SimulationEngine::new(cfg.with_workers(self.workers).with_batch_frames(self.batch))
+    }
+}
+
+fn wimax_study(
+    study: &StudyCfg,
     quantized: bool,
     lambda_bits: u32,
     obs: &mut Option<ObsCollector>,
 ) -> Vec<BerCurve> {
+    let frames = study.frames;
     let snrs = standard_snrs(Standard::Wimax);
-    let ldpc_engine = SimulationEngine::new(
-        EngineConfig::fixed_frames(frames, 11)
-            .with_workers(workers)
-            .with_batch_frames(batch),
-    );
-    let turbo_engine = SimulationEngine::new(
-        EngineConfig::fixed_frames(frames, 13)
-            .with_workers(workers)
-            .with_batch_frames(batch),
-    );
+    let ldpc_engine = study.engine(11);
+    let turbo_engine = study.engine(13);
 
     println!("WiMAX LDPC N = 576, r = 1/2 ({frames} frames per point)\n");
     let layered = run_observed(
@@ -185,18 +237,10 @@ fn wimax_study(
     curves
 }
 
-fn wifi_study(
-    frames: u64,
-    workers: usize,
-    batch: usize,
-    obs: &mut Option<ObsCollector>,
-) -> Vec<BerCurve> {
+fn wifi_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
+    let frames = study.frames;
     let snrs = standard_snrs(Standard::Wifi80211n);
-    let engine = SimulationEngine::new(
-        EngineConfig::fixed_frames(frames, 17)
-            .with_workers(workers)
-            .with_batch_frames(batch),
-    );
+    let engine = study.engine(17);
 
     println!("802.11n LDPC N = 648, r = 1/2 ({frames} frames per point)\n");
     let layered = run_observed(
@@ -245,18 +289,10 @@ fn wifi_study(
     vec![layered, fixed, flooding, layered_1296]
 }
 
-fn wran_study(
-    frames: u64,
-    workers: usize,
-    batch: usize,
-    obs: &mut Option<ObsCollector>,
-) -> Vec<BerCurve> {
+fn wran_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
+    let frames = study.frames;
     let snrs = standard_snrs(Standard::Wran80222);
-    let engine = SimulationEngine::new(
-        EngineConfig::fixed_frames(frames, 23)
-            .with_workers(workers)
-            .with_batch_frames(batch),
-    );
+    let engine = study.engine(23);
 
     println!("802.22 LDPC N = 480, r = 1/2 ({frames} frames per point)\n");
     let layered = run_observed(
@@ -305,18 +341,10 @@ fn wran_study(
     vec![layered, fixed, flooding, layered_1440]
 }
 
-fn dvbrcs_study(
-    frames: u64,
-    workers: usize,
-    batch: usize,
-    obs: &mut Option<ObsCollector>,
-) -> Vec<BerCurve> {
+fn dvbrcs_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
+    let frames = study.frames;
     let snrs = standard_snrs(Standard::DvbRcs);
-    let engine = SimulationEngine::new(
-        EngineConfig::fixed_frames(frames, 29)
-            .with_workers(workers)
-            .with_batch_frames(batch),
-    );
+    let engine = study.engine(29);
 
     println!("DVB-RCS CTC 212 couples (ATM cell), rate 1/2 ({frames} frames per point)\n");
     let bit = run_observed(
@@ -355,18 +383,10 @@ fn dvbrcs_study(
     vec![bit, symbol, small]
 }
 
-fn lte_study(
-    frames: u64,
-    workers: usize,
-    batch: usize,
-    obs: &mut Option<ObsCollector>,
-) -> Vec<BerCurve> {
+fn lte_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
+    let frames = study.frames;
     let snrs = standard_snrs(Standard::Lte);
-    let engine = SimulationEngine::new(
-        EngineConfig::fixed_frames(frames, 19)
-            .with_workers(workers)
-            .with_batch_frames(batch),
-    );
+    let engine = study.engine(19);
 
     println!("LTE turbo K = 1024, r = 1/3 ({frames} frames per point)\n");
     let k1024 = run_observed(&engine, lte_turbo_codec(1024).as_ref(), snrs, obs);

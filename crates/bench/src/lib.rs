@@ -30,8 +30,8 @@ pub use obs::{
     ObsOptions, REQUIRED_COUNT_METRICS,
 };
 pub use results::{
-    batch_frames_flag_from_args, json_flag_from_args, rows_json, standard_flag_from_args,
-    workers_flag_from_args, write_json, StreamedRows,
+    adaptive_flags_from_args, batch_frames_flag_from_args, json_flag_from_args, rows_json,
+    standard_flag_from_args, workers_flag_from_args, write_json, AdaptiveFlags, StreamedRows,
 };
 pub use table1::{print_table1, run_table1, run_table1_for, run_table1_observed, table1_code};
 pub use table2::{print_table2, run_table2, run_table2_for, table2_codes};

@@ -102,6 +102,68 @@ pub fn batch_frames_flag_from_args(args: impl Iterator<Item = String>) -> (usize
     (batch, rest)
 }
 
+/// Adaptive stop-rule settings parsed from the command line: the study
+/// runs each curve point until the Wilson relative half-width of its FER
+/// estimate reaches `target_rel_width` at the two-sided `confidence` level
+/// (the per-point frame argument becomes the hard cap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveFlags {
+    /// Target relative half-width of the FER confidence interval, in (0, 1).
+    pub target_rel_width: f64,
+    /// Two-sided confidence level of the interval, in (0.5, 1).
+    pub confidence: f64,
+}
+
+impl Default for AdaptiveFlags {
+    fn default() -> Self {
+        AdaptiveFlags {
+            target_rel_width: 0.2,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// Extracts the adaptive Monte-Carlo flags from a raw argument list:
+/// `--adaptive` switches the engine to the confidence-targeted stop rule,
+/// `--target-rel-width <f>` (default 0.2) and `--confidence <f>` (default
+/// 0.95) tune it (each implies `--adaptive`).  Returns `None` and the
+/// remaining arguments when no adaptive flag is present — the shared parser
+/// behind every binary's adaptive-mode support.
+///
+/// # Panics
+///
+/// Panics if `--target-rel-width` / `--confidence` is given without a value
+/// or with a non-number.  (Range validation happens in
+/// `EngineConfig::validate`, which names the offending field.)
+pub fn adaptive_flags_from_args(
+    args: impl Iterator<Item = String>,
+) -> (Option<AdaptiveFlags>, Vec<String>) {
+    let mut adaptive = None;
+    let mut rest = Vec::new();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--adaptive" => {
+                adaptive.get_or_insert_with(AdaptiveFlags::default);
+            }
+            "--target-rel-width" => {
+                let value = args.next().expect("--target-rel-width requires a fraction");
+                adaptive
+                    .get_or_insert_with(AdaptiveFlags::default)
+                    .target_rel_width = value.parse().expect("--target-rel-width takes a number");
+            }
+            "--confidence" => {
+                let value = args.next().expect("--confidence requires a level");
+                adaptive
+                    .get_or_insert_with(AdaptiveFlags::default)
+                    .confidence = value.parse().expect("--confidence takes a number");
+            }
+            _ => rest.push(arg),
+        }
+    }
+    (adaptive, rest)
+}
+
 /// Writes `value` to `path` as pretty-printed JSON (with a trailing
 /// newline), creating parent directories as needed.
 ///
@@ -179,6 +241,38 @@ mod tests {
     #[should_panic(expected = "--workers requires")]
     fn dangling_workers_flag_panics() {
         let _ = workers_flag_from_args(["--workers"].map(String::from).into_iter());
+    }
+
+    #[test]
+    fn adaptive_flags_are_extracted_anywhere_with_defaults() {
+        let (adaptive, rest) = adaptive_flags_from_args(
+            ["--quick", "--adaptive", "60"]
+                .map(String::from)
+                .into_iter(),
+        );
+        assert_eq!(adaptive, Some(AdaptiveFlags::default()));
+        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
+
+        // Tuning flags imply --adaptive on their own.
+        let (adaptive, rest) = adaptive_flags_from_args(
+            ["--target-rel-width", "0.1", "--confidence", "0.99", "60"]
+                .map(String::from)
+                .into_iter(),
+        );
+        let adaptive = adaptive.unwrap();
+        assert_eq!(adaptive.target_rel_width, 0.1);
+        assert_eq!(adaptive.confidence, 0.99);
+        assert_eq!(rest, vec!["60".to_string()]);
+
+        let (adaptive, rest) = adaptive_flags_from_args(["60"].map(String::from).into_iter());
+        assert_eq!(adaptive, None);
+        assert_eq!(rest, vec!["60".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--target-rel-width requires")]
+    fn dangling_target_rel_width_flag_panics() {
+        let _ = adaptive_flags_from_args(["--target-rel-width"].map(String::from).into_iter());
     }
 
     #[test]

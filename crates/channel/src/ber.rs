@@ -151,6 +151,93 @@ impl MonteCarloConfig {
     }
 }
 
+/// How the simulation engine decides that a curve point has simulated
+/// enough frames.
+///
+/// The classic mode is [`FixedBudget`]: the per-point budget and early-stop
+/// rules of [`MonteCarloConfig`] apply unchanged, and outputs are
+/// byte-identical to every release that predates this enum.
+///
+/// [`RelativeWidth`] is the adaptive mode: a point keeps running
+/// continuation rounds until the Wilson-score confidence interval of its
+/// frame error rate is narrow *relative to the estimate* —
+/// `half_width / center <= target_rel_width` at the configured two-sided
+/// `confidence` — capped by a hard per-point budget of `max_frames`.  Points
+/// that reach the target release their budget immediately; points that never
+/// see an error have a relative half-width pinned at 1 (see
+/// [`crate::stats::wilson_interval`]) and run to the cap.  Round sizes are a
+/// pure function of the merged counts, so the adaptive schedule is
+/// bit-identical at any worker count and decode batch size.
+///
+/// [`FixedBudget`]: StopRule::FixedBudget
+/// [`RelativeWidth`]: StopRule::RelativeWidth
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum StopRule {
+    /// Fixed frame budget with optional frame-error early stop: exactly the
+    /// [`MonteCarloConfig`] semantics, byte-identical to historical outputs.
+    #[default]
+    FixedBudget,
+    /// Confidence-targeted adaptive sampling.
+    RelativeWidth {
+        /// Stop once the Wilson relative half-width of the FER estimate is
+        /// at or below this value.  Must lie strictly inside `(0, 1)`: a
+        /// target of 1 or more would stop before the first error, and 0 can
+        /// never be reached.
+        target_rel_width: f64,
+        /// Two-sided confidence level of the interval, strictly inside
+        /// `(0.5, 1)` (e.g. `0.95`).
+        confidence: f64,
+        /// Hard per-point frame cap; the point stops here even if the width
+        /// target was never reached (e.g. zero observed errors).
+        max_frames: u64,
+    },
+}
+
+impl StopRule {
+    /// `true` for the adaptive [`RelativeWidth`](StopRule::RelativeWidth)
+    /// mode.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, StopRule::RelativeWidth { .. })
+    }
+
+    /// Checks the rule for degenerate settings, naming the offending field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency:
+    /// `target_rel_width` outside `(0, 1)`, `confidence` outside `(0.5, 1)`,
+    /// or a zero frame cap.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            StopRule::FixedBudget => Ok(()),
+            StopRule::RelativeWidth {
+                target_rel_width,
+                confidence,
+                max_frames,
+            } => {
+                if !(target_rel_width > 0.0 && target_rel_width < 1.0) {
+                    return Err(format!(
+                        "target_rel_width must lie strictly inside (0, 1), got \
+                         {target_rel_width} (zero-error points have relative half-width 1, \
+                         so a target of 1 or more would stop before the first error)"
+                    ));
+                }
+                if !(confidence > 0.5 && confidence < 1.0) {
+                    return Err(format!(
+                        "confidence must lie strictly inside (0.5, 1), got {confidence}"
+                    ));
+                }
+                if max_frames == 0 {
+                    return Err(
+                        "adaptive max_frames (the per-point frame cap) must be at least 1".into(),
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Drives a Monte-Carlo run: repeatedly calls `simulate_frame`, which must
 /// return `(reference_bits, decoded_bits)`, until the stopping rule fires.
 ///
@@ -261,6 +348,47 @@ mod tests {
             min_frames: 0,
         };
         assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn stop_rule_validate_rejects_degenerate_adaptive_settings() {
+        assert!(StopRule::FixedBudget.validate().is_ok());
+        assert!(StopRule::default() == StopRule::FixedBudget);
+        let good = StopRule::RelativeWidth {
+            target_rel_width: 0.2,
+            confidence: 0.95,
+            max_frames: 1_000,
+        };
+        assert!(good.validate().is_ok());
+
+        for bad_target in [0.0, -0.1, 1.0, 1.5, f64::NAN] {
+            let err = StopRule::RelativeWidth {
+                target_rel_width: bad_target,
+                confidence: 0.95,
+                max_frames: 1_000,
+            }
+            .validate()
+            .unwrap_err();
+            assert!(err.contains("target_rel_width"), "{bad_target}: {err}");
+        }
+        for bad_confidence in [0.5, 0.2, 1.0, 1.5, f64::NAN] {
+            let err = StopRule::RelativeWidth {
+                target_rel_width: 0.2,
+                confidence: bad_confidence,
+                max_frames: 1_000,
+            }
+            .validate()
+            .unwrap_err();
+            assert!(err.contains("confidence"), "{bad_confidence}: {err}");
+        }
+        let err = StopRule::RelativeWidth {
+            target_rel_width: 0.2,
+            confidence: 0.95,
+            max_frames: 0,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("max_frames"), "{err}");
     }
 
     #[test]

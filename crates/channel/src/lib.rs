@@ -34,9 +34,11 @@ pub mod ber;
 pub mod modulation;
 pub mod sim;
 pub mod source;
+pub mod stats;
 
 pub use awgn::{AwgnChannel, EbN0};
-pub use ber::{ErrorCounter, ErrorRateRun, MonteCarloConfig};
+pub use ber::{ErrorCounter, ErrorRateRun, MonteCarloConfig, StopRule};
 pub use modulation::BpskModulator;
 pub use sim::{BerCurve, BerPoint, DecodedFrame, EngineConfig, FecCodec, SimulationEngine};
 pub use source::BitSource;
+pub use stats::{normal_quantile, wilson_interval, WilsonInterval};

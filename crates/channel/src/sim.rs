@@ -76,8 +76,9 @@
 //! ```
 
 use crate::awgn::{AwgnChannel, EbN0};
-use crate::ber::{ErrorCounter, MonteCarloConfig};
+use crate::ber::{ErrorCounter, MonteCarloConfig, StopRule};
 use crate::modulation::BpskModulator;
+use crate::stats::{normal_quantile, wilson_interval};
 use fec_fixed::Llr;
 use fec_json::{Json, ToJson};
 use fec_obs::{Class, Clock, Registry};
@@ -207,6 +208,21 @@ pub struct EngineConfig {
     pub batch_frames: usize,
     /// Stopping rules (frame budget, error target, minimum frames).
     pub stop: MonteCarloConfig,
+    /// How a point decides it is done.  [`StopRule::FixedBudget`] (the
+    /// default) applies `stop` unchanged and is byte-identical to the
+    /// historical engine; [`StopRule::RelativeWidth`] runs adaptive
+    /// continuation rounds until the Wilson relative half-width of the FER
+    /// estimate reaches the target (`stop.min_frames` is still honoured as
+    /// the per-point minimum).
+    pub stop_rule: StopRule,
+    /// Optional curve-wide frame budget for the adaptive mode: at every
+    /// round boundary the remaining global budget is rebalanced across the
+    /// still-running points, proportionally to their projected need — a pure
+    /// function of the merged counts.  Requires
+    /// [`StopRule::RelativeWidth`]; rebalancing needs a curve-wide merged
+    /// state, so the engine runs the curve in lockstep global rounds when
+    /// this is set.
+    pub global_frame_cap: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -218,6 +234,8 @@ impl Default for EngineConfig {
             seed: 0x5EED,
             batch_frames: 1,
             stop: MonteCarloConfig::default(),
+            stop_rule: StopRule::FixedBudget,
+            global_frame_cap: None,
         }
     }
 }
@@ -232,6 +250,34 @@ impl EngineConfig {
                 max_frames: frames,
                 target_frame_errors: u64::MAX,
                 min_frames: frames,
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Minimum frames per point the [`adaptive`](EngineConfig::adaptive)
+    /// constructor requests before the width target may stop a point, so a
+    /// couple of lucky error-free frames cannot end a point prematurely
+    /// (clamped to the frame cap for tiny budgets).
+    pub const ADAPTIVE_MIN_FRAMES: u64 = 32;
+
+    /// A confidence-targeted adaptive configuration: each point runs until
+    /// the Wilson relative half-width of its FER estimate is at most
+    /// `target_rel_width` at the two-sided `confidence` level, or until
+    /// `max_frames` frames, whichever comes first — never fewer than
+    /// [`ADAPTIVE_MIN_FRAMES`](EngineConfig::ADAPTIVE_MIN_FRAMES) frames.
+    pub fn adaptive(max_frames: u64, target_rel_width: f64, confidence: f64, seed: u64) -> Self {
+        EngineConfig {
+            seed,
+            stop: MonteCarloConfig {
+                max_frames,
+                target_frame_errors: u64::MAX,
+                min_frames: Self::ADAPTIVE_MIN_FRAMES.min(max_frames),
+            },
+            stop_rule: StopRule::RelativeWidth {
+                target_rel_width,
+                confidence,
+                max_frames,
             },
             ..EngineConfig::default()
         }
@@ -266,6 +312,18 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for the stop rule (fixed budget vs adaptive).
+    pub fn with_stop_rule(mut self, stop_rule: StopRule) -> Self {
+        self.stop_rule = stop_rule;
+        self
+    }
+
+    /// Builder-style setter for the optional curve-wide adaptive frame cap.
+    pub fn with_global_frame_cap(mut self, cap: Option<u64>) -> Self {
+        self.global_frame_cap = cap;
+        self
+    }
+
     /// Builder-style setter for the decode batch size.
     ///
     /// # Panics
@@ -296,7 +354,32 @@ impl EngineConfig {
                     .into(),
             );
         }
-        self.stop.validate()
+        self.stop.validate()?;
+        self.stop_rule.validate()?;
+        match self.stop_rule {
+            StopRule::FixedBudget => {
+                if self.global_frame_cap.is_some() {
+                    return Err(
+                        "global_frame_cap requires the adaptive StopRule::RelativeWidth \
+                         (a fixed budget already pins every point's frame count)"
+                            .into(),
+                    );
+                }
+            }
+            StopRule::RelativeWidth { max_frames, .. } => {
+                if self.stop.min_frames > max_frames {
+                    return Err(format!(
+                        "min_frames ({}) exceeds the adaptive max_frames cap ({}): the minimum \
+                         could never be honoured",
+                        self.stop.min_frames, max_frames
+                    ));
+                }
+                if self.global_frame_cap == Some(0) {
+                    return Err("global_frame_cap must be at least 1 when set".into());
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -480,28 +563,37 @@ impl SimulationEngine {
             modulator: &modulator,
             cfg,
             round_quota: (shards as u64).saturating_mul(cfg.frames_per_shard_round),
+            z: match cfg.stop_rule {
+                StopRule::FixedBudget => 0.0,
+                StopRule::RelativeWidth { confidence, .. } => {
+                    normal_quantile(0.5 + confidence / 2.0)
+                }
+            },
             observed: observe.is_some(),
         };
 
-        let mut initial = Vec::new();
-        for (point, state) in states.iter_mut().enumerate() {
-            initial.extend(schedule_round(&ctx, state, point));
-        }
-        // The first round is the widest (`remaining` only shrinks), so its
-        // job count is the concurrency the whole curve can ever expose.
+        // A curve-wide adaptive budget needs the *whole* merged curve state
+        // at every decision, so rebalancing runs in lockstep global rounds;
+        // otherwise points schedule their own rounds independently.
+        let initial = if cfg.global_frame_cap.is_some() {
+            schedule_global_round(&ctx, &mut states)
+        } else {
+            let mut initial = Vec::new();
+            for (point, state) in states.iter_mut().enumerate() {
+                initial.extend(schedule_round(&ctx, state, point));
+            }
+            initial
+        };
+        // A round never schedules more jobs per point than there are shards,
+        // so the first round's job count is the concurrency the whole curve
+        // can ever expose (later adaptive rounds grow in frames per job, not
+        // in jobs).
+        let mut curve_in_flight = initial.len();
         match observe {
             None => {
                 WorkPool::new(cfg.workers).run_jobs(initial, |id, (rng, acc, _), sink| {
-                    let (point, shard) = (id / shards, id % shards);
-                    let state = &mut states[point];
-                    state.rngs[shard] = Some(rng);
-                    state.total.merge(&acc);
-                    state.in_flight -= 1;
-                    if state.in_flight == 0 {
-                        for job in schedule_round(&ctx, state, point) {
-                            sink.submit(job);
-                        }
-                    }
+                    let next = on_shard_done(&ctx, &mut states, &mut curve_in_flight, id, rng, acc);
+                    sink.submit_all(next);
                 });
             }
             Some((clock, obs)) => {
@@ -512,16 +604,9 @@ impl SimulationEngine {
                         if let Some(reg) = reg {
                             obs.merge(&reg);
                         }
-                        let (point, shard) = (id / shards, id % shards);
-                        let state = &mut states[point];
-                        state.rngs[shard] = Some(rng);
-                        state.total.merge(&acc);
-                        state.in_flight -= 1;
-                        if state.in_flight == 0 {
-                            for job in schedule_round(&ctx, state, point) {
-                                sink.submit(job);
-                            }
-                        }
+                        let next =
+                            on_shard_done(&ctx, &mut states, &mut curve_in_flight, id, rng, acc);
+                        sink.submit_all(next);
                     },
                     clock,
                     &mut pool_obs,
@@ -529,7 +614,7 @@ impl SimulationEngine {
                 pool_obs.record_into(obs, "pool");
                 obs.incr(Class::Count, "engine.points", ebn0_dbs.len() as u64);
                 for (i, state) in states.iter().enumerate() {
-                    record_point_obs(obs, i, state, &cfg.stop);
+                    record_point_obs(obs, i, state, cfg, ctx.z);
                 }
             }
         }
@@ -544,10 +629,19 @@ impl SimulationEngine {
 
 /// Emits the per-point `engine.p{i}.*` Count metrics: frames, bit/frame
 /// errors, decoder iterations, scheduling rounds and whether the error
-/// target stopped the point before its frame budget.  All of these are
-/// pure functions of the merged counters, so they inherit the engine's
-/// worker-count determinism.
-fn record_point_obs(obs: &mut Registry, point: usize, state: &PointState, stop: &MonteCarloConfig) {
+/// target stopped the point before its frame budget.  Adaptive runs
+/// additionally report `adaptive_rounds`, `frames_saved_vs_budget` (the
+/// unspent part of the per-point cap) and `ci_half_width_ppm` (the final
+/// Wilson *relative* half-width in parts per million, so `200_000`
+/// corresponds to a 20% target).  All of these are pure functions of the
+/// merged counters, so they inherit the engine's worker-count determinism.
+fn record_point_obs(
+    obs: &mut Registry,
+    point: usize,
+    state: &PointState,
+    cfg: &EngineConfig,
+    z: f64,
+) {
     let c = &state.total.counter;
     obs.incr(Class::Count, &format!("engine.p{point}.frames"), c.frames());
     obs.incr(
@@ -570,8 +664,30 @@ fn record_point_obs(obs: &mut Registry, point: usize, state: &PointState, stop: 
         &format!("engine.p{point}.rounds"),
         state.rounds,
     );
-    if c.frames() < stop.max_frames {
+    let budget = match cfg.stop_rule {
+        StopRule::FixedBudget => cfg.stop.max_frames,
+        StopRule::RelativeWidth { max_frames, .. } => max_frames,
+    };
+    if c.frames() < budget {
         obs.incr(Class::Count, &format!("engine.p{point}.early_stop"), 1);
+    }
+    if cfg.stop_rule.is_adaptive() {
+        obs.incr(
+            Class::Count,
+            &format!("engine.p{point}.adaptive_rounds"),
+            state.rounds,
+        );
+        obs.incr(
+            Class::Count,
+            &format!("engine.p{point}.frames_saved_vs_budget"),
+            budget.saturating_sub(c.frames()),
+        );
+        let rhw = wilson_interval(c.frame_errors(), c.frames(), z).relative_half_width();
+        obs.incr(
+            Class::Count,
+            &format!("engine.p{point}.ci_half_width_ppm"),
+            (rhw * 1e6).round() as u64,
+        );
     }
 }
 
@@ -600,8 +716,72 @@ struct CurveCtx<'env> {
     modulator: &'env BpskModulator,
     cfg: &'env EngineConfig,
     round_quota: u64,
+    /// Normal quantile matching the adaptive confidence level (unused in
+    /// fixed-budget mode).  Derived from the configuration alone.
+    z: f64,
     /// Whether shard jobs should fill a private metric registry.
     observed: bool,
+}
+
+/// Largest adaptive round, as a multiple of the configured round quota.
+/// Growth rounds are capped so the scheduler re-projects from fresh merged
+/// counts instead of committing the whole remaining budget to a projection
+/// made from an early, noisy estimate.
+const ADAPTIVE_ROUND_GROWTH: u64 = 4;
+
+/// Frames `point` should be granted in its next round — `0` once its
+/// stopping rule fires and the point releases its budget.  A pure function
+/// of the merged counter and the configuration: no clocks, no completion
+/// order, no worker count.
+fn next_round_frames(ctx: &CurveCtx<'_>, counter: &ErrorCounter) -> u64 {
+    let cfg = ctx.cfg;
+    let base = ctx.round_quota.max(1);
+    match cfg.stop_rule {
+        StopRule::FixedBudget => {
+            if cfg.stop.should_stop(counter) {
+                return 0;
+            }
+            // `should_stop` guarantees frames < max_frames here, but keep
+            // the subtraction saturating so a future stopping rule cannot
+            // turn an off-by-one into a u64 underflow and a near-infinite
+            // round.
+            let remaining = cfg.stop.max_frames.saturating_sub(counter.frames());
+            remaining.min(base)
+        }
+        StopRule::RelativeWidth {
+            target_rel_width,
+            max_frames,
+            ..
+        } => {
+            let frames = counter.frames();
+            if frames >= max_frames {
+                return 0;
+            }
+            let rhw = wilson_interval(counter.frame_errors(), frames, ctx.z).relative_half_width();
+            if frames >= cfg.stop.min_frames && rhw <= target_rel_width {
+                return 0;
+            }
+            let remaining = max_frames - frames;
+            if frames == 0 {
+                return base.min(remaining);
+            }
+            // The relative half-width shrinks roughly as 1/sqrt(n) at a
+            // fixed error rate, so project the total frames needed and ask
+            // for the difference — clamped below to one full round (tiny
+            // top-ups would strand shards idle) and above to a growth
+            // limit (re-steer from fresher counts before committing more).
+            let ratio = rhw / target_rel_width;
+            let projected_total = (frames as f64 * ratio * ratio).ceil();
+            let needed_f = (projected_total - frames as f64).max(0.0);
+            let ceiling = base.saturating_mul(ADAPTIVE_ROUND_GROWTH);
+            let needed = if needed_f >= ceiling as f64 {
+                ceiling
+            } else {
+                needed_f as u64
+            };
+            needed.max(base).min(remaining)
+        }
+    }
 }
 
 /// Builds the jobs of `point`'s next scheduling round, or an empty vector
@@ -612,18 +792,119 @@ fn schedule_round<'env>(
     state: &mut PointState,
     point: usize,
 ) -> Vec<Job<'env, ShardResult>> {
-    let cfg = ctx.cfg;
-    if cfg.stop.should_stop(&state.total.counter) {
+    let round = next_round_frames(ctx, &state.total.counter);
+    if round == 0 {
+        state.in_flight = 0;
         return Vec::new();
     }
-    // `should_stop` guarantees frames < max_frames here, but keep the
-    // subtraction saturating so a future stopping rule cannot turn an
-    // off-by-one into a u64 underflow and a near-infinite round.
-    let remaining = cfg
-        .stop
-        .max_frames
-        .saturating_sub(state.total.counter.frames());
-    let round = remaining.min(ctx.round_quota.max(1));
+    build_round_jobs(ctx, state, point, round)
+}
+
+/// Builds one lockstep *global* round for the optional adaptive curve-wide
+/// frame cap: called only at a curve-wide round boundary (no job of any
+/// point in flight), it computes every still-running point's desired next
+/// round from its merged counts and, when the remaining global budget
+/// cannot cover the sum, rebalances proportionally — floor-scaled shares
+/// with the leftover frames handed out in point-index order.  Every input
+/// is merged state at a deterministic barrier, so the rebalanced schedule
+/// is bit-identical at any worker count.
+fn schedule_global_round<'env>(
+    ctx: &CurveCtx<'env>,
+    states: &mut [PointState],
+) -> Vec<Job<'env, ShardResult>> {
+    let cap = ctx
+        .cfg
+        .global_frame_cap
+        .expect("lockstep global rounds require a global frame cap");
+    let used: u64 = states.iter().map(|s| s.total.counter.frames()).sum();
+    let budget = cap.saturating_sub(used);
+    let desired: Vec<u64> = states
+        .iter()
+        .map(|s| next_round_frames(ctx, &s.total.counter))
+        .collect();
+    let total: u64 = desired.iter().sum();
+    let grants = if total <= budget {
+        desired
+    } else {
+        let mut grants: Vec<u64> = desired
+            .iter()
+            .map(|&d| (d as u128 * budget as u128 / total as u128) as u64)
+            .collect();
+        let mut leftover = budget - grants.iter().sum::<u64>();
+        while leftover > 0 {
+            let mut progressed = false;
+            for (grant, &want) in grants.iter_mut().zip(&desired) {
+                if leftover > 0 && *grant < want {
+                    *grant += 1;
+                    leftover -= 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        grants
+    };
+    let mut jobs = Vec::new();
+    for (point, &grant) in grants.iter().enumerate() {
+        if grant > 0 {
+            jobs.extend(build_round_jobs(ctx, &mut states[point], point, grant));
+        } else {
+            states[point].in_flight = 0;
+        }
+    }
+    jobs
+}
+
+/// Merges one finished `(point, shard)` job back into the curve state and
+/// returns the next round's jobs, if this completion closed a round
+/// boundary: the point's own boundary in independent mode, the curve-wide
+/// boundary in lockstep-global-cap mode.
+fn on_shard_done<'env>(
+    ctx: &CurveCtx<'env>,
+    states: &mut [PointState],
+    curve_in_flight: &mut usize,
+    id: usize,
+    rng: StdRng,
+    acc: PointAccumulator,
+) -> Vec<Job<'env, ShardResult>> {
+    let shards = ctx.cfg.shards;
+    let (point, shard) = (id / shards, id % shards);
+    {
+        let state = &mut states[point];
+        state.rngs[shard] = Some(rng);
+        state.total.merge(&acc);
+        state.in_flight -= 1;
+    }
+    *curve_in_flight -= 1;
+    let next = if ctx.cfg.global_frame_cap.is_some() {
+        if *curve_in_flight == 0 {
+            schedule_global_round(ctx, states)
+        } else {
+            Vec::new()
+        }
+    } else {
+        let state = &mut states[point];
+        if state.in_flight == 0 {
+            schedule_round(ctx, state, point)
+        } else {
+            Vec::new()
+        }
+    };
+    *curve_in_flight += next.len();
+    next
+}
+
+/// Builds the `(point, shard)` jobs of one `round`-frame scheduling round,
+/// splitting the frames over the point's shard streams.
+fn build_round_jobs<'env>(
+    ctx: &CurveCtx<'env>,
+    state: &mut PointState,
+    point: usize,
+    round: u64,
+) -> Vec<Job<'env, ShardResult>> {
+    let cfg = ctx.cfg;
     let shards = state.rngs.len();
     let counts = split_round(round, shards);
 
@@ -873,6 +1154,7 @@ mod tests {
             seed: 99,
             batch_frames: 1,
             stop,
+            ..EngineConfig::default()
         })
     }
 
@@ -930,6 +1212,7 @@ mod tests {
                     seed: 99,
                     batch_frames: batch,
                     stop,
+                    ..EngineConfig::default()
                 });
                 let point = eng.run_point(&codec, 1.0);
                 assert_eq!(point, reference, "workers = {workers}, batch = {batch}");
@@ -1125,6 +1408,7 @@ mod tests {
                     seed: 99,
                     batch_frames: batch,
                     stop,
+                    ..EngineConfig::default()
                 });
                 let mut obs = Registry::new();
                 let curve = eng.run_curve_observed(&codec, &snrs, &clock, &mut obs);
@@ -1136,6 +1420,211 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// An adaptive engine tuned for cheap tests: 8 shards x 4 frames per
+    /// round (base round 32), 30% width target at 90% confidence, 2000-frame
+    /// per-point cap.
+    fn adaptive_engine(workers: usize, batch: usize) -> SimulationEngine {
+        SimulationEngine::new(
+            EngineConfig::adaptive(2_000, 0.3, 0.9, 99)
+                .with_shards(8)
+                .with_workers(workers)
+                .with_batch_frames(batch),
+        )
+    }
+
+    #[test]
+    fn adaptive_counts_identical_for_any_worker_and_batch_size() {
+        // The tentpole contract: the adaptive schedule is a pure function of
+        // the merged counts, so counts and frame totals are bit-identical at
+        // any (workers, batch) combination.
+        let codec = Repetition { k: 24 };
+        let snrs = [0.0, 2.0];
+        let reference = adaptive_engine(1, 1).run_curve(&codec, &snrs);
+        for workers in [2, 8] {
+            for batch in [1, 8] {
+                let curve = adaptive_engine(workers, batch).run_curve(&codec, &snrs);
+                assert_eq!(curve, reference, "workers = {workers}, batch = {batch}");
+            }
+        }
+        // The noisy low-SNR point must have released its budget early...
+        let p0 = &reference.points[0];
+        assert!(p0.frames < 2_000, "frames = {}", p0.frames);
+        assert!(p0.frame_errors > 0);
+        // ...and only because it actually reached the width target.
+        let z = normal_quantile(0.5 + 0.9 / 2.0);
+        let rhw = wilson_interval(p0.frame_errors, p0.frames, z).relative_half_width();
+        assert!(rhw <= 0.3, "stopped at relative half-width {rhw}");
+    }
+
+    #[test]
+    fn adaptive_never_undershoots_min_frames() {
+        // Every frame errs, so the width target is met almost immediately;
+        // the point must still honour min_frames before stopping.
+        let mut cfg = EngineConfig::adaptive(10_000, 0.3, 0.9, 7).with_shards(8);
+        cfg.stop.min_frames = 100; // above the 32-frame base round
+        cfg.frames_per_shard_round = 4;
+        let point = SimulationEngine::new(cfg).run_point(&AlwaysWrong, 0.0);
+        assert!(point.frames >= 100, "frames = {}", point.frames);
+        assert!(point.frames < 10_000, "the width target should stop early");
+    }
+
+    #[test]
+    fn adaptive_spends_fewer_frames_than_the_fixed_budget() {
+        // Same codec, same cap: the adaptive run must finish the noisy point
+        // well under the uniform budget (this is the whole point).
+        let codec = Repetition { k: 24 };
+        let fixed = SimulationEngine::new(EngineConfig::fixed_frames(2_000, 99).with_shards(8))
+            .run_point(&codec, 0.0);
+        let adaptive = adaptive_engine(0, 1).run_point(&codec, 0.0);
+        assert_eq!(fixed.frames, 2_000);
+        assert!(
+            adaptive.frames * 2 <= fixed.frames,
+            "adaptive used {} of {} frames",
+            adaptive.frames,
+            fixed.frames
+        );
+    }
+
+    #[test]
+    fn global_frame_cap_is_honoured_and_deterministic() {
+        let codec = Repetition { k: 24 };
+        let snrs = [0.0, 2.0, 4.0];
+        let engine = |workers: usize, batch: usize| {
+            SimulationEngine::new(
+                EngineConfig::adaptive(2_000, 0.05, 0.95, 99)
+                    .with_shards(8)
+                    .with_workers(workers)
+                    .with_batch_frames(batch)
+                    .with_global_frame_cap(Some(700)),
+            )
+        };
+        let reference = engine(1, 1).run_curve(&codec, &snrs);
+        let total: u64 = reference.points.iter().map(|p| p.frames).sum();
+        assert!(total <= 700, "total = {total}");
+        // The 5% target is unreachable under this budget, so the cap binds.
+        assert!(
+            total >= 650,
+            "the budget should be nearly exhausted: {total}"
+        );
+        for workers in [2, 8] {
+            for batch in [1, 8] {
+                let curve = engine(workers, batch).run_curve(&codec, &snrs);
+                assert_eq!(curve, reference, "workers = {workers}, batch = {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_observed_counts_and_metrics_are_deterministic() {
+        let codec = Repetition { k: 24 };
+        let clock = fec_obs::ManualClock::new();
+        let snrs = [0.0, 2.0];
+        let mut reference_obs = Registry::new();
+        let reference =
+            adaptive_engine(1, 1).run_curve_observed(&codec, &snrs, &clock, &mut reference_obs);
+        let reference_counts = reference_obs.render_counts();
+        for name in [
+            "engine.p0.adaptive_rounds",
+            "engine.p0.frames_saved_vs_budget",
+            "engine.p0.ci_half_width_ppm",
+            "engine.p1.ci_half_width_ppm",
+        ] {
+            assert!(reference_obs.counter(name).is_some(), "missing {name}");
+        }
+        // frames + saved == budget, and the reported width is under target.
+        assert_eq!(
+            reference_obs.counter("engine.p0.frames").unwrap()
+                + reference_obs
+                    .counter("engine.p0.frames_saved_vs_budget")
+                    .unwrap(),
+            2_000
+        );
+        assert!(
+            reference_obs
+                .counter("engine.p0.ci_half_width_ppm")
+                .unwrap()
+                <= 300_000
+        );
+        for workers in [2, 8] {
+            for batch in [1, 8] {
+                let mut obs = Registry::new();
+                let curve = adaptive_engine(workers, batch)
+                    .run_curve_observed(&codec, &snrs, &clock, &mut obs);
+                assert_eq!(curve, reference, "workers = {workers}, batch = {batch}");
+                assert_eq!(
+                    obs.render_counts(),
+                    reference_counts,
+                    "workers = {workers}, batch = {batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_adaptive_configs() {
+        // Degenerate width target / confidence / cap, surfaced through
+        // EngineConfig::validate with field-named messages.
+        let err = EngineConfig::adaptive(1_000, 1.5, 0.95, 1)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("target_rel_width"), "{err}");
+        let err = EngineConfig::adaptive(1_000, 0.2, 0.4, 1)
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("confidence"), "{err}");
+        let mut cfg = EngineConfig::adaptive(1_000, 0.2, 0.95, 1);
+        cfg.stop_rule = StopRule::RelativeWidth {
+            target_rel_width: 0.2,
+            confidence: 0.95,
+            max_frames: 0,
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("max_frames"), "{err}");
+        // min_frames above the adaptive cap can never be honoured.
+        let mut cfg = EngineConfig::adaptive(100, 0.2, 0.95, 1);
+        cfg.stop.min_frames = 101;
+        cfg.stop.max_frames = 101;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("min_frames"), "{err}");
+        // A global cap makes no sense with a fixed budget.
+        let cfg = EngineConfig::default().with_global_frame_cap(Some(100));
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("global_frame_cap"), "{err}");
+        // Zero global cap is rejected too.
+        let cfg = EngineConfig::adaptive(1_000, 0.2, 0.95, 1).with_global_frame_cap(Some(0));
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("global_frame_cap"), "{err}");
+        assert!(EngineConfig::adaptive(1_000, 0.2, 0.95, 1)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn fixed_budget_outputs_match_the_pre_adaptive_golden_counts() {
+        // Byte-identity guard for the fixed-budget mode: these counts were
+        // produced by the engine before the adaptive stop rule existed (the
+        // vendored RNG makes them stable across toolchains).  If this test
+        // fails, the FixedBudget scheduling path changed behaviour — which
+        // breaks the CI bench_diff trajectory gates.
+        let codec = Repetition { k: 24 };
+        let eng = SimulationEngine::new(EngineConfig::fixed_frames(400, 2012).with_shards(8));
+        let point = eng.run_point(&codec, 1.0);
+        assert_eq!(point.frames, 400);
+        assert_eq!(
+            (point.bit_errors, point.frame_errors),
+            (golden_repetition_counts().0, golden_repetition_counts().1),
+            "FixedBudget counts drifted: {point:?}"
+        );
+    }
+
+    /// The pre-adaptive reference counts for
+    /// `Repetition { k: 24 }`, 400 frames, seed 2012, 8 shards, 1.0 dB —
+    /// captured from the engine as of the commit before the adaptive stop
+    /// rule landed.
+    fn golden_repetition_counts() -> (u64, u64) {
+        (523, 307)
     }
 
     #[test]

@@ -89,8 +89,38 @@ pub fn registry_json(reg: &Registry) -> Json {
 ///   (`fixed.overwork_iters`) as a percentage of all iterations the batch
 ///   datapath executed (useful per-lane iterations + over-work).  Present
 ///   only when the lockstep decoder ran.
+/// * `adaptive_frames_saved_pct` — frames the adaptive stop rule left
+///   unspent (`engine.p{i}.frames_saved_vs_budget`, summed over all curve
+///   points) as a percentage of the total per-point budget.  Present only
+///   when the engine ran in adaptive mode.
 fn derived_json(reg: &Registry) -> Json {
     let mut pairs = Vec::new();
+    let mut saved_total = 0u64;
+    let mut spent_total = 0u64;
+    let mut adaptive = false;
+    for (name, metric) in reg.iter() {
+        let Some(point) = name
+            .strip_prefix("engine.p")
+            .and_then(|rest| rest.strip_suffix(".frames_saved_vs_budget"))
+        else {
+            continue;
+        };
+        let MetricValue::Counter(saved) = metric.value else {
+            continue;
+        };
+        adaptive = true;
+        saved_total += saved;
+        spent_total += reg.counter(&format!("engine.p{point}.frames")).unwrap_or(0);
+    }
+    if adaptive {
+        let budget = saved_total + spent_total;
+        if budget > 0 {
+            pairs.push((
+                "adaptive_frames_saved_pct",
+                Json::from(100.0 * saved_total as f64 / budget as f64),
+            ));
+        }
+    }
     if let (Some(overwork), Some(lanes)) = (
         reg.counter("fixed.overwork_iters"),
         reg.get("fixed.lane_iterations"),
@@ -176,6 +206,33 @@ mod tests {
         let err = check_obs_json(&Json::parse(r#"{"counts":{}}"#).unwrap()).unwrap_err();
         assert!(err.iter().any(|p| p.contains("execution")), "{err:?}");
         assert!(err.iter().any(|p| p.contains("codec.frames")), "{err:?}");
+    }
+
+    #[test]
+    fn adaptive_frames_saved_pct_is_derived_from_the_point_counters() {
+        let mut reg = sample_registry();
+        // Two adaptive points: 300 of 1000 and 900 of 1000 frames spent.
+        reg.incr(Class::Count, "engine.p0.frames", 300);
+        reg.incr(Class::Count, "engine.p0.frames_saved_vs_budget", 700);
+        reg.incr(Class::Count, "engine.p1.frames", 900);
+        reg.incr(Class::Count, "engine.p1.frames_saved_vs_budget", 100);
+        let json = registry_json(&reg);
+        let pct = json
+            .get("derived")
+            .unwrap()
+            .get("adaptive_frames_saved_pct")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((pct - 100.0 * 800.0 / 2000.0).abs() < 1e-9, "{pct}");
+        // Fixed-budget runs never emit the saved counter, so the derived
+        // field is absent.
+        let plain = registry_json(&sample_registry());
+        assert!(plain
+            .get("derived")
+            .unwrap()
+            .get("adaptive_frames_saved_pct")
+            .is_none());
     }
 
     #[test]

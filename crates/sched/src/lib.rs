@@ -177,6 +177,16 @@ impl<'env, T> JobSink<'env, T> {
     pub fn submit(&mut self, job: Job<'env, T>) {
         self.buffered.push(job);
     }
+
+    /// Queues a whole round of follow-up jobs; continuation schedulers that
+    /// build rounds as batches (e.g. the adaptive Monte-Carlo engine) submit
+    /// them in one call.  Equivalent to calling [`submit`] for each job in
+    /// order.
+    ///
+    /// [`submit`]: JobSink::submit
+    pub fn submit_all(&mut self, jobs: impl IntoIterator<Item = Job<'env, T>>) {
+        self.buffered.extend(jobs);
+    }
 }
 
 impl<T> std::fmt::Debug for JobSink<'_, T> {
@@ -201,6 +211,13 @@ impl<'scope, 'env, T: Send + 'env> ObservedSink<'scope, 'env, T> {
     pub fn submit(&mut self, job: Job<'env, T>) {
         self.submitted += 1;
         self.inner.submit(wrap_job(job, self.clock));
+    }
+
+    /// Queues a whole round of follow-up jobs (see [`JobSink::submit_all`]).
+    pub fn submit_all(&mut self, jobs: impl IntoIterator<Item = Job<'env, T>>) {
+        for job in jobs {
+            self.submit(job);
+        }
     }
 }
 

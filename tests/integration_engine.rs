@@ -111,6 +111,60 @@ fn quantized_ldpc_counts_are_identical_for_any_worker_and_batch_size() {
     }
 }
 
+/// The adaptive (confidence-targeted) stop rule satisfies the full
+/// determinism contract with the real fixed-point q7 LDPC codec in the
+/// loop: round sizes are a pure function of the merged counts, so every
+/// (workers, batch_frames) combination reproduces the single-threaded
+/// unbatched schedule bit for bit — same frames, same error counts, same
+/// early stop.
+#[test]
+fn adaptive_quantized_ldpc_counts_are_identical_for_any_worker_and_batch_size() {
+    let codec = quantized_ldpc_codec();
+    let adaptive = |workers: usize, batch: usize| {
+        SimulationEngine::new(
+            EngineConfig::adaptive(512, 0.35, 0.9, 2012)
+                .with_workers(workers)
+                .with_batch_frames(batch),
+        )
+    };
+    // 1.0 dB on n576 r=1/2 errors often enough that the width target is
+    // reachable well inside the cap — the adaptive path actually stops.
+    let reference = adaptive(1, 1).run_point(&codec, 1.0);
+    assert!(
+        reference.frames < 512,
+        "the stop rule should fire before the cap (frames = {})",
+        reference.frames
+    );
+    for workers in [1, 2, 8] {
+        for batch in [1, 8] {
+            let point = adaptive(workers, batch).run_point(&codec, 1.0);
+            assert_eq!(point, reference, "workers = {workers}, batch = {batch}");
+        }
+    }
+}
+
+/// An adaptive multi-point curve under a global frame cap stays bit-exact
+/// across worker counts with the real codec: rebalancing happens only at
+/// deterministic curve-wide round barriers.
+#[test]
+fn adaptive_curve_with_global_cap_is_identical_for_1_2_and_8_workers() {
+    let codec = quantized_ldpc_codec();
+    let run = |workers: usize| {
+        let engine = SimulationEngine::new(
+            EngineConfig::adaptive(512, 0.35, 0.9, 2012)
+                .with_global_frame_cap(Some(768))
+                .with_workers(workers),
+        );
+        engine.run_curve(&codec, &[1.0, 1.5, 2.0])
+    };
+    let reference = run(1);
+    let total: u64 = reference.points.iter().map(|p| p.frames).sum();
+    assert!(total <= 768, "global cap violated: {total} frames");
+    for workers in [2, 8] {
+        assert_eq!(run(workers), reference, "workers = {workers}");
+    }
+}
+
 /// The turbo codec satisfies the same worker-count invariance.
 #[test]
 fn turbo_counts_are_identical_for_1_2_and_8_workers() {
