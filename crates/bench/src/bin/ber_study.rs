@@ -54,23 +54,26 @@
 
 use code_tables::Standard;
 use decoder_bench::{
-    adaptive_flags_from_args, batch_frames_flag_from_args, dvb_rcs_turbo_codec,
-    json_flag_from_args, ldpc_codec, lte_turbo_codec, metrics_flags_from_args, print_curve,
-    quantized_ldpc_codec, run_curve_maybe_observed as run_observed, standard_flag_from_args,
-    standard_snrs, turbo_codec, wifi_ldpc_codec, workers_flag_from_args, wran_ldpc_codec,
-    write_json, AdaptiveFlags, BerCurve, LdpcFlavor, ObsCollector,
+    dvb_rcs_turbo_codec, ldpc_codec, lte_turbo_codec, print_curve, quantized_ldpc_codec,
+    run_curve_maybe_observed as run_observed, standard_snrs, study_engine_config, study_seed,
+    turbo_codec, wifi_ldpc_codec, wran_ldpc_codec, write_json, AdaptiveFlags, BerCurve, CodecClass,
+    CommonFlags, LdpcFlavor, ObsCollector,
 };
-use fec_channel::sim::{EngineConfig, SimulationEngine};
+use fec_channel::sim::SimulationEngine;
 use fec_json::{Json, ToJson};
 use wimax_turbo::ExtrinsicExchange;
 
 fn main() {
-    let (json_path, rest) = json_flag_from_args(std::env::args().skip(1));
-    let (metrics, rest) = metrics_flags_from_args(rest.into_iter());
-    let (standard, rest) = standard_flag_from_args(rest.into_iter());
-    let (workers, rest) = workers_flag_from_args(rest.into_iter());
-    let (batch, rest) = batch_frames_flag_from_args(rest.into_iter());
-    let (adaptive, rest) = adaptive_flags_from_args(rest.into_iter());
+    let flags = CommonFlags::parse(std::env::args().skip(1));
+    let CommonFlags {
+        json: json_path,
+        metrics,
+        standard,
+        workers,
+        batch_frames: batch,
+        adaptive,
+        rest,
+    } = flags;
     let standard = standard.unwrap_or(Standard::Wimax);
     let mut quantized = false;
     let mut lambda_bits: u32 = 7;
@@ -156,12 +159,16 @@ struct StudyCfg {
 impl StudyCfg {
     /// Builds the engine for one curve family, with the standard-specific
     /// RNG `seed` (fixed seeds keep the CI trajectory byte-identical).
+    /// Routes through [`study_engine_config`] — the same assembly the
+    /// `fec-svc` daemon uses — so CLI and daemon outputs are identical.
     fn engine(&self, seed: u64) -> SimulationEngine {
-        let cfg = match self.adaptive {
-            None => EngineConfig::fixed_frames(self.frames, seed),
-            Some(a) => EngineConfig::adaptive(self.frames, a.target_rel_width, a.confidence, seed),
-        };
-        SimulationEngine::new(cfg.with_workers(self.workers).with_batch_frames(self.batch))
+        SimulationEngine::new(study_engine_config(
+            self.frames,
+            self.workers,
+            self.batch,
+            self.adaptive,
+            seed,
+        ))
     }
 }
 
@@ -173,8 +180,8 @@ fn wimax_study(
 ) -> Vec<BerCurve> {
     let frames = study.frames;
     let snrs = standard_snrs(Standard::Wimax);
-    let ldpc_engine = study.engine(11);
-    let turbo_engine = study.engine(13);
+    let ldpc_engine = study.engine(study_seed(Standard::Wimax, CodecClass::Ldpc));
+    let turbo_engine = study.engine(study_seed(Standard::Wimax, CodecClass::Turbo));
 
     println!("WiMAX LDPC N = 576, r = 1/2 ({frames} frames per point)\n");
     let layered = run_observed(
@@ -240,7 +247,7 @@ fn wimax_study(
 fn wifi_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
     let frames = study.frames;
     let snrs = standard_snrs(Standard::Wifi80211n);
-    let engine = study.engine(17);
+    let engine = study.engine(study_seed(Standard::Wifi80211n, CodecClass::Ldpc));
 
     println!("802.11n LDPC N = 648, r = 1/2 ({frames} frames per point)\n");
     let layered = run_observed(
@@ -292,7 +299,7 @@ fn wifi_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve>
 fn wran_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
     let frames = study.frames;
     let snrs = standard_snrs(Standard::Wran80222);
-    let engine = study.engine(23);
+    let engine = study.engine(study_seed(Standard::Wran80222, CodecClass::Ldpc));
 
     println!("802.22 LDPC N = 480, r = 1/2 ({frames} frames per point)\n");
     let layered = run_observed(
@@ -344,7 +351,7 @@ fn wran_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve>
 fn dvbrcs_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
     let frames = study.frames;
     let snrs = standard_snrs(Standard::DvbRcs);
-    let engine = study.engine(29);
+    let engine = study.engine(study_seed(Standard::DvbRcs, CodecClass::Turbo));
 
     println!("DVB-RCS CTC 212 couples (ATM cell), rate 1/2 ({frames} frames per point)\n");
     let bit = run_observed(
@@ -386,7 +393,7 @@ fn dvbrcs_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurv
 fn lte_study(study: &StudyCfg, obs: &mut Option<ObsCollector>) -> Vec<BerCurve> {
     let frames = study.frames;
     let snrs = standard_snrs(Standard::Lte);
-    let engine = study.engine(19);
+    let engine = study.engine(study_seed(Standard::Lte, CodecClass::Turbo));
 
     println!("LTE turbo K = 1024, r = 1/3 ({frames} frames per point)\n");
     let k1024 = run_observed(&engine, lte_turbo_codec(1024).as_ref(), snrs, obs);

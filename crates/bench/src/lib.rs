@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod ber;
+pub mod cli;
 pub mod harness;
 pub mod obs;
 pub mod results;
@@ -24,6 +25,7 @@ pub use ber::{
     run_ldpc_ber, run_turbo_ber, standard_snrs, turbo_codec, wifi_ldpc_codec, wran_ldpc_codec,
     BerCurve, BerPoint, LdpcFlavor,
 };
+pub use cli::{study_engine_config, study_seed, CodecClass, CommonFlags};
 pub use harness::{bench, BenchReport};
 pub use obs::{
     check_obs_json, metrics_flags_from_args, registry_json, run_curve_maybe_observed, ObsCollector,

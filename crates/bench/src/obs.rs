@@ -93,55 +93,7 @@ pub fn run_curve_maybe_observed(
     }
 }
 
-/// Extracts the `--metrics <path>` and `--metrics-report` flags from a raw
-/// argument list, returning the parsed options and the remaining arguments
-/// in order — the shared parser behind every binary's observability
-/// support.
-///
-/// # Panics
-///
-/// Panics if `--metrics` is given without a following path.
-pub fn metrics_flags_from_args(args: impl Iterator<Item = String>) -> (ObsOptions, Vec<String>) {
-    let mut opts = ObsOptions::default();
-    let mut rest = Vec::new();
-    let mut args = args;
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--metrics" => {
-                let value = args
-                    .next()
-                    .expect("--metrics requires a file path argument");
-                opts.path = Some(PathBuf::from(value));
-            }
-            "--metrics-report" => opts.report = true,
-            _ => rest.push(arg),
-        }
-    }
-    (opts, rest)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn metrics_flags_are_extracted_anywhere() {
-        let (opts, rest) = metrics_flags_from_args(
-            ["--quick", "--metrics", "OBS.json", "--metrics-report", "60"]
-                .map(String::from)
-                .into_iter(),
-        );
-        assert_eq!(opts.path.as_deref(), Some(std::path::Path::new("OBS.json")));
-        assert!(opts.report);
-        assert!(opts.enabled());
-        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
-        let (opts, _) = metrics_flags_from_args(["60"].map(String::from).into_iter());
-        assert!(!opts.enabled());
-    }
-
-    #[test]
-    #[should_panic(expected = "--metrics requires")]
-    fn dangling_metrics_flag_panics() {
-        let _ = metrics_flags_from_args(["--metrics"].map(String::from).into_iter());
-    }
-}
+/// The `--metrics` / `--metrics-report` parser, hosted in [`crate::cli`]
+/// with the rest of the shared flag parsers (re-exported here for
+/// compatibility).
+pub use crate::cli::metrics_flags_from_args;

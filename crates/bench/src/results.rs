@@ -2,167 +2,17 @@
 //!
 //! Every `decoder-bench` binary accepts `--json <path>`: the produced rows
 //! (BER curves, table rows) are then written as pretty-printed JSON for
-//! trajectory tracking across commits.
+//! trajectory tracking across commits.  The flag parsers formerly hosted
+//! here live in [`crate::cli`] (re-exported below for compatibility).
 
-use code_tables::Standard;
 use fec_json::{Json, ToJson};
 use std::io::Write;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// Extracts a `--json <path>` flag from a raw argument list, returning the
-/// path (if present) and the remaining arguments in order.
-///
-/// # Panics
-///
-/// Panics if `--json` is given without a following path.
-pub fn json_flag_from_args(args: impl Iterator<Item = String>) -> (Option<PathBuf>, Vec<String>) {
-    let mut path = None;
-    let mut rest = Vec::new();
-    let mut args = args;
-    while let Some(arg) = args.next() {
-        if arg == "--json" {
-            let value = args.next().expect("--json requires a file path argument");
-            path = Some(PathBuf::from(value));
-        } else {
-            rest.push(arg);
-        }
-    }
-    (path, rest)
-}
-
-/// Extracts a `--standard <name>` flag from a raw argument list, returning
-/// the parsed standard (if present) and the remaining arguments in order —
-/// the shared parser behind every binary's `--standard` support.
-///
-/// # Panics
-///
-/// Panics if `--standard` is given without a name or with an unknown one.
-pub fn standard_flag_from_args(
-    args: impl Iterator<Item = String>,
-) -> (Option<Standard>, Vec<String>) {
-    let mut standard = None;
-    let mut rest = Vec::new();
-    let mut args = args;
-    while let Some(arg) = args.next() {
-        if arg == "--standard" {
-            let value = args.next().expect("--standard requires a name");
-            standard = Some(value.parse().unwrap_or_else(|e| panic!("{e}")));
-        } else {
-            rest.push(arg);
-        }
-    }
-    (standard, rest)
-}
-
-/// Extracts a `--workers <n>` flag from a raw argument list, returning the
-/// worker count (`0` = one per core, also the default when the flag is
-/// absent) and the remaining arguments in order — the shared parser behind
-/// every binary's work-pool `--workers` support.
-///
-/// # Panics
-///
-/// Panics if `--workers` is given without a count or with a non-integer.
-pub fn workers_flag_from_args(args: impl Iterator<Item = String>) -> (usize, Vec<String>) {
-    let mut workers = 0usize;
-    let mut rest = Vec::new();
-    let mut args = args;
-    while let Some(arg) = args.next() {
-        if arg == "--workers" {
-            let value = args.next().expect("--workers requires a thread count");
-            workers = value.parse().expect("--workers takes an integer");
-        } else {
-            rest.push(arg);
-        }
-    }
-    (workers, rest)
-}
-
-/// Extracts a `--batch-frames <n>` flag from a raw argument list, returning
-/// the decode batch size (default `1`: the classic one-frame-at-a-time loop,
-/// byte-for-byte identical output) and the remaining arguments in order —
-/// the shared parser behind every binary's batched-decode support.
-///
-/// # Panics
-///
-/// Panics if `--batch-frames` is given without a count, with a non-integer,
-/// or with `0` (a batch must hold at least one frame).
-pub fn batch_frames_flag_from_args(args: impl Iterator<Item = String>) -> (usize, Vec<String>) {
-    let mut batch = 1usize;
-    let mut rest = Vec::new();
-    let mut args = args;
-    while let Some(arg) = args.next() {
-        if arg == "--batch-frames" {
-            let value = args.next().expect("--batch-frames requires a frame count");
-            batch = value.parse().expect("--batch-frames takes an integer");
-            assert!(batch > 0, "--batch-frames must be at least 1");
-        } else {
-            rest.push(arg);
-        }
-    }
-    (batch, rest)
-}
-
-/// Adaptive stop-rule settings parsed from the command line: the study
-/// runs each curve point until the Wilson relative half-width of its FER
-/// estimate reaches `target_rel_width` at the two-sided `confidence` level
-/// (the per-point frame argument becomes the hard cap).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct AdaptiveFlags {
-    /// Target relative half-width of the FER confidence interval, in (0, 1).
-    pub target_rel_width: f64,
-    /// Two-sided confidence level of the interval, in (0.5, 1).
-    pub confidence: f64,
-}
-
-impl Default for AdaptiveFlags {
-    fn default() -> Self {
-        AdaptiveFlags {
-            target_rel_width: 0.2,
-            confidence: 0.95,
-        }
-    }
-}
-
-/// Extracts the adaptive Monte-Carlo flags from a raw argument list:
-/// `--adaptive` switches the engine to the confidence-targeted stop rule,
-/// `--target-rel-width <f>` (default 0.2) and `--confidence <f>` (default
-/// 0.95) tune it (each implies `--adaptive`).  Returns `None` and the
-/// remaining arguments when no adaptive flag is present — the shared parser
-/// behind every binary's adaptive-mode support.
-///
-/// # Panics
-///
-/// Panics if `--target-rel-width` / `--confidence` is given without a value
-/// or with a non-number.  (Range validation happens in
-/// `EngineConfig::validate`, which names the offending field.)
-pub fn adaptive_flags_from_args(
-    args: impl Iterator<Item = String>,
-) -> (Option<AdaptiveFlags>, Vec<String>) {
-    let mut adaptive = None;
-    let mut rest = Vec::new();
-    let mut args = args;
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--adaptive" => {
-                adaptive.get_or_insert_with(AdaptiveFlags::default);
-            }
-            "--target-rel-width" => {
-                let value = args.next().expect("--target-rel-width requires a fraction");
-                adaptive
-                    .get_or_insert_with(AdaptiveFlags::default)
-                    .target_rel_width = value.parse().expect("--target-rel-width takes a number");
-            }
-            "--confidence" => {
-                let value = args.next().expect("--confidence requires a level");
-                adaptive
-                    .get_or_insert_with(AdaptiveFlags::default)
-                    .confidence = value.parse().expect("--confidence takes a number");
-            }
-            _ => rest.push(arg),
-        }
-    }
-    (adaptive, rest)
-}
+pub use crate::cli::{
+    adaptive_flags_from_args, batch_frames_flag_from_args, json_flag_from_args,
+    standard_flag_from_args, workers_flag_from_args, AdaptiveFlags,
+};
 
 /// Writes `value` to `path` as pretty-printed JSON (with a trailing
 /// newline), creating parent directories as needed.
@@ -197,134 +47,6 @@ pub use fec_json::StreamedRows;
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_flag_is_extracted_anywhere() {
-        let (path, rest) = json_flag_from_args(
-            ["--quick", "--json", "out/x.json", "60"]
-                .map(String::from)
-                .into_iter(),
-        );
-        assert_eq!(path.unwrap(), PathBuf::from("out/x.json"));
-        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
-    }
-
-    #[test]
-    fn standard_flag_is_extracted_anywhere() {
-        let (standard, rest) = standard_flag_from_args(
-            ["--quick", "--standard", "80211n", "60"]
-                .map(String::from)
-                .into_iter(),
-        );
-        assert_eq!(standard, Some(Standard::Wifi80211n));
-        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
-        let (standard, rest) = standard_flag_from_args(["60"].map(String::from).into_iter());
-        assert_eq!(standard, None);
-        assert_eq!(rest, vec!["60".to_string()]);
-    }
-
-    #[test]
-    fn workers_flag_is_extracted_anywhere_and_defaults_to_per_core() {
-        let (workers, rest) = workers_flag_from_args(
-            ["--quick", "--workers", "8", "60"]
-                .map(String::from)
-                .into_iter(),
-        );
-        assert_eq!(workers, 8);
-        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
-        let (workers, rest) = workers_flag_from_args(["60"].map(String::from).into_iter());
-        assert_eq!(workers, 0);
-        assert_eq!(rest, vec!["60".to_string()]);
-    }
-
-    #[test]
-    #[should_panic(expected = "--workers requires")]
-    fn dangling_workers_flag_panics() {
-        let _ = workers_flag_from_args(["--workers"].map(String::from).into_iter());
-    }
-
-    #[test]
-    fn adaptive_flags_are_extracted_anywhere_with_defaults() {
-        let (adaptive, rest) = adaptive_flags_from_args(
-            ["--quick", "--adaptive", "60"]
-                .map(String::from)
-                .into_iter(),
-        );
-        assert_eq!(adaptive, Some(AdaptiveFlags::default()));
-        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
-
-        // Tuning flags imply --adaptive on their own.
-        let (adaptive, rest) = adaptive_flags_from_args(
-            ["--target-rel-width", "0.1", "--confidence", "0.99", "60"]
-                .map(String::from)
-                .into_iter(),
-        );
-        let adaptive = adaptive.unwrap();
-        assert_eq!(adaptive.target_rel_width, 0.1);
-        assert_eq!(adaptive.confidence, 0.99);
-        assert_eq!(rest, vec!["60".to_string()]);
-
-        let (adaptive, rest) = adaptive_flags_from_args(["60"].map(String::from).into_iter());
-        assert_eq!(adaptive, None);
-        assert_eq!(rest, vec!["60".to_string()]);
-    }
-
-    #[test]
-    #[should_panic(expected = "--target-rel-width requires")]
-    fn dangling_target_rel_width_flag_panics() {
-        let _ = adaptive_flags_from_args(["--target-rel-width"].map(String::from).into_iter());
-    }
-
-    #[test]
-    fn batch_frames_flag_is_extracted_anywhere_and_defaults_to_one() {
-        let (batch, rest) = batch_frames_flag_from_args(
-            ["--quick", "--batch-frames", "8", "60"]
-                .map(String::from)
-                .into_iter(),
-        );
-        assert_eq!(batch, 8);
-        assert_eq!(rest, vec!["--quick".to_string(), "60".to_string()]);
-        let (batch, rest) = batch_frames_flag_from_args(["60"].map(String::from).into_iter());
-        assert_eq!(batch, 1);
-        assert_eq!(rest, vec!["60".to_string()]);
-    }
-
-    #[test]
-    #[should_panic(expected = "--batch-frames requires")]
-    fn dangling_batch_frames_flag_panics() {
-        let _ = batch_frames_flag_from_args(["--batch-frames"].map(String::from).into_iter());
-    }
-
-    #[test]
-    #[should_panic(expected = "at least 1")]
-    fn zero_batch_frames_panics() {
-        let _ = batch_frames_flag_from_args(["--batch-frames", "0"].map(String::from).into_iter());
-    }
-
-    #[test]
-    #[should_panic(expected = "--standard requires")]
-    fn dangling_standard_flag_panics() {
-        let _ = standard_flag_from_args(["--standard"].map(String::from).into_iter());
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown standard")]
-    fn unknown_standard_panics() {
-        let _ = standard_flag_from_args(["--standard", "gsm"].map(String::from).into_iter());
-    }
-
-    #[test]
-    fn missing_flag_returns_none() {
-        let (path, rest) = json_flag_from_args(["abc"].map(String::from).into_iter());
-        assert!(path.is_none());
-        assert_eq!(rest, vec!["abc".to_string()]);
-    }
-
-    #[test]
-    #[should_panic(expected = "--json requires")]
-    fn dangling_flag_panics() {
-        let _ = json_flag_from_args(["--json"].map(String::from).into_iter());
-    }
 
     #[test]
     fn write_json_roundtrip() {

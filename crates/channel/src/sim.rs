@@ -82,7 +82,7 @@ use crate::stats::{normal_quantile, wilson_interval};
 use fec_fixed::Llr;
 use fec_json::{Json, ToJson};
 use fec_obs::{Class, Clock, Registry};
-use fec_sched::{Job, PoolObs, WorkPool};
+use fec_sched::{Job, JobOutcome, PoolObs, WorkPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -591,26 +591,33 @@ impl SimulationEngine {
         let mut curve_in_flight = initial.len();
         match observe {
             None => {
-                WorkPool::new(cfg.workers).run_jobs(initial, |id, (rng, acc, _), sink| {
-                    let next = on_shard_done(&ctx, &mut states, &mut curve_in_flight, id, rng, acc);
-                    sink.submit_all(next);
-                });
+                WorkPool::new(cfg.workers)
+                    .run()
+                    .jobs(initial, |id, outcome, sink| {
+                        let JobOutcome::Done((rng, acc, _)) = outcome else {
+                            unreachable!("engine shard jobs carry no cancel token")
+                        };
+                        let next =
+                            on_shard_done(&ctx, &mut states, &mut curve_in_flight, id, rng, acc);
+                        sink.submit_all(next);
+                    });
             }
             Some((clock, obs)) => {
                 let mut pool_obs = PoolObs::new();
-                WorkPool::new(cfg.workers).run_jobs_observed(
-                    initial,
-                    |id, (rng, acc, reg), sink| {
+                WorkPool::new(cfg.workers)
+                    .run()
+                    .observed(clock, &mut pool_obs)
+                    .jobs(initial, |id, outcome, sink| {
+                        let JobOutcome::Done((rng, acc, reg)) = outcome else {
+                            unreachable!("engine shard jobs carry no cancel token")
+                        };
                         if let Some(reg) = reg {
                             obs.merge(&reg);
                         }
                         let next =
                             on_shard_done(&ctx, &mut states, &mut curve_in_flight, id, rng, acc);
                         sink.submit_all(next);
-                    },
-                    clock,
-                    &mut pool_obs,
-                );
+                    });
                 pool_obs.record_into(obs, "pool");
                 obs.incr(Class::Count, "engine.points", ebn0_dbs.len() as u64);
                 for (i, state) in states.iter().enumerate() {

@@ -257,16 +257,15 @@ fn run_multi_compliance_inner(
         }
     };
     let results = match observe.as_mut() {
-        None => WorkPool::new(workers).run_indexed_with(cells.len(), task, &mut on_done),
+        None => WorkPool::new(workers)
+            .run()
+            .indexed_streamed(cells.len(), task, &mut on_done),
         Some((clock, obs)) => {
             let mut pool_obs = PoolObs::new();
-            let results = WorkPool::new(workers).run_indexed_observed(
-                cells.len(),
-                task,
-                &mut on_done,
-                *clock,
-                &mut pool_obs,
-            );
+            let results = WorkPool::new(workers)
+                .run()
+                .observed(*clock, &mut pool_obs)
+                .indexed_streamed(cells.len(), task, &mut on_done);
             pool_obs.record_into(obs, "pool");
             results
         }

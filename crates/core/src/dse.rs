@@ -245,7 +245,8 @@ impl DesignSpaceExplorer {
     ) -> Result<Vec<Table1Row>, DecoderError> {
         let points = Self::table1_points();
         WorkPool::new(workers)
-            .run_indexed_with(
+            .run()
+            .indexed_streamed(
                 points.len(),
                 |index| {
                     let (family, pes, row) = points[index];
@@ -282,7 +283,9 @@ impl DesignSpaceExplorer {
         let points = Self::table1_points();
         let mut pool_obs = PoolObs::new();
         let rows: Result<Vec<Table1Row>, DecoderError> = WorkPool::new(workers)
-            .run_indexed_observed(
+            .run()
+            .observed(clock, &mut pool_obs)
+            .indexed_streamed(
                 points.len(),
                 |index| {
                     let (family, pes, row) = points[index];
@@ -293,8 +296,6 @@ impl DesignSpaceExplorer {
                         on_row(index, row);
                     }
                 },
-                clock,
-                &mut pool_obs,
             )
             .into_iter()
             .collect();

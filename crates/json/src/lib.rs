@@ -527,6 +527,12 @@ impl<T: ToJson> ToJson for Vec<T> {
     }
 }
 
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,5 +636,13 @@ mod tests {
         }
         let v = vec![P(1), P(2)];
         assert_eq!(v.to_json().to_string(), "[1,2]");
+    }
+
+    #[test]
+    fn json_is_its_own_tojson() {
+        // Identity impl: lets already-built values flow through generic
+        // sinks like `StreamedRows::push`.
+        let v = Json::obj([("k", Json::from(1u64))]);
+        assert_eq!(v.to_json(), v);
     }
 }

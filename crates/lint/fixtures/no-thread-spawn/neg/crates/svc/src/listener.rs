@@ -1,0 +1,7 @@
+//! Negative fixture: a fec-svc transport thread carrying the reasoned
+//! allow the rule demands of the daemon crate.
+
+pub fn accept_loop() {
+    // fec-lint: allow(no-thread-spawn, socket acceptor thread of the daemon transport; decode fan-out still goes through the shared WorkPool)
+    std::thread::spawn(|| loop {});
+}

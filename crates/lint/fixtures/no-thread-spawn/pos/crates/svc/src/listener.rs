@@ -1,0 +1,7 @@
+//! Positive fixture: a daemon transport thread in fec-svc without the
+//! required reasoned allow comment — svc spawns are audited per-site, not
+//! exempted crate-wide like fec-sched.
+
+pub fn accept_loop() {
+    std::thread::spawn(|| loop {});
+}

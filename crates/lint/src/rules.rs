@@ -42,7 +42,7 @@ pub struct RuleInfo {
 /// iteration there can silently break the fixed-seed reproducibility
 /// contract.
 pub const RESULT_CRATES: &[&str] = &[
-    "ldpc", "turbo", "channel", "sched", "core", "codes", "noc", "mapping",
+    "ldpc", "turbo", "channel", "sched", "core", "codes", "noc", "mapping", "svc",
 ];
 
 /// Files forming the audited fixed-point datapath.
@@ -92,7 +92,8 @@ pub fn all_rules() -> Vec<RuleInfo> {
         RuleInfo {
             name: "no-thread-spawn",
             description: "thread::spawn/thread::scope are forbidden outside fec-sched; \
-                          all fan-out goes through the deterministic WorkPool",
+                          all fan-out goes through the deterministic WorkPool (fec-svc \
+                          transport threads need a reasoned allow, not an exemption)",
         },
         RuleInfo {
             name: "no-wall-clock",
@@ -199,10 +200,17 @@ fn check_hash_collections(file: &SourceFile, out: &mut Vec<Finding>) {
 
 /// determinism: no `thread::spawn` / `thread::scope` outside `fec-sched` —
 /// all fan-out goes through the deterministic `WorkPool`.
+///
+/// `fec-svc` is deliberately NOT exempted: its transport layer legitimately
+/// needs reader/acceptor threads, but each spawn site must carry a reasoned
+/// `// fec-lint: allow(no-thread-spawn, <why this thread is transport, not
+/// decode fan-out>)` so every thread in the daemon is individually audited
+/// rather than waved through crate-wide.
 fn check_thread_spawn(file: &SourceFile, out: &mut Vec<Finding>) {
     if file.crate_dir.as_deref() == Some("sched") {
         return;
     }
+    let in_svc = file.crate_dir.as_deref() == Some("svc");
     let toks = file.tokens();
     for i in 0..toks.len().saturating_sub(2) {
         if toks[i].kind == TokenKind::Ident
@@ -210,18 +218,24 @@ fn check_thread_spawn(file: &SourceFile, out: &mut Vec<Finding>) {
             && toks[i + 1].text == "::"
             && (toks[i + 2].text == "spawn" || toks[i + 2].text == "scope")
         {
-            push(
-                out,
-                "no-thread-spawn",
-                file,
-                &toks[i],
+            let message = if in_svc {
+                format!(
+                    "`thread::{}` in fec-svc without a reasoned allow: daemon \
+                     transport threads (stdio reader, socket acceptor, per-client \
+                     readers) are permitted only with an explicit \
+                     `// fec-lint: allow(no-thread-spawn, <reason>)` stating that \
+                     decode fan-out still goes through the shared WorkPool",
+                    toks[i + 2].text
+                )
+            } else {
                 format!(
                     "`thread::{}` outside fec-sched: ad-hoc threads bypass the \
                      WorkPool's index-order merge and its determinism guarantee; \
                      schedule the work as WorkPool tasks instead",
                     toks[i + 2].text
-                ),
-            );
+                )
+            };
+            push(out, "no-thread-spawn", file, &toks[i], message);
         }
     }
 }

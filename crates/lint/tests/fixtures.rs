@@ -68,9 +68,24 @@ fn no_hash_collections_fixtures() {
 
 #[test]
 fn no_thread_spawn_fixtures() {
+    // Two positives: an ad-hoc spawn in an ordinary crate, and a bare
+    // transport thread in fec-svc (which is NOT exempted like fec-sched —
+    // each svc spawn site needs a reasoned allow, see the neg tree).
     check_rule(
         "no-thread-spawn",
-        &[("no-thread-spawn", "crates/core/src/fanout.rs", 5, 23)],
+        &[
+            ("no-thread-spawn", "crates/core/src/fanout.rs", 5, 23),
+            ("no-thread-spawn", "crates/svc/src/listener.rs", 6, 10),
+        ],
+    );
+    let svc_finding = findings("no-thread-spawn", "pos")
+        .into_iter()
+        .find(|f| f.path == "crates/svc/src/listener.rs")
+        .expect("svc positive fires");
+    assert!(
+        svc_finding.message.contains("without a reasoned allow"),
+        "svc gets the per-site-audit message, got: {}",
+        svc_finding.message
     );
 }
 

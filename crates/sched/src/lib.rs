@@ -1,40 +1,62 @@
 //! Deterministic scoped work-pool scheduler.
 //!
 //! Every fan-out in the workspace — the Monte-Carlo simulation engine's
-//! `(Eb/N0 point, frame shard)` schedule, the Table I design-space sweep and
-//! the multi-standard compliance sweeps — runs on the same [`WorkPool`]
-//! instead of carrying its own hand-rolled `std::thread::scope` block.
+//! `(Eb/N0 point, frame shard)` schedule, the Table I design-space sweep,
+//! the multi-standard compliance sweeps and the `fec-svc` decode daemon —
+//! runs on the same [`WorkPool`] instead of carrying its own hand-rolled
+//! `std::thread::scope` block.
+//!
+//! # Submission API
+//!
+//! A run is configured with the [`PoolRun`] builder returned by
+//! [`WorkPool::run`] and finished with one of three terminal methods:
+//!
+//! * [`PoolRun::indexed`] — `count` independent tasks, results returned
+//!   in **index order**;
+//! * [`PoolRun::indexed_streamed`] — the same, plus a completion-order
+//!   callback on the calling thread for progress streaming;
+//! * [`PoolRun::jobs`] — a *dynamic* job set: explicit [`Job`] values
+//!   carrying an id, a [`Priority`] and an optional [`CancelToken`], with a
+//!   completion handler that may submit follow-up jobs into the running
+//!   pool.
+//!
+//! Builder knobs: [`PoolRun::observed`] injects a [`Clock`] and collects
+//! [`PoolObs`] pool observability, [`PoolRun::with_cancel`] attaches a
+//! run-level cancellation token, and [`PoolRun::concurrency_hint`] widens
+//! the worker head-count for job sets that start small and grow.
 //!
 //! # Determinism contract
 //!
-//! The pool executes an *indexed* set of independent tasks and merges the
-//! results **by task index, never by completion order**: the returned vector
-//! of [`WorkPool::run_indexed`] is in index order for any worker count, so a
-//! caller whose task `i` is a pure function of `i` gets bit-identical output
-//! at 1, 2 or 64 workers.  Which worker executes which index is dynamic (an
-//! atomic next-index counter, so long tasks do not straggle a static chunk),
-//! but that assignment is invisible in the merged result.
+//! The pool executes tasks and merges results **by task id / index, never
+//! by completion order**: the vector returned by [`PoolRun::indexed`] is in
+//! index order for any worker count, so a caller whose task `i` is a pure
+//! function of `i` gets bit-identical output at 1, 2 or 64 workers.  Which
+//! worker executes which task is dynamic (a shared ready-queue, so long
+//! tasks do not straggle a static chunk), but that assignment is invisible
+//! in the merged result.
 //!
-//! Callers that want progress output while the set is still running pass a
-//! completion-order callback ([`WorkPool::run_indexed_with`]); it runs on
-//! the calling thread, so it may stream rows to disk without locking.
+//! Cancellation keeps the contract: a cancelled job is retired **at the
+//! queue barrier** — it either runs to completion or is never started, so
+//! every [`JobOutcome::Done`] value is still the pure function of its id and
+//! the prefix of completed work is deterministic.  Only *which* jobs got cut
+//! off depends on timing.
 //!
 //! # Continuation jobs
 //!
-//! [`WorkPool::run_jobs`] generalizes the indexed set to a *dynamic* job
-//! queue: the completion handler (again on the calling thread) may submit
-//! follow-up jobs into the running pool.  The simulation engine uses this to
-//! keep early stopping exact — each scheduling round of a point is a batch
-//! of `(point, shard)` jobs, and the next round is only submitted once the
-//! previous round's merged counters pass the stopping rule — while shards of
-//! *other* points keep every worker busy in between.
+//! The completion handler of [`PoolRun::jobs`] runs on the calling thread
+//! (completion order) and may submit follow-up jobs through its
+//! [`JobSink`].  The simulation engine uses this to keep early stopping
+//! exact — each scheduling round of a point is a batch of `(point, shard)`
+//! jobs, and the next round is only submitted once the previous round's
+//! merged counters pass the stopping rule — while shards of *other* points
+//! keep every worker busy in between.
 //!
 //! # Example
 //!
 //! ```
 //! use fec_sched::WorkPool;
 //!
-//! let squares = WorkPool::new(4).run_indexed(8, |i| i * i);
+//! let squares = WorkPool::new(4).run().indexed(8, |i| i * i);
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
@@ -44,14 +66,14 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use fec_obs::{Class, Clock, Registry, TimingStat};
 
-/// Per-worker completed-task counters, threaded into the inner run loops
-/// when a run is observed.  Workers increment their own slot, so the
-/// counters never contend.
+/// Per-worker completed-task counters, threaded into the run core when a
+/// run is observed.  Workers increment their own slot, so the counters
+/// never contend.
 struct WorkerProbe {
     counts: Vec<AtomicU64>,
 }
@@ -79,15 +101,15 @@ impl WorkerProbe {
 
 /// Aggregated observability of one or more pool runs.
 ///
-/// Collected by [`WorkPool::run_jobs_observed`] /
-/// [`WorkPool::run_indexed_observed`] and folded into a metric
-/// [`Registry`] with [`PoolObs::record_into`].  Task counts are
-/// deterministic for callers honoring the pool's merge-by-id contract;
-/// per-worker totals and the queue high-water mark are execution-class
+/// Collected by [`PoolRun::observed`] and folded into a metric [`Registry`]
+/// with [`PoolObs::record_into`].  Task counts are deterministic for
+/// callers honoring the pool's merge-by-id contract; per-worker totals,
+/// the queue high-water mark and the cancelled count are execution-class
 /// (schedule-dependent); wait/run spans are timing-class.
 #[derive(Debug, Default)]
 pub struct PoolObs {
-    /// Total tasks executed (initial + continuations).
+    /// Total tasks submitted (initial + continuations), whether executed
+    /// or retired by cancellation.
     pub tasks: u64,
     /// Continuation jobs submitted by completion handlers.
     pub continuations: u64,
@@ -95,6 +117,10 @@ pub struct PoolObs {
     pub queue_high_water: u64,
     /// Tasks completed per worker index.
     pub per_worker_tasks: Vec<u64>,
+    /// Jobs retired without executing because their cancel token (or the
+    /// run's) was set.  Execution-class: when cancellation fires relative
+    /// to the schedule is external to the pool.
+    pub cancelled: u64,
     /// Span from job submission to execution start.
     pub wait: TimingStat,
     /// Span from execution start to completion.
@@ -109,7 +135,8 @@ impl PoolObs {
 
     /// Folds this aggregate into `reg` under `prefix` (e.g. `"pool"`):
     /// `<prefix>.tasks` / `.continuations` as count-class counters,
-    /// `<prefix>.queue_depth_hw` / `.worker<i>.tasks` as execution-class,
+    /// `<prefix>.queue_depth_hw` / `.worker<i>.tasks` (and `.cancelled`,
+    /// when any job was cancelled) as execution-class,
     /// `<prefix>.task_wait_ns` / `.task_run_ns` as timing spans.
     pub fn record_into(&self, reg: &mut Registry, prefix: &str) {
         reg.incr(Class::Count, &format!("{prefix}.tasks"), self.tasks);
@@ -130,25 +157,162 @@ impl PoolObs {
                 tasks,
             );
         }
+        if self.cancelled > 0 {
+            reg.incr(
+                Class::Execution,
+                &format!("{prefix}.cancelled"),
+                self.cancelled,
+            );
+        }
         reg.timing_stat(&format!("{prefix}.task_wait_ns"), &self.wait);
         reg.timing_stat(&format!("{prefix}.task_run_ns"), &self.run);
     }
 }
 
-/// A unit of work for [`WorkPool::run_jobs`]: a caller-chosen id (used to
-/// merge deterministically) plus the closure to execute on a worker.
+/// Scheduling priority of a [`Job`].  Within one pool run, ready jobs are
+/// dispatched strictly by priority level and FIFO within a level; priority
+/// affects *when* a job runs, never the merged result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Dispatched before all normal- and low-priority work.
+    High,
+    /// The default.
+    #[default]
+    Normal,
+    /// Dispatched only when no higher-priority job is ready.
+    Low,
+}
+
+impl Priority {
+    /// Dense rank used to index the ready queues: `High` first.
+    fn rank(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Stable lower-case name (`"high"` / `"normal"` / `"low"`), used by
+    /// protocol layers that echo priorities as text.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Shared cancellation flag for a [`Job`] or a whole [`PoolRun`].
+///
+/// Cloning yields another handle to the *same* flag.  Cancellation is
+/// cooperative and takes effect at the pool's queue barrier: a job whose
+/// token is set when a worker would pick it up is retired as
+/// [`JobOutcome::Cancelled`] without executing; a job already running
+/// completes normally.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Sets the flag; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`] has been called on any clone.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Client-side handle to a submitted [`Job`]: echoes the id and priority
+/// and shares the job's [`CancelToken`], so the holder can cancel the job
+/// while the pool runs.  Obtained from [`Job::handle`].
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    id: usize,
+    priority: Priority,
+    cancel: CancelToken,
+}
+
+impl JobHandle {
+    /// The id the job was created with.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The job's scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Requests cancellation: if the job has not started when a worker
+    /// reaches it, it is retired as [`JobOutcome::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The shared token itself, for callers that aggregate tokens.
+    pub fn token(&self) -> &CancelToken {
+        &self.cancel
+    }
+}
+
+/// How a [`Job`] left the pool: executed to completion, or retired at the
+/// queue barrier because its cancel token (or the run's) was set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The job executed; here is its result.
+    Done(T),
+    /// The job was retired without executing.
+    Cancelled,
+}
+
+impl<T> JobOutcome<T> {
+    /// The result, if the job executed.
+    pub fn done(self) -> Option<T> {
+        match self {
+            JobOutcome::Done(value) => Some(value),
+            JobOutcome::Cancelled => None,
+        }
+    }
+
+    /// Whether the job was retired without executing.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, JobOutcome::Cancelled)
+    }
+}
+
+/// A unit of work for [`PoolRun::jobs`]: a caller-chosen id (used to merge
+/// deterministically), a [`Priority`], an optional [`CancelToken`] and the
+/// closure to execute on a worker.
 pub struct Job<'env, T> {
     id: usize,
+    priority: Priority,
+    cancel: Option<CancelToken>,
     work: Box<dyn FnOnce() -> T + Send + 'env>,
 }
 
 impl<'env, T> Job<'env, T> {
-    /// Packages `work` under `id`.  Ids need not be unique or dense — they
-    /// are opaque to the pool and only echoed back to the completion
-    /// handler, which gives them meaning (e.g. `point * shards + shard`).
+    /// Packages `work` under `id` at [`Priority::Normal`] with no cancel
+    /// token.  Ids need not be unique or dense — they are opaque to the
+    /// pool and only echoed back to the completion handler, which gives
+    /// them meaning (e.g. `point * shards + shard`).
     pub fn new(id: usize, work: impl FnOnce() -> T + Send + 'env) -> Self {
         Job {
             id,
+            priority: Priority::Normal,
+            cancel: None,
             work: Box::new(work),
         }
     }
@@ -157,16 +321,49 @@ impl<'env, T> Job<'env, T> {
     pub fn id(&self) -> usize {
         self.id
     }
+
+    /// The job's scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a cancellation token (shared: cancelling any clone cancels
+    /// this job).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// A [`JobHandle`] for this job, installing a fresh [`CancelToken`] if
+    /// none was attached yet.  The handle stays valid while the pool runs.
+    pub fn handle(&mut self) -> JobHandle {
+        let token = self.cancel.get_or_insert_with(CancelToken::new).clone();
+        JobHandle {
+            id: self.id,
+            priority: self.priority,
+            cancel: token,
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for Job<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Job").field("id", &self.id).finish()
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("priority", &self.priority)
+            .field("cancellable", &self.cancel.is_some())
+            .finish()
     }
 }
 
-/// Submission handle passed to the [`WorkPool::run_jobs`] completion
-/// handler: jobs submitted here enter the running pool's queue.
+/// Submission handle passed to the [`PoolRun::jobs`] completion handler:
+/// jobs submitted here enter the running pool's ready queue.
 pub struct JobSink<'env, T> {
     buffered: Vec<Job<'env, T>>,
 }
@@ -197,48 +394,22 @@ impl<T> std::fmt::Debug for JobSink<'_, T> {
     }
 }
 
-/// Submission handle of [`WorkPool::run_jobs_observed`]: like [`JobSink`],
-/// but every submitted continuation is counted and time-stamped so its
-/// queue-wait span starts at submission.
-pub struct ObservedSink<'scope, 'env, T> {
-    inner: &'scope mut JobSink<'env, (T, u64, u64)>,
-    clock: &'env dyn Clock,
-    submitted: u64,
-}
-
-impl<'scope, 'env, T: Send + 'env> ObservedSink<'scope, 'env, T> {
-    /// Queues a follow-up job (see [`JobSink::submit`]).
-    pub fn submit(&mut self, job: Job<'env, T>) {
-        self.submitted += 1;
-        self.inner.submit(wrap_job(job, self.clock));
-    }
-
-    /// Queues a whole round of follow-up jobs (see [`JobSink::submit_all`]).
-    pub fn submit_all(&mut self, jobs: impl IntoIterator<Item = Job<'env, T>>) {
-        for job in jobs {
-            self.submit(job);
-        }
-    }
-}
-
-impl<T> std::fmt::Debug for ObservedSink<'_, '_, T> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ObservedSink")
-            .field("submitted", &self.submitted)
-            .finish()
-    }
-}
-
 /// Wraps a job so it reports `(value, wait_ns, run_ns)`: the submission
 /// timestamp is captured here (call time == enqueue time for both initial
 /// jobs and continuations), the start/end stamps on the executing worker.
+/// Priority and cancel token carry over to the wrapper.
 fn wrap_job<'env, T: Send + 'env>(
     job: Job<'env, T>,
     clock: &'env dyn Clock,
 ) -> Job<'env, (T, u64, u64)> {
     let submit_ns = clock.now_ns();
-    let Job { id, work } = job;
-    Job::new(id, move || {
+    let Job {
+        id,
+        priority,
+        cancel,
+        work,
+    } = job;
+    let mut wrapped = Job::new(id, move || {
         let start_ns = clock.now_ns();
         let value = work();
         let end_ns = clock.now_ns();
@@ -248,17 +419,54 @@ fn wrap_job<'env, T: Send + 'env>(
             end_ns.saturating_sub(start_ns),
         )
     })
+    .with_priority(priority);
+    wrapped.cancel = cancel;
+    wrapped
+}
+
+/// Ready jobs bucketed by [`Priority`]: strict priority dispatch, FIFO
+/// within a level.
+struct PendingQueues<'env, T> {
+    ranks: [VecDeque<Job<'env, T>>; 3],
+}
+
+impl<'env, T> PendingQueues<'env, T> {
+    fn new() -> Self {
+        PendingQueues {
+            ranks: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+        }
+    }
+
+    fn push(&mut self, job: Job<'env, T>) {
+        self.ranks[job.priority.rank()].push_back(job);
+    }
+
+    fn extend(&mut self, jobs: impl IntoIterator<Item = Job<'env, T>>) {
+        for job in jobs {
+            self.push(job);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Job<'env, T>> {
+        self.ranks.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    fn clear(&mut self) {
+        for rank in &mut self.ranks {
+            rank.clear();
+        }
+    }
 }
 
 /// State shared between the coordinator and the workers of one
-/// [`WorkPool::run_jobs`] call.
+/// [`PoolRun::jobs`] call.
 struct JobQueue<'env, T> {
     state: Mutex<JobQueueState<'env, T>>,
     ready: Condvar,
 }
 
 struct JobQueueState<'env, T> {
-    pending: VecDeque<Job<'env, T>>,
+    pending: PendingQueues<'env, T>,
     closed: bool,
 }
 
@@ -277,8 +485,152 @@ impl<T> Drop for CloseGuard<'_, '_, T> {
     }
 }
 
-/// A fixed-size scoped worker pool executing indexed task sets with
-/// index-order (deterministic) merging.  See the module docs.
+/// Whether a job should be retired unexecuted: its own token or the
+/// run-level token is set.
+fn retired(run_cancel: Option<&CancelToken>, job_cancel: &Option<CancelToken>) -> bool {
+    run_cancel.is_some_and(CancelToken::is_cancelled)
+        || job_cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+}
+
+/// The single execution engine behind every [`PoolRun`] terminal method:
+/// a priority ready-queue drained by `workers` scoped threads (or inline
+/// when `workers == 1`), results handed to `on_complete` on the calling
+/// thread in completion order, continuations fed back into the queue.
+///
+/// Cancellation is checked when a worker pops a job: a retired job is
+/// reported as [`JobOutcome::Cancelled`] without running (and without
+/// counting in `probe`); jobs already running complete normally, so the
+/// cut is always at the queue barrier.
+fn run_core<'env, T, F>(
+    workers: usize,
+    run_cancel: Option<&CancelToken>,
+    initial: Vec<Job<'env, T>>,
+    mut on_complete: F,
+    probe: Option<&WorkerProbe>,
+) where
+    T: Send,
+    F: FnMut(usize, JobOutcome<T>, &mut JobSink<'env, T>),
+{
+    if initial.is_empty() {
+        return;
+    }
+    if workers == 1 {
+        let mut pending = PendingQueues::new();
+        pending.extend(initial);
+        while let Some(job) = pending.pop() {
+            let Job {
+                id, cancel, work, ..
+            } = job;
+            let outcome = if retired(run_cancel, &cancel) {
+                JobOutcome::Cancelled
+            } else {
+                let value = work();
+                if let Some(p) = probe {
+                    p.mark(0);
+                }
+                JobOutcome::Done(value)
+            };
+            let mut sink = JobSink {
+                buffered: Vec::new(),
+            };
+            on_complete(id, outcome, &mut sink);
+            pending.extend(sink.buffered);
+        }
+        return;
+    }
+
+    let mut outstanding = initial.len();
+    let mut pending = PendingQueues::new();
+    pending.extend(initial);
+    let queue = JobQueue {
+        state: Mutex::new(JobQueueState {
+            pending,
+            closed: false,
+        }),
+        ready: Condvar::new(),
+    };
+    let (tx, rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        let _guard = CloseGuard { queue: &queue };
+        // Owned by the scope closure so an unwind drops it *before* the
+        // scope joins: pending sends then fail and workers exit early.
+        let rx = rx;
+        for worker in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || loop {
+                let job = {
+                    let mut state = queue.state.lock().expect("job queue poisoned");
+                    loop {
+                        if let Some(job) = state.pending.pop() {
+                            break Some(job);
+                        }
+                        if state.closed {
+                            break None;
+                        }
+                        state = queue.ready.wait(state).expect("job queue poisoned");
+                    }
+                };
+                let Some(job) = job else { return };
+                let Job {
+                    id, cancel, work, ..
+                } = job;
+                let message = if retired(run_cancel, &cancel) {
+                    Ok(None)
+                } else {
+                    let result = catch_unwind(AssertUnwindSafe(work));
+                    if let Some(p) = probe {
+                        p.mark(worker);
+                    }
+                    result.map(Some)
+                };
+                if tx.send((id, message)).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        while outstanding > 0 {
+            let (id, message) = rx.recv().expect("pool workers exited early");
+            outstanding -= 1;
+            match message {
+                Ok(executed) => {
+                    let outcome = match executed {
+                        Some(value) => JobOutcome::Done(value),
+                        None => JobOutcome::Cancelled,
+                    };
+                    let mut sink = JobSink {
+                        buffered: Vec::new(),
+                    };
+                    on_complete(id, outcome, &mut sink);
+                    if !sink.buffered.is_empty() {
+                        outstanding += sink.buffered.len();
+                        let mut state = queue.state.lock().expect("job queue poisoned");
+                        state.pending.extend(sink.buffered);
+                        drop(state);
+                        queue.ready.notify_all();
+                    }
+                }
+                Err(payload) => {
+                    // Cancel the queued work, then unwind: `_guard` closes
+                    // the (now empty) queue and the dropped `rx` makes
+                    // in-flight sends fail, so the scope join returns
+                    // promptly instead of draining every job.
+                    if let Ok(mut state) = queue.state.lock() {
+                        state.pending.clear();
+                    }
+                    resume_unwind(payload)
+                }
+            }
+        }
+        // `_guard` drops here: closes the queue and wakes idle workers
+        // so the scope join returns.
+    });
+}
+
+/// A fixed-size scoped worker pool executing task sets with id-order
+/// (deterministic) merging.  Configure a run with [`WorkPool::run`]; see
+/// the module docs for the contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkPool {
     workers: usize,
@@ -287,7 +639,7 @@ pub struct WorkPool {
 impl WorkPool {
     /// Creates a pool that will use `workers` threads per run; `0` means one
     /// per available core.  Construction is free — threads are scoped to
-    /// each `run_*` call.
+    /// each run.
     pub const fn new(workers: usize) -> Self {
         WorkPool { workers }
     }
@@ -311,52 +663,70 @@ impl WorkPool {
         requested.clamp(1, tasks.max(1))
     }
 
+    /// Starts configuring a run.  The returned [`PoolRun`] is consumed by
+    /// one of its terminal methods ([`indexed`], [`indexed_streamed`],
+    /// [`jobs`]).
+    ///
+    /// [`indexed`]: PoolRun::indexed
+    /// [`indexed_streamed`]: PoolRun::indexed_streamed
+    /// [`jobs`]: PoolRun::jobs
+    pub fn run<'env>(&self) -> PoolRun<'env> {
+        PoolRun {
+            pool: *self,
+            cancel: None,
+            concurrency_hint: 0,
+            clock: None,
+            obs: None,
+        }
+    }
+
     /// Executes `count` independent tasks and returns their results in
     /// **index order** regardless of completion order or worker count.
     ///
     /// # Panics
     ///
     /// Re-raises the panic of the first failing task on the calling thread.
+    #[deprecated(note = "use `pool.run().indexed(count, task)`")]
     pub fn run_indexed<T, F>(&self, count: usize, task: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        self.run_indexed_with(count, task, |_, _| {})
+        self.run().indexed(count, task)
     }
 
     /// Like [`run_indexed`], but additionally invokes `on_done` from the
-    /// calling thread as each task finishes (**completion order**), so
-    /// callers can stream progress while the set is still running.
+    /// calling thread as each task finishes (**completion order**).
     ///
     /// [`run_indexed`]: WorkPool::run_indexed
     ///
     /// # Panics
     ///
     /// Re-raises the panic of the first failing task on the calling thread.
+    #[deprecated(note = "use `pool.run().indexed_streamed(count, task, on_done)`")]
     pub fn run_indexed_with<T, F, C>(&self, count: usize, task: F, on_done: C) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
         C: FnMut(usize, &T),
     {
-        self.run_indexed_inner(count, task, on_done, None)
+        self.run().indexed_streamed(count, task, on_done)
     }
 
     /// Like [`run_indexed_with`], but additionally collects pool
-    /// observability into `obs`: task totals, per-worker completion counts
-    /// and per-task run spans measured with the injected `clock`.
+    /// observability into `obs`.
     ///
     /// [`run_indexed_with`]: WorkPool::run_indexed_with
     ///
     /// # Panics
     ///
     /// Re-raises the panic of the first failing task on the calling thread.
+    #[deprecated(note = "use `pool.run().observed(clock, obs).indexed_streamed(...)`")]
     pub fn run_indexed_observed<T, F, C>(
         &self,
         count: usize,
         task: F,
-        mut on_done: C,
+        on_done: C,
         clock: &dyn Clock,
         obs: &mut PoolObs,
     ) -> Vec<T>
@@ -365,111 +735,183 @@ impl WorkPool {
         F: Fn(usize) -> T + Sync,
         C: FnMut(usize, &T),
     {
-        if count == 0 {
-            return Vec::new();
-        }
-        let probe = WorkerProbe::new(self.effective_workers(count));
-        // The whole indexed set is "submitted" at t0, so a task's wait span
-        // is simply how long it sat before a worker picked it up.
-        let t0 = clock.now_ns();
-        obs.tasks += count as u64;
-        obs.queue_high_water = obs.queue_high_water.max(count as u64);
-        let mut wait = TimingStat::new();
-        let mut run = TimingStat::new();
-        let results = self.run_indexed_inner(
-            count,
-            |index| {
-                let start = clock.now_ns();
-                let value = task(index);
-                let end = clock.now_ns();
-                (value, start.saturating_sub(t0), end.saturating_sub(start))
-            },
-            |index, timed: &(T, u64, u64)| {
-                wait.record(timed.1);
-                run.record(timed.2);
-                on_done(index, &timed.0);
-            },
-            Some(&probe),
-        );
-        obs.wait.merge(&wait);
-        obs.run.merge(&run);
-        probe.fold_into(&mut obs.per_worker_tasks);
-        results.into_iter().map(|(value, _, _)| value).collect()
+        self.run()
+            .observed(clock, obs)
+            .indexed_streamed(count, task, on_done)
     }
 
-    fn run_indexed_inner<T, F, C>(
+    /// Executes a *dynamic* job set: starts with `initial`, and after each
+    /// job finishes calls `on_complete(id, result, sink)` on the calling
+    /// thread (completion order), which may submit follow-up jobs.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing job on the calling thread.
+    #[deprecated(note = "use `pool.run().jobs(initial, on_complete)`")]
+    pub fn run_jobs<'env, T, F>(&self, initial: Vec<Job<'env, T>>, mut on_complete: F)
+    where
+        T: Send + 'env,
+        F: FnMut(usize, T, &mut JobSink<'env, T>),
+    {
+        self.run().jobs(initial, |id, outcome, sink| {
+            if let JobOutcome::Done(value) = outcome {
+                on_complete(id, value, sink);
+            }
+        });
+    }
+
+    /// Like [`run_jobs`], but additionally collects pool observability into
+    /// `obs` with spans measured by the injected `clock`.
+    ///
+    /// [`run_jobs`]: WorkPool::run_jobs
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing job on the calling thread.
+    #[deprecated(note = "use `pool.run().observed(clock, obs).jobs(initial, on_complete)`")]
+    pub fn run_jobs_observed<'env, T, F>(
         &self,
-        count: usize,
-        task: F,
-        mut on_done: C,
-        probe: Option<&WorkerProbe>,
-    ) -> Vec<T>
+        initial: Vec<Job<'env, T>>,
+        mut on_complete: F,
+        clock: &'env dyn Clock,
+        obs: &'env mut PoolObs,
+    ) where
+        T: Send + 'env,
+        F: FnMut(usize, T, &mut JobSink<'env, T>),
+    {
+        self.run()
+            .observed(clock, obs)
+            .jobs(initial, |id, outcome, sink| {
+                if let JobOutcome::Done(value) = outcome {
+                    on_complete(id, value, sink);
+                }
+            });
+    }
+}
+
+impl Default for WorkPool {
+    /// One worker per available core.
+    fn default() -> Self {
+        WorkPool::new(0)
+    }
+}
+
+/// Builder for one pool run, created by [`WorkPool::run`].
+///
+/// Chain [`observed`], [`with_cancel`] and [`concurrency_hint`] as needed,
+/// then consume the builder with [`indexed`], [`indexed_streamed`] or
+/// [`jobs`].
+///
+/// [`observed`]: PoolRun::observed
+/// [`with_cancel`]: PoolRun::with_cancel
+/// [`concurrency_hint`]: PoolRun::concurrency_hint
+/// [`indexed`]: PoolRun::indexed
+/// [`indexed_streamed`]: PoolRun::indexed_streamed
+/// [`jobs`]: PoolRun::jobs
+pub struct PoolRun<'env> {
+    pool: WorkPool,
+    cancel: Option<CancelToken>,
+    concurrency_hint: usize,
+    clock: Option<&'env dyn Clock>,
+    obs: Option<&'env mut PoolObs>,
+}
+
+impl std::fmt::Debug for PoolRun<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolRun")
+            .field("pool", &self.pool)
+            .field("cancellable", &self.cancel.is_some())
+            .field("concurrency_hint", &self.concurrency_hint)
+            .field("observed", &self.obs.is_some())
+            .finish()
+    }
+}
+
+impl<'env> PoolRun<'env> {
+    /// Attaches a run-level cancellation token: once set, every job not yet
+    /// started is retired as [`JobOutcome::Cancelled`] at the queue barrier.
+    /// Only meaningful for [`jobs`] runs — [`indexed`] runs must produce
+    /// every index and panic if a token is attached.
+    ///
+    /// [`jobs`]: PoolRun::jobs
+    /// [`indexed`]: PoolRun::indexed
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sizes the worker head-count as if the run started with at least
+    /// `tasks` concurrent tasks.  Job sets that start with a few seed jobs
+    /// and fan out through continuations (e.g. a daemon draining a deep job
+    /// queue) would otherwise be clamped to `initial.len()` workers.
+    pub fn concurrency_hint(mut self, tasks: usize) -> Self {
+        self.concurrency_hint = tasks;
+        self
+    }
+
+    /// Collects pool observability into `obs`, with wait/run spans measured
+    /// by `clock`: task/continuation/cancellation totals, the in-flight
+    /// high-water mark and per-worker completion counts.
+    pub fn observed(mut self, clock: &'env dyn Clock, obs: &'env mut PoolObs) -> Self {
+        self.clock = Some(clock);
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Executes `count` independent tasks and returns their results in
+    /// **index order** regardless of completion order or worker count.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing task on the calling thread.
+    /// Panics if a cancel token was attached (see [`with_cancel`]).
+    ///
+    /// [`with_cancel`]: PoolRun::with_cancel
+    pub fn indexed<T, F>(self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.indexed_streamed(count, task, |_, _| {})
+    }
+
+    /// Like [`indexed`], but additionally invokes `on_done` from the
+    /// calling thread as each task finishes (**completion order**), so
+    /// callers can stream progress while the set is still running.
+    ///
+    /// [`indexed`]: PoolRun::indexed
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first failing task on the calling thread.
+    /// Panics if a cancel token was attached (see [`with_cancel`]).
+    ///
+    /// [`with_cancel`]: PoolRun::with_cancel
+    pub fn indexed_streamed<T, F, C>(self, count: usize, task: F, mut on_done: C) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
         C: FnMut(usize, &T),
     {
+        assert!(
+            self.cancel.is_none(),
+            "indexed runs do not support cancellation: every index must produce a result"
+        );
         if count == 0 {
             return Vec::new();
         }
-        let workers = self.effective_workers(count);
-        if workers == 1 {
-            return (0..count)
-                .map(|index| {
-                    let result = task(index);
-                    if let Some(p) = probe {
-                        p.mark(0);
-                    }
-                    on_done(index, &result);
-                    result
-                })
-                .collect();
-        }
-
-        let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = Vec::new();
         slots.resize_with(count, || None);
-        let (tx, rx) = mpsc::channel();
-        std::thread::scope(|scope| {
-            // Owned by the scope closure so an unwind drops it *before* the
-            // scope joins: pending sends then fail and workers exit early
-            // instead of finishing the whole remaining task set.
-            let rx = rx;
-            for worker in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let task = &task;
-                scope.spawn(move || loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= count {
-                        return;
-                    }
-                    let result = catch_unwind(AssertUnwindSafe(|| task(index)));
-                    if let Some(p) = probe {
-                        p.mark(worker);
-                    }
-                    if tx.send((index, result)).is_err() {
-                        return;
-                    }
-                });
-            }
-            drop(tx);
-            for _ in 0..count {
-                let (index, result) = rx.recv().expect("pool workers exited early");
-                match result {
-                    Ok(value) => {
-                        on_done(index, &value);
-                        slots[index] = Some(value);
-                    }
-                    Err(payload) => {
-                        // Stop handing out new indices, then unwind; the
-                        // dropped `rx` makes in-flight sends fail so the
-                        // scope join returns promptly.
-                        next.store(count, Ordering::Relaxed);
-                        resume_unwind(payload)
-                    }
-                }
-            }
+        let task = &task;
+        let initial: Vec<Job<'_, T>> = (0..count)
+            .map(|index| Job::new(index, move || task(index)))
+            .collect();
+        self.jobs(initial, |index, outcome, _| {
+            let JobOutcome::Done(value) = outcome else {
+                unreachable!("indexed tasks carry no cancel token")
+            };
+            on_done(index, &value);
+            slots[index] = Some(value);
         });
         slots
             .into_iter()
@@ -478,201 +920,94 @@ impl WorkPool {
     }
 
     /// Executes a *dynamic* job set: starts with `initial`, and after each
-    /// job finishes calls `on_complete(id, result, sink)` on the calling
-    /// thread (completion order), which may [`submit`] follow-up jobs into
-    /// the running pool.  Returns once every job (initial and submitted) has
-    /// completed and been handed to `on_complete`.
+    /// job finishes (or is retired by cancellation) calls
+    /// `on_complete(id, outcome, sink)` on the calling thread (completion
+    /// order), which may submit follow-up jobs into the running pool.
+    /// Returns once every job (initial and submitted) has been handed to
+    /// `on_complete`.
     ///
     /// Determinism is the caller's half of the contract: merge results by
     /// `id` (not arrival order) and derive follow-up jobs only from merged
     /// state, and the outcome is independent of the worker count.
     ///
-    /// [`submit`]: JobSink::submit
-    ///
     /// # Panics
     ///
     /// Re-raises the panic of the first failing job on the calling thread.
-    pub fn run_jobs<'env, T, F>(&self, initial: Vec<Job<'env, T>>, on_complete: F)
+    pub fn jobs<T, F>(self, initial: Vec<Job<'env, T>>, mut on_complete: F)
     where
-        T: Send,
-        F: FnMut(usize, T, &mut JobSink<'env, T>),
-    {
-        self.run_jobs_inner(initial, on_complete, None);
-    }
-
-    /// Like [`run_jobs`], but additionally collects pool observability into
-    /// `obs`: task/continuation totals, the in-flight high-water mark,
-    /// per-worker completion counts, and per-job wait/run spans measured
-    /// with the injected `clock` (submission time is captured when a job
-    /// enters the queue, including continuations submitted through the
-    /// [`ObservedSink`]).
-    ///
-    /// [`run_jobs`]: WorkPool::run_jobs
-    ///
-    /// # Panics
-    ///
-    /// Re-raises the panic of the first failing job on the calling thread.
-    pub fn run_jobs_observed<'env, T, F>(
-        &self,
-        initial: Vec<Job<'env, T>>,
-        mut on_complete: F,
-        clock: &'env dyn Clock,
-        obs: &mut PoolObs,
-    ) where
         T: Send + 'env,
-        F: FnMut(usize, T, &mut ObservedSink<'_, 'env, T>),
+        F: FnMut(usize, JobOutcome<T>, &mut JobSink<'env, T>),
     {
         if initial.is_empty() {
             return;
         }
-        let probe = WorkerProbe::new(self.effective_workers(initial.len()));
-        let mut in_flight = initial.len() as u64;
-        let mut high_water = in_flight;
-        let mut tasks = in_flight;
-        let mut continuations = 0u64;
-        let mut wait = TimingStat::new();
-        let mut run = TimingStat::new();
-        let wrapped: Vec<Job<'env, (T, u64, u64)>> = initial
-            .into_iter()
-            .map(|job| wrap_job(job, clock))
-            .collect();
-        self.run_jobs_inner(
-            wrapped,
-            |id, (value, wait_ns, run_ns), sink| {
-                wait.record(wait_ns);
-                run.record(run_ns);
-                in_flight -= 1;
-                let mut observed = ObservedSink {
-                    inner: sink,
-                    clock,
-                    submitted: 0,
-                };
-                on_complete(id, value, &mut observed);
-                let submitted = observed.submitted;
-                continuations += submitted;
-                tasks += submitted;
-                in_flight += submitted;
-                high_water = high_water.max(in_flight);
-            },
-            Some(&probe),
-        );
-        obs.tasks += tasks;
-        obs.continuations += continuations;
-        obs.queue_high_water = obs.queue_high_water.max(high_water);
-        obs.wait.merge(&wait);
-        obs.run.merge(&run);
-        probe.fold_into(&mut obs.per_worker_tasks);
-    }
-
-    fn run_jobs_inner<'env, T, F>(
-        &self,
-        initial: Vec<Job<'env, T>>,
-        mut on_complete: F,
-        probe: Option<&WorkerProbe>,
-    ) where
-        T: Send,
-        F: FnMut(usize, T, &mut JobSink<'env, T>),
-    {
-        if initial.is_empty() {
-            return;
-        }
-        let workers = self.effective_workers(initial.len());
-        if workers == 1 {
-            let mut pending: VecDeque<Job<'env, T>> = initial.into();
-            while let Some(job) = pending.pop_front() {
-                let result = (job.work)();
-                if let Some(p) = probe {
-                    p.mark(0);
-                }
-                let mut sink = JobSink {
-                    buffered: Vec::new(),
-                };
-                on_complete(job.id, result, &mut sink);
-                pending.extend(sink.buffered);
-            }
-            return;
-        }
-
-        let mut outstanding = initial.len();
-        let queue = JobQueue {
-            state: Mutex::new(JobQueueState {
-                pending: initial.into(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-        };
-        let (tx, rx) = mpsc::channel();
-        std::thread::scope(|scope| {
-            let _guard = CloseGuard { queue: &queue };
-            // Owned by the scope closure so an unwind drops it *before* the
-            // scope joins: pending sends then fail and workers exit early.
-            let rx = rx;
-            for worker in 0..workers {
-                let tx = tx.clone();
-                let queue = &queue;
-                scope.spawn(move || loop {
-                    let job = {
-                        let mut state = queue.state.lock().expect("job queue poisoned");
-                        loop {
-                            if let Some(job) = state.pending.pop_front() {
-                                break Some(job);
+        let PoolRun {
+            pool,
+            cancel,
+            concurrency_hint,
+            clock,
+            obs,
+        } = self;
+        let workers = pool.effective_workers(initial.len().max(concurrency_hint));
+        match (clock, obs) {
+            (Some(clock), Some(obs)) => {
+                let probe = WorkerProbe::new(workers);
+                let mut in_flight = initial.len() as u64;
+                let mut high_water = in_flight;
+                let mut tasks = in_flight;
+                let mut continuations = 0u64;
+                let mut cancelled = 0u64;
+                let mut wait = TimingStat::new();
+                let mut run = TimingStat::new();
+                let wrapped: Vec<Job<'env, (T, u64, u64)>> = initial
+                    .into_iter()
+                    .map(|job| wrap_job(job, clock))
+                    .collect();
+                run_core(
+                    workers,
+                    cancel.as_ref(),
+                    wrapped,
+                    |id, timed, sink| {
+                        in_flight -= 1;
+                        let outcome = match timed {
+                            JobOutcome::Done((value, wait_ns, run_ns)) => {
+                                wait.record(wait_ns);
+                                run.record(run_ns);
+                                JobOutcome::Done(value)
                             }
-                            if state.closed {
-                                break None;
+                            JobOutcome::Cancelled => {
+                                cancelled += 1;
+                                JobOutcome::Cancelled
                             }
-                            state = queue.ready.wait(state).expect("job queue poisoned");
-                        }
-                    };
-                    let Some(job) = job else { return };
-                    let result = catch_unwind(AssertUnwindSafe(job.work));
-                    if let Some(p) = probe {
-                        p.mark(worker);
-                    }
-                    if tx.send((job.id, result)).is_err() {
-                        return;
-                    }
-                });
-            }
-            drop(tx);
-            while outstanding > 0 {
-                let (id, result) = rx.recv().expect("pool workers exited early");
-                outstanding -= 1;
-                match result {
-                    Ok(value) => {
-                        let mut sink = JobSink {
+                        };
+                        let mut user_sink = JobSink {
                             buffered: Vec::new(),
                         };
-                        on_complete(id, value, &mut sink);
-                        if !sink.buffered.is_empty() {
-                            outstanding += sink.buffered.len();
-                            let mut state = queue.state.lock().expect("job queue poisoned");
-                            state.pending.extend(sink.buffered);
-                            drop(state);
-                            queue.ready.notify_all();
-                        }
-                    }
-                    Err(payload) => {
-                        // Cancel the queued work, then unwind: `_guard`
-                        // closes the (now empty) queue and the dropped `rx`
-                        // makes in-flight sends fail, so the scope join
-                        // returns promptly instead of draining every job.
-                        if let Ok(mut state) = queue.state.lock() {
-                            state.pending.clear();
-                        }
-                        resume_unwind(payload)
-                    }
-                }
+                        on_complete(id, outcome, &mut user_sink);
+                        let submitted = user_sink.buffered.len() as u64;
+                        continuations += submitted;
+                        tasks += submitted;
+                        in_flight += submitted;
+                        high_water = high_water.max(in_flight);
+                        sink.submit_all(
+                            user_sink
+                                .buffered
+                                .into_iter()
+                                .map(|job| wrap_job(job, clock)),
+                        );
+                    },
+                    Some(&probe),
+                );
+                obs.tasks += tasks;
+                obs.continuations += continuations;
+                obs.cancelled += cancelled;
+                obs.queue_high_water = obs.queue_high_water.max(high_water);
+                obs.wait.merge(&wait);
+                obs.run.merge(&run);
+                probe.fold_into(&mut obs.per_worker_tasks);
             }
-            // `_guard` drops here: closes the queue and wakes idle workers
-            // so the scope join returns.
-        });
-    }
-}
-
-impl Default for WorkPool {
-    /// One worker per available core.
-    fn default() -> Self {
-        WorkPool::new(0)
+            _ => run_core(workers, cancel.as_ref(), initial, on_complete, None),
+        }
     }
 }
 
@@ -685,7 +1020,7 @@ mod tests {
     #[test]
     fn results_arrive_in_index_order_for_any_worker_count() {
         for workers in [1, 2, 8] {
-            let out = WorkPool::new(workers).run_indexed(17, |i| 3 * i + 1);
+            let out = WorkPool::new(workers).run().indexed(17, |i| 3 * i + 1);
             assert_eq!(out, (0..17).map(|i| 3 * i + 1).collect::<Vec<_>>());
         }
     }
@@ -702,7 +1037,7 @@ mod tests {
         let mut observed_out_of_order = false;
         for _ in 0..5 {
             let mut completion_order = Vec::new();
-            let out = WorkPool::new(count).run_indexed_with(
+            let out = WorkPool::new(count).run().indexed_streamed(
                 count,
                 |i| {
                     std::thread::sleep(Duration::from_millis(10 * (count - i) as u64));
@@ -730,7 +1065,7 @@ mod tests {
 
     #[test]
     fn zero_tasks_run_nowhere() {
-        let out: Vec<u32> = WorkPool::new(4).run_indexed(0, |_| unreachable!());
+        let out: Vec<u32> = WorkPool::new(4).run().indexed(0, |_| unreachable!());
         assert!(out.is_empty());
     }
 
@@ -752,13 +1087,15 @@ mod tests {
         for workers in [1, 2, 8] {
             let mut rounds = [0usize; 4];
             let initial = (0..4).map(|id| Job::new(id, move || id)).collect();
-            WorkPool::new(workers).run_jobs(initial, |id, value, sink| {
-                assert_eq!(value, id);
-                rounds[id] += 1;
-                if rounds[id] < 3 {
-                    sink.submit(Job::new(id, move || id));
-                }
-            });
+            WorkPool::new(workers)
+                .run()
+                .jobs(initial, |id, outcome, sink| {
+                    assert_eq!(outcome, JobOutcome::Done(id));
+                    rounds[id] += 1;
+                    if rounds[id] < 3 {
+                        sink.submit(Job::new(id, move || id));
+                    }
+                });
             assert_eq!(rounds, [3; 4], "workers = {workers}");
         }
     }
@@ -768,7 +1105,9 @@ mod tests {
         let job = Job::new(42, || "x");
         assert_eq!(job.id(), 42);
         let mut seen = Vec::new();
-        WorkPool::new(1).run_jobs(vec![job], |id, value, _| seen.push((id, value)));
+        WorkPool::new(1).run().jobs(vec![job], |id, outcome, _| {
+            seen.push((id, outcome.done().unwrap()));
+        });
         assert_eq!(seen, vec![(42, "x")]);
     }
 
@@ -781,10 +1120,159 @@ mod tests {
             .enumerate()
             .map(|(i, value)| Job::new(i, move || *value))
             .collect();
-        WorkPool::new(2).run_jobs(initial, |_, value, _| {
-            total.fetch_add(value as usize, Ordering::Relaxed);
+        WorkPool::new(2).run().jobs(initial, |_, outcome, _| {
+            total.fetch_add(outcome.done().unwrap() as usize, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn priorities_order_dispatch_at_one_worker() {
+        // One worker drains the ready queue strictly by priority level and
+        // FIFO within a level, regardless of submission order.
+        let mut order = Vec::new();
+        let initial = vec![
+            Job::new(0, || ()).with_priority(Priority::Low),
+            Job::new(1, || ()),
+            Job::new(2, || ()).with_priority(Priority::High),
+            Job::new(3, || ()).with_priority(Priority::High),
+            Job::new(4, || ()).with_priority(Priority::Normal),
+        ];
+        WorkPool::new(1)
+            .run()
+            .jobs(initial, |id, _, _| order.push(id));
+        assert_eq!(order, vec![2, 3, 1, 4, 0]);
+    }
+
+    #[test]
+    fn job_handle_shares_the_cancel_token() {
+        let mut job = Job::new(7, || "never runs").with_priority(Priority::High);
+        let handle = job.handle();
+        assert_eq!(handle.id(), 7);
+        assert_eq!(handle.priority(), Priority::High);
+        assert!(!handle.token().is_cancelled());
+        handle.cancel();
+        assert!(handle.token().is_cancelled());
+
+        let mut outcomes = Vec::new();
+        WorkPool::new(1)
+            .run()
+            .jobs(vec![job], |id, outcome, _| outcomes.push((id, outcome)));
+        assert_eq!(outcomes, vec![(7, JobOutcome::Cancelled)]);
+    }
+
+    #[test]
+    fn cancelled_jobs_are_retired_without_running() {
+        // Job 1 is cancelled before the run starts; its closure must never
+        // execute, while job 0 completes normally.
+        let ran = AtomicUsize::new(0);
+        let token = CancelToken::new();
+        token.cancel();
+        let initial = vec![
+            Job::new(0, || ran.fetch_add(1, Ordering::Relaxed)),
+            Job::new(1, || ran.fetch_add(100, Ordering::Relaxed)).with_cancel(token),
+        ];
+        let mut seen = Vec::new();
+        WorkPool::new(1).run().jobs(initial, |id, outcome, _| {
+            seen.push((id, outcome.is_cancelled()));
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        assert_eq!(seen, vec![(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn run_level_cancel_cuts_at_the_queue_barrier() {
+        // The handler cancels the whole run after the first completion; at
+        // one worker exactly the remaining three jobs are retired, and the
+        // completed prefix is bit-identical to an uncancelled run's.
+        let token = CancelToken::new();
+        let tok = token.clone();
+        let initial = (0..4).map(|id| Job::new(id, move || id * id)).collect();
+        let mut done = Vec::new();
+        let mut cancelled = 0;
+        WorkPool::new(1)
+            .run()
+            .with_cancel(token)
+            .jobs(initial, |id, outcome, _| match outcome {
+                JobOutcome::Done(value) => {
+                    assert_eq!(value, id * id);
+                    done.push(id);
+                    tok.cancel();
+                }
+                JobOutcome::Cancelled => cancelled += 1,
+            });
+        assert_eq!(done, vec![0]);
+        assert_eq!(cancelled, 3);
+    }
+
+    #[test]
+    fn cancellation_keeps_completed_results_pure_at_any_worker_count() {
+        // Cancelling mid-run changes *which* jobs complete, never *what* a
+        // completed job returns: every Done value must still be the pure
+        // function of its id, and every job is accounted for exactly once.
+        for workers in [1, 2, 4] {
+            let token = CancelToken::new();
+            let tok = token.clone();
+            let initial = (0..8).map(|id| Job::new(id, move || id * 10)).collect();
+            let mut done = 0usize;
+            let mut cancelled = 0usize;
+            WorkPool::new(workers)
+                .run()
+                .with_cancel(token)
+                .jobs(initial, |id, outcome, _| match outcome {
+                    JobOutcome::Done(value) => {
+                        assert_eq!(value, id * 10, "workers = {workers}");
+                        done += 1;
+                        if done == 2 {
+                            tok.cancel();
+                        }
+                    }
+                    JobOutcome::Cancelled => cancelled += 1,
+                });
+            assert!(done >= 2, "workers = {workers}");
+            assert_eq!(done + cancelled, 8, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed runs do not support cancellation")]
+    fn indexed_runs_reject_cancel_tokens() {
+        WorkPool::new(1)
+            .run()
+            .with_cancel(CancelToken::new())
+            .indexed(1, |i| i);
+    }
+
+    #[test]
+    fn concurrency_hint_widens_a_seed_job_run() {
+        use fec_obs::ManualClock;
+        // One seed job fanning out through continuations: without a hint the
+        // pool clamps to 1 worker; the hint sizes it for the eventual width.
+        let clock = ManualClock::new();
+        let chain = |id: usize| Job::new(id, move || id);
+        let mut narrow = PoolObs::new();
+        WorkPool::new(4)
+            .run()
+            .observed(&clock, &mut narrow)
+            .jobs(vec![chain(0)], |id, _, sink| {
+                if id < 7 {
+                    sink.submit(chain(id + 1));
+                }
+            });
+        assert_eq!(narrow.per_worker_tasks.len(), 1);
+
+        let mut wide = PoolObs::new();
+        WorkPool::new(4)
+            .run()
+            .observed(&clock, &mut wide)
+            .concurrency_hint(64)
+            .jobs(vec![chain(0)], |id, _, sink| {
+                if id < 7 {
+                    sink.submit(chain(id + 1));
+                }
+            });
+        assert_eq!(wide.per_worker_tasks.len(), 4);
+        assert_eq!(wide.tasks, 8);
     }
 
     #[test]
@@ -793,16 +1281,14 @@ mod tests {
         for workers in [1, 2, 8] {
             let clock = ManualClock::new();
             let mut obs = PoolObs::new();
-            let out = WorkPool::new(workers).run_indexed_observed(
-                10,
-                |i| i + 1,
-                |_, _| {},
-                &clock,
-                &mut obs,
-            );
+            let out = WorkPool::new(workers)
+                .run()
+                .observed(&clock, &mut obs)
+                .indexed_streamed(10, |i| i + 1, |_, _| {});
             assert_eq!(out, (1..=10).collect::<Vec<_>>());
             assert_eq!(obs.tasks, 10, "workers = {workers}");
             assert_eq!(obs.continuations, 0);
+            assert_eq!(obs.cancelled, 0);
             assert_eq!(obs.queue_high_water, 10);
             assert_eq!(
                 obs.per_worker_tasks.iter().sum::<u64>(),
@@ -821,18 +1307,16 @@ mod tests {
             let mut obs = PoolObs::new();
             let mut rounds = [0usize; 4];
             let initial = (0..4).map(|id| Job::new(id, move || id)).collect();
-            WorkPool::new(workers).run_jobs_observed(
-                initial,
-                |id, value, sink| {
-                    assert_eq!(value, id);
+            WorkPool::new(workers)
+                .run()
+                .observed(&clock, &mut obs)
+                .jobs(initial, |id, outcome, sink| {
+                    assert_eq!(outcome, JobOutcome::Done(id));
                     rounds[id] += 1;
                     if rounds[id] < 3 {
                         sink.submit(Job::new(id, move || id));
                     }
-                },
-                &clock,
-                &mut obs,
-            );
+                });
             assert_eq!(rounds, [3; 4], "workers = {workers}");
             // 4 initial + 8 continuations, independent of the worker count:
             // the deterministic half of the observability contract.
@@ -844,6 +1328,30 @@ mod tests {
     }
 
     #[test]
+    fn observed_cancellations_are_counted_and_recorded() {
+        use fec_obs::ManualClock;
+        let clock = ManualClock::new();
+        let mut obs = PoolObs::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let initial = vec![
+            Job::new(0, || 0usize),
+            Job::new(1, || 1usize).with_cancel(token),
+        ];
+        WorkPool::new(1)
+            .run()
+            .observed(&clock, &mut obs)
+            .jobs(initial, |_, _, _| {});
+        assert_eq!(obs.tasks, 2);
+        assert_eq!(obs.cancelled, 1);
+        assert_eq!(obs.run.count, 1, "only the executed job has a run span");
+
+        let mut reg = Registry::new();
+        obs.record_into(&mut reg, "pool");
+        assert_eq!(reg.counter("pool.cancelled"), Some(1));
+    }
+
+    #[test]
     fn observed_spans_use_the_injected_clock() {
         use fec_obs::{Class, ManualClock, MetricValue, Registry};
         let clock = ManualClock::new();
@@ -852,7 +1360,10 @@ mod tests {
             // Runs on the single worker; the clock only moves when we say so.
             7usize
         })];
-        WorkPool::new(1).run_jobs_observed(initial, |_, _, _| {}, &clock, &mut obs);
+        WorkPool::new(1)
+            .run()
+            .observed(&clock, &mut obs)
+            .jobs(initial, |_, _, _| {});
         assert_eq!(obs.run.count, 1);
         assert_eq!(obs.run.total_ns, 0, "manual clock never advanced");
 
@@ -864,12 +1375,16 @@ mod tests {
             Some((MetricValue::Gauge(_), Class::Execution))
         ));
         assert!(reg.get("pool.task_run_ns").is_some());
+        assert!(
+            reg.get("pool.cancelled").is_none(),
+            "cancelled metric only appears when a job was cancelled"
+        );
     }
 
     #[test]
     #[should_panic(expected = "task 3 exploded")]
     fn task_panics_propagate_to_the_caller() {
-        WorkPool::new(4).run_indexed(8, |i| {
+        WorkPool::new(4).run().indexed(8, |i| {
             if i == 3 {
                 panic!("task 3 exploded");
             }
@@ -890,6 +1405,18 @@ mod tests {
                 })
             })
             .collect();
-        WorkPool::new(4).run_jobs(initial, |_, _, _| {});
+        WorkPool::new(4).run().jobs(initial, |_, _, _| {});
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_delegate() {
+        let out = WorkPool::new(2).run_indexed(5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+
+        let mut seen = Vec::new();
+        let initial = (0..3).map(|id| Job::new(id, move || id + 100)).collect();
+        WorkPool::new(1).run_jobs(initial, |id, value, _| seen.push((id, value)));
+        assert_eq!(seen, vec![(0, 100), (1, 101), (2, 102)]);
     }
 }

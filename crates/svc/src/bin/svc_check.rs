@@ -1,0 +1,304 @@
+//! `svc_check`: CI verifier for a daemon reply stream.
+//!
+//! Reads the line-delimited events a `fec_svc` run wrote to stdout and a
+//! one-shot `ber_study --json` reference file, and checks that
+//!
+//! * every BER job's rows are row-for-row byte-identical to the reference
+//!   curve with the job's label (matched per `Eb/N0` point, since daemon
+//!   rows stream in completion order), with no duplicated or missing rows;
+//! * every BER job finished with `status: "completed"`;
+//! * at least one compliance job completed with at least one row;
+//! * no `error`/`rejected` events appear in the stream;
+//! * with `--log-dir`, each job's replay log carries exactly the rows the
+//!   live stream delivered, byte for byte.
+//!
+//! Usage: `svc_check <replies.ndjson> <BER_reference.json> [--log-dir <dir>]`
+//!
+//! Exits non-zero with a description on the first mismatch.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+use fec_json::Json;
+use fec_svc::protocol::as_u64;
+
+struct JobCheck {
+    kind: String,
+    label: String,
+    rows: Vec<(u64, Json)>,
+    done_status: Option<String>,
+    done_rows: u64,
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("svc_check: {message}");
+    exit(1);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let replies_path = PathBuf::from(args.next().expect("usage: svc_check <replies> <reference>"));
+    let reference_path =
+        PathBuf::from(args.next().expect("usage: svc_check <replies> <reference>"));
+    let mut log_dir = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--log-dir" => {
+                log_dir = Some(PathBuf::from(
+                    args.next().expect("--log-dir requires a directory"),
+                ));
+            }
+            other => panic!("unrecognised argument: {other}"),
+        }
+    }
+
+    let replies = std::fs::read_to_string(&replies_path).expect("read replies file");
+    let jobs = collect_jobs(&replies);
+    if jobs.is_empty() {
+        fail("reply stream accepted no jobs");
+    }
+
+    let reference = std::fs::read_to_string(&reference_path).expect("read reference file");
+    let reference = Json::parse(&reference).expect("parse reference file");
+    let curves = curves_by_label(&reference);
+
+    let mut ber_rows = 0usize;
+    let mut compliance_done = 0usize;
+    for (job_id, job) in &jobs {
+        let status = job
+            .done_status
+            .as_deref()
+            .unwrap_or_else(|| fail(&format!("job {job_id} has no done event")));
+        if status != "completed" {
+            fail(&format!("job {job_id} finished with status {status:?}"));
+        }
+        if job.done_rows != job.rows.len() as u64 {
+            fail(&format!(
+                "job {job_id} done event claims {} rows, stream delivered {}",
+                job.done_rows,
+                job.rows.len()
+            ));
+        }
+        check_row_indices(*job_id, job);
+        match job.kind.as_str() {
+            "ber" => ber_rows += check_ber_job(*job_id, job, &curves),
+            "compliance" => {
+                if job.rows.is_empty() {
+                    fail(&format!("compliance job {job_id} produced no rows"));
+                }
+                compliance_done += 1;
+            }
+            other => fail(&format!("job {job_id} has unknown kind {other:?}")),
+        }
+    }
+    if ber_rows == 0 {
+        fail("no BER rows were verified");
+    }
+    if compliance_done == 0 {
+        fail("no compliance job completed");
+    }
+    if let Some(dir) = log_dir {
+        for (job_id, job) in &jobs {
+            check_replay_log(&dir, *job_id, job);
+        }
+    }
+    println!(
+        "svc_check: {} jobs verified ({ber_rows} BER rows byte-identical to {}, \
+         {compliance_done} compliance jobs)",
+        jobs.len(),
+        reference_path.display()
+    );
+}
+
+/// Groups the reply stream's events per job, failing on any error events.
+fn collect_jobs(replies: &str) -> BTreeMap<u64, JobCheck> {
+    let mut jobs = BTreeMap::new();
+    for line in replies.lines().filter(|l| !l.trim().is_empty()) {
+        let event =
+            Json::parse(line).unwrap_or_else(|e| fail(&format!("unparsable reply {line:?}: {e}")));
+        let ty = event
+            .get("type")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail(&format!("reply without type: {line}")));
+        let job_id = || {
+            event
+                .get("job_id")
+                .and_then(as_u64)
+                .unwrap_or_else(|| fail(&format!("reply without job_id: {line}")))
+        };
+        match ty {
+            "accepted" => {
+                let kind = event.get("job").and_then(Json::as_str).unwrap_or("?");
+                let label = event.get("label").and_then(Json::as_str).unwrap_or("?");
+                jobs.insert(
+                    job_id(),
+                    JobCheck {
+                        kind: kind.to_string(),
+                        label: label.to_string(),
+                        rows: Vec::new(),
+                        done_status: None,
+                        done_rows: 0,
+                    },
+                );
+            }
+            "row" => {
+                let id = job_id();
+                let row = event
+                    .get("row")
+                    .and_then(as_u64)
+                    .unwrap_or_else(|| fail(&format!("row event without index: {line}")));
+                let data = event
+                    .get("data")
+                    .unwrap_or_else(|| fail(&format!("row event without data: {line}")));
+                jobs.get_mut(&id)
+                    .unwrap_or_else(|| fail(&format!("row for unknown job {id}")))
+                    .rows
+                    .push((row, data.clone()));
+            }
+            "done" => {
+                let id = job_id();
+                let status = event
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail(&format!("done event without status: {line}")));
+                let rows = event.get("rows").and_then(as_u64).unwrap_or(0);
+                let job = jobs
+                    .get_mut(&id)
+                    .unwrap_or_else(|| fail(&format!("done for unknown job {id}")));
+                job.done_status = Some(status.to_string());
+                job.done_rows = rows;
+            }
+            "rejected" | "error" => fail(&format!("stream carries a failure event: {line}")),
+            "shutting_down" | "cancelling" => {}
+            other => fail(&format!("unknown event type {other:?}: {line}")),
+        }
+    }
+    jobs
+}
+
+/// Row indices must be exactly 0..n in delivery order.
+fn check_row_indices(job_id: u64, job: &JobCheck) {
+    for (expected, (row, _)) in job.rows.iter().enumerate() {
+        if *row != expected as u64 {
+            fail(&format!(
+                "job {job_id} row indices out of order: got {row} at position {expected}"
+            ));
+        }
+    }
+}
+
+/// The reference curves of a `ber_study --json` file, keyed by label.
+fn curves_by_label(reference: &Json) -> BTreeMap<String, Vec<Json>> {
+    let mut curves = BTreeMap::new();
+    let list = reference
+        .get("curves")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| fail("reference file has no curves array"));
+    for curve in list {
+        let label = curve
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("reference curve without label"));
+        let points = curve
+            .get("points")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| fail("reference curve without points"));
+        curves.insert(label.to_string(), points.to_vec());
+    }
+    curves
+}
+
+/// Verifies one BER job against its reference curve; returns the number of
+/// verified rows.
+fn check_ber_job(job_id: u64, job: &JobCheck, curves: &BTreeMap<String, Vec<Json>>) -> usize {
+    let points = curves.get(&job.label).unwrap_or_else(|| {
+        fail(&format!(
+            "reference has no curve labelled {:?} (job {job_id})",
+            job.label
+        ))
+    });
+    if job.rows.len() != points.len() {
+        fail(&format!(
+            "job {job_id} delivered {} rows, reference curve {:?} has {} points",
+            job.rows.len(),
+            job.label,
+            points.len()
+        ));
+    }
+    let mut used = vec![false; points.len()];
+    for (row, data) in &job.rows {
+        let label = data.get("label").and_then(Json::as_str).unwrap_or("?");
+        if label != job.label {
+            fail(&format!(
+                "job {job_id} row {row} carries label {label:?}, expected {:?}",
+                job.label
+            ));
+        }
+        let point = data
+            .get("point")
+            .unwrap_or_else(|| fail(&format!("job {job_id} row {row} has no point")));
+        let ebn0 = point
+            .get("ebn0_db")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail(&format!("job {job_id} row {row} has no ebn0_db")));
+        // Daemon rows stream in completion order; match the reference point
+        // by Eb/N0 and compare the full row byte-for-byte.
+        let index = points
+            .iter()
+            .position(|p| p.get("ebn0_db").and_then(Json::as_f64) == Some(ebn0))
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "job {job_id} row {row}: no reference point at {ebn0} dB"
+                ))
+            });
+        if used[index] {
+            fail(&format!("job {job_id} delivered the {ebn0} dB point twice"));
+        }
+        used[index] = true;
+        let got = point.to_string();
+        let want = points[index].to_string();
+        if got != want {
+            fail(&format!(
+                "job {job_id} row {row} differs from the one-shot run at {ebn0} dB:\n\
+                 daemon   : {got}\n\
+                 reference: {want}"
+            ));
+        }
+    }
+    job.rows.len()
+}
+
+/// The replay log must carry exactly the rows the live stream delivered.
+fn check_replay_log(dir: &std::path::Path, job_id: u64, job: &JobCheck) {
+    let path = dir.join(format!("job_{job_id}.ndjson"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("read replay log {}: {e}", path.display())));
+    let logged: Vec<(u64, String)> = text
+        .lines()
+        .filter_map(|line| {
+            let event = Json::parse(line).ok()?;
+            if event.get("type").and_then(Json::as_str) != Some("row") {
+                return None;
+            }
+            Some((
+                event.get("row").and_then(as_u64)?,
+                event.get("data")?.to_string(),
+            ))
+        })
+        .collect();
+    let streamed: Vec<(u64, String)> = job
+        .rows
+        .iter()
+        .map(|(row, data)| (*row, data.to_string()))
+        .collect();
+    if logged != streamed {
+        fail(&format!(
+            "job {job_id} replay log {} does not match the live stream \
+             ({} logged rows vs {} streamed)",
+            path.display(),
+            logged.len(),
+            streamed.len()
+        ));
+    }
+}

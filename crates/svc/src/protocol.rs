@@ -1,0 +1,238 @@
+//! The wire protocol of the decode service: line-delimited JSON.
+//!
+//! Every request is one JSON object per line with a `"type"` field; every
+//! reply/event is likewise one compact JSON object per line.  This module
+//! holds the pure text↔value conversions (parsed with [`fec_json`], no new
+//! dependencies) so they are unit-testable without a running daemon.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"type":"submit","job":"ber","standard":"wimax","codec":"layered","frames":20}
+//! {"type":"submit","job":"compliance","standard":"wimax","scope":"corners","priority":"high"}
+//! {"type":"cancel","job_id":1}
+//! {"type":"resume","job_id":1,"from_row":3}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! # Events
+//!
+//! * `accepted` — `{job_id, job, label, units, priority}`, sent once per
+//!   admitted job;
+//! * `rejected` — `{reason}`, sent instead of `accepted`;
+//! * `row` — `{job_id, row, data}`, one per result row in completion order
+//!   (`row` is the 0-based per-job row index);
+//! * `done` — `{job_id, rows, status}` with `status` one of `"completed"`,
+//!   `"cancelled"`, `"failed"` (plus `error` when failed);
+//! * `cancelling` — `{job_id}`, acknowledges a cancel request;
+//! * `error` — `{message}`, reply to a malformed or unroutable request;
+//! * `shutting_down` — acknowledges a shutdown request.
+
+use fec_json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `submit`: the full request object, validated by [`crate::job::parse`].
+    Submit(Json),
+    /// `cancel`: stop a job at the next queue barrier.
+    Cancel {
+        /// The job to cancel.
+        job_id: u64,
+    },
+    /// `resume`: replay a job's logged events from a row index onwards and
+    /// reattach this client for any rows still to come.
+    Resume {
+        /// The job to resume.
+        job_id: u64,
+        /// First row index to replay (0 replays the whole log).
+        from_row: u64,
+    },
+    /// `shutdown`: finish the queued work, then exit.
+    Shutdown,
+}
+
+/// Reads a non-negative integer out of a JSON value (`Int`/`UInt` only —
+/// floats are not silently truncated).
+pub fn as_u64(value: &Json) -> Option<u64> {
+    match value {
+        Json::UInt(u) => Some(*u),
+        Json::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+/// Parses one request line.  Errors are human-readable strings the daemon
+/// sends back verbatim as `error` events.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = Json::parse(line).map_err(|e| format!("malformed request: {e}"))?;
+    let ty = value
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("request has no \"type\" field")?;
+    match ty {
+        "submit" => Ok(Request::Submit(value.clone())),
+        "cancel" => Ok(Request::Cancel {
+            job_id: required_job_id(&value)?,
+        }),
+        "resume" => Ok(Request::Resume {
+            job_id: required_job_id(&value)?,
+            from_row: match value.get("from_row") {
+                None => 0,
+                Some(v) => as_u64(v).ok_or("\"from_row\" must be a non-negative integer")?,
+            },
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown request type {other:?} (valid: submit, cancel, resume, shutdown)"
+        )),
+    }
+}
+
+fn required_job_id(value: &Json) -> Result<u64, String> {
+    value
+        .get("job_id")
+        .and_then(as_u64)
+        .ok_or_else(|| "request needs a non-negative integer \"job_id\"".to_string())
+}
+
+/// Builds an `accepted` event.
+pub fn accepted(job_id: u64, job: &str, label: &str, units: usize, priority: &str) -> Json {
+    Json::obj([
+        ("type", Json::str("accepted")),
+        ("job_id", Json::from(job_id)),
+        ("job", Json::str(job)),
+        ("label", Json::str(label)),
+        ("units", Json::from(units)),
+        ("priority", Json::str(priority)),
+    ])
+}
+
+/// Builds a `rejected` event.
+pub fn rejected(reason: &str) -> Json {
+    Json::obj([
+        ("type", Json::str("rejected")),
+        ("reason", Json::str(reason)),
+    ])
+}
+
+/// Builds a `row` event; `row` is the 0-based per-job row index.
+pub fn row(job_id: u64, row: u64, data: Json) -> Json {
+    Json::obj([
+        ("type", Json::str("row")),
+        ("job_id", Json::from(job_id)),
+        ("row", Json::from(row)),
+        ("data", data),
+    ])
+}
+
+/// Builds a `done` event (`error` is present only for failed jobs).
+pub fn done(job_id: u64, rows: u64, status: &str, error: Option<&str>) -> Json {
+    let mut pairs = vec![
+        ("type", Json::str("done")),
+        ("job_id", Json::from(job_id)),
+        ("rows", Json::from(rows)),
+        ("status", Json::str(status)),
+    ];
+    if let Some(error) = error {
+        pairs.push(("error", Json::str(error)));
+    }
+    Json::obj(pairs)
+}
+
+/// Builds a `cancelling` acknowledgement.
+pub fn cancelling(job_id: u64) -> Json {
+    Json::obj([
+        ("type", Json::str("cancelling")),
+        ("job_id", Json::from(job_id)),
+    ])
+}
+
+/// Builds an `error` event.
+pub fn error(message: &str) -> Json {
+    Json::obj([
+        ("type", Json::str("error")),
+        ("message", Json::str(message)),
+    ])
+}
+
+/// Builds the `shutting_down` acknowledgement.
+pub fn shutting_down() -> Json {
+    Json::obj([("type", Json::str("shutting_down"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(
+            parse_request(r#"{"type":"cancel","job_id":3}"#),
+            Ok(Request::Cancel { job_id: 3 })
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"resume","job_id":1,"from_row":4}"#),
+            Ok(Request::Resume {
+                job_id: 1,
+                from_row: 4
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"resume","job_id":1}"#),
+            Ok(Request::Resume {
+                job_id: 1,
+                from_row: 0
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        );
+        let submit = parse_request(r#"{"type":"submit","job":"ber"}"#).unwrap();
+        let Request::Submit(spec) = submit else {
+            panic!("expected submit");
+        };
+        assert_eq!(spec.get("job").and_then(Json::as_str), Some("ber"));
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        assert!(parse_request("not json").unwrap_err().contains("malformed"));
+        assert!(parse_request("{}").unwrap_err().contains("\"type\""));
+        assert!(parse_request(r#"{"type":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown request type"));
+        assert!(parse_request(r#"{"type":"cancel"}"#)
+            .unwrap_err()
+            .contains("job_id"));
+        assert!(parse_request(r#"{"type":"cancel","job_id":-2}"#)
+            .unwrap_err()
+            .contains("job_id"));
+        assert!(
+            parse_request(r#"{"type":"resume","job_id":1,"from_row":1.5}"#)
+                .unwrap_err()
+                .contains("from_row")
+        );
+    }
+
+    #[test]
+    fn events_render_compact() {
+        assert_eq!(
+            accepted(1, "ber", "wimax-ldpc-n576-layered", 4, "normal").to_string(),
+            r#"{"type":"accepted","job_id":1,"job":"ber","label":"wimax-ldpc-n576-layered","units":4,"priority":"normal"}"#
+        );
+        assert_eq!(
+            row(1, 0, Json::obj([("x", Json::from(2u64))])).to_string(),
+            r#"{"type":"row","job_id":1,"row":0,"data":{"x":2}}"#
+        );
+        assert_eq!(
+            done(1, 4, "completed", None).to_string(),
+            r#"{"type":"done","job_id":1,"rows":4,"status":"completed"}"#
+        );
+        assert_eq!(
+            done(2, 0, "failed", Some("boom")).to_string(),
+            r#"{"type":"done","job_id":2,"rows":0,"status":"failed","error":"boom"}"#
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! The job service: admission control, one shared scheduler pool, event
+//! fan-out and per-job replay logs.
+//!
+//! [`Service`] is transport-agnostic: readers (stdio, unix socket, tests)
+//! feed request lines into [`Service::handle_line`] from any thread, while
+//! one thread runs the scheduler loop ([`Service::run`]).  All admitted
+//! jobs share ONE [`WorkPool`]: their units are submitted with the job's
+//! [`Priority`] and [`CancelToken`], so a high-priority job's units
+//! dispatch first even while a low-priority job is mid-curve, and newly
+//! admitted jobs join the running pool at the next completion barrier.
+//!
+//! Every event of a job is appended (and flushed) to
+//! `<log_dir>/job_<id>.ndjson` *before* it is delivered to the client, and
+//! the job's rows are additionally streamed to
+//! `<log_dir>/job_<id>_result.json` via [`StreamedRows`].  A client that
+//! disappears mid-job (its sink returns `false`) simply stops receiving
+//! events — the job keeps running and logging — and a later `resume`
+//! request replays the log from any row index and reattaches the new
+//! client for rows still to come.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+use fec_json::{Json, StreamedRows};
+use fec_sched::{CancelToken, Job, JobOutcome, Priority, WorkPool};
+
+use crate::job::{self, Unit};
+use crate::protocol::{self, Request};
+
+/// Where a service delivers protocol events for one client.
+///
+/// `deliver` returns `false` when the client is gone (closed pipe, dead
+/// socket); the service then drops the sink while the job keeps running —
+/// its events stay replayable from the job log.
+pub trait EventSink: Send {
+    /// Delivers one event line (without trailing newline).
+    fn deliver(&mut self, line: &str) -> bool;
+}
+
+/// Service settings.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the shared pool (`0` = one per core).
+    pub workers: usize,
+    /// Admission limit: queued + running jobs (`accepted` but not `done`).
+    pub max_jobs: usize,
+    /// Directory for per-job replay logs and result artifacts.
+    pub log_dir: PathBuf,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            max_jobs: 8,
+            log_dir: PathBuf::from("svc-logs"),
+        }
+    }
+}
+
+/// The admission state of one job.
+struct JobEntry {
+    priority: Priority,
+    cancel: CancelToken,
+    /// Units not yet handed to the pool (drained when the job is staged).
+    units: Vec<Unit>,
+    units_total: usize,
+    units_finished: usize,
+    units_cancelled: usize,
+    rows: u64,
+    error: Option<String>,
+    finished: bool,
+    sink: Option<Box<dyn EventSink>>,
+    log: std::fs::File,
+    log_path: PathBuf,
+    artifact: Option<StreamedRows>,
+}
+
+impl JobEntry {
+    /// Appends the event to the replay log (flushed), then delivers it to
+    /// the attached client, dropping the sink on a dead connection.
+    fn emit(&mut self, event: &Json) {
+        let line = event.to_string();
+        writeln!(self.log, "{line}").expect("write job log");
+        self.log.flush().expect("flush job log");
+        if let Some(sink) = self.sink.as_mut() {
+            if !sink.deliver(&line) {
+                self.sink = None;
+            }
+        }
+    }
+}
+
+struct State {
+    next_job_id: u64,
+    /// Admitted jobs not yet handed to the pool, in submission order.
+    queue: Vec<u64>,
+    jobs: BTreeMap<u64, JobEntry>,
+    shutdown: bool,
+}
+
+/// The decode service: shared by the transport reader threads and the
+/// scheduler thread.
+pub struct Service {
+    cfg: ServiceConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service").field("cfg", &self.cfg).finish()
+    }
+}
+
+type UnitResult = Result<Vec<Json>, String>;
+
+impl Service {
+    /// Creates the service and its log directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log directory cannot be created.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        std::fs::create_dir_all(&cfg.log_dir).expect("create service log directory");
+        Service {
+            cfg,
+            state: Mutex::new(State {
+                next_job_id: 1,
+                queue: Vec::new(),
+                jobs: BTreeMap::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("service state poisoned")
+    }
+
+    /// Handles one request line from a client whose events go to `sink`
+    /// (cloned per admitted job).  Returns `false` on a shutdown request —
+    /// the transport should stop reading from this client.
+    pub fn handle_line<S: EventSink + Clone + 'static>(&self, line: &str, sink: &S) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        match protocol::parse_request(line) {
+            Err(reason) => {
+                sink.clone().deliver(&protocol::error(&reason).to_string());
+                true
+            }
+            Ok(Request::Submit(spec)) => {
+                self.submit(&spec, Box::new(sink.clone()));
+                true
+            }
+            Ok(Request::Cancel { job_id }) => {
+                self.cancel(job_id, sink);
+                true
+            }
+            Ok(Request::Resume { job_id, from_row }) => {
+                self.resume(job_id, from_row, Box::new(sink.clone()));
+                true
+            }
+            Ok(Request::Shutdown) => {
+                sink.clone().deliver(&protocol::shutting_down().to_string());
+                self.request_shutdown();
+                false
+            }
+        }
+    }
+
+    /// Validates and admits one job, replying `accepted` or `rejected` on
+    /// `sink`; the sink stays attached for the job's events.
+    fn submit(&self, spec: &Json, mut sink: Box<dyn EventSink>) {
+        let parsed = match job::parse(spec) {
+            Ok(parsed) => parsed,
+            Err(reason) => {
+                sink.deliver(&protocol::rejected(&reason).to_string());
+                return;
+            }
+        };
+        let mut st = self.lock();
+        if st.shutdown {
+            drop(st);
+            sink.deliver(&protocol::rejected("service is shutting down").to_string());
+            return;
+        }
+        let active = st.jobs.values().filter(|j| !j.finished).count();
+        if active >= self.cfg.max_jobs {
+            drop(st);
+            sink.deliver(
+                &protocol::rejected(&format!(
+                    "at capacity: {active} active jobs (max {})",
+                    self.cfg.max_jobs
+                ))
+                .to_string(),
+            );
+            return;
+        }
+        let id = st.next_job_id;
+        st.next_job_id += 1;
+        let log_path = self.cfg.log_dir.join(format!("job_{id}.ndjson"));
+        let log = std::fs::File::create(&log_path).expect("create job log");
+        let artifact = StreamedRows::create(
+            &self.cfg.log_dir.join(format!("job_{id}_result.json")),
+            parsed.kind,
+            &[
+                ("job_id", Json::from(id)),
+                ("label", Json::str(parsed.label.clone())),
+            ],
+        );
+        let accepted = protocol::accepted(
+            id,
+            parsed.kind,
+            &parsed.label,
+            parsed.units.len(),
+            parsed.priority.name(),
+        );
+        let mut entry = JobEntry {
+            priority: parsed.priority,
+            cancel: CancelToken::new(),
+            units_total: parsed.units.len(),
+            units: parsed.units,
+            units_finished: 0,
+            units_cancelled: 0,
+            rows: 0,
+            error: None,
+            finished: false,
+            sink: Some(sink),
+            log,
+            log_path,
+            artifact: Some(artifact),
+        };
+        entry.emit(&accepted);
+        st.jobs.insert(id, entry);
+        st.queue.push(id);
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// The cancel token of an admitted job (set it to stop the job at the
+    /// next queue barrier).  Also reachable mid-run from inside an
+    /// [`EventSink`], which must not call back into the service.
+    pub fn cancel_token(&self, job_id: u64) -> Option<CancelToken> {
+        self.lock().jobs.get(&job_id).map(|j| j.cancel.clone())
+    }
+
+    fn cancel<S: EventSink + Clone>(&self, job_id: u64, sink: &S) {
+        let mut st = self.lock();
+        match st.jobs.get_mut(&job_id) {
+            None => {
+                drop(st);
+                sink.clone()
+                    .deliver(&protocol::error(&format!("unknown job id {job_id}")).to_string());
+            }
+            Some(entry) if entry.finished => {
+                drop(st);
+                sink.clone().deliver(
+                    &protocol::error(&format!("job {job_id} already finished")).to_string(),
+                );
+            }
+            Some(entry) => {
+                entry.cancel.cancel();
+                entry.emit(&protocol::cancelling(job_id));
+            }
+        }
+    }
+
+    /// Replays the job's logged `accepted`/`row`/`done` events (rows from
+    /// `from_row` onwards) into `sink`, then — if the job is still running
+    /// — attaches the sink for the rows still to come.  Replay and
+    /// reattachment happen under the state lock, so no row is duplicated
+    /// or missed around the hand-over point.
+    fn resume(&self, job_id: u64, from_row: u64, mut sink: Box<dyn EventSink>) {
+        let mut st = self.lock();
+        let Some(entry) = st.jobs.get_mut(&job_id) else {
+            drop(st);
+            sink.deliver(&protocol::error(&format!("unknown job id {job_id}")).to_string());
+            return;
+        };
+        let text = std::fs::read_to_string(&entry.log_path).expect("read job log");
+        let mut alive = true;
+        for line in text.lines() {
+            let Ok(event) = Json::parse(line) else {
+                continue;
+            };
+            let replay = match event.get("type").and_then(Json::as_str) {
+                Some("accepted" | "done" | "cancelling") => true,
+                Some("row") => event
+                    .get("row")
+                    .and_then(protocol::as_u64)
+                    .is_some_and(|r| r >= from_row),
+                _ => false,
+            };
+            if replay && alive {
+                alive = sink.deliver(line);
+            }
+        }
+        if alive && !entry.finished {
+            entry.sink = Some(sink);
+        }
+    }
+
+    /// Asks the scheduler loop to exit once the admitted work is finished.
+    pub fn request_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// The scheduler loop: waits for admitted jobs, runs each batch on the
+    /// shared pool (newly admitted jobs join at completion barriers), and
+    /// returns once shutdown is requested and the queue is drained.
+    pub fn run(&self) {
+        loop {
+            let ready = {
+                let mut st = self.lock();
+                loop {
+                    if !st.queue.is_empty() {
+                        break std::mem::take(&mut st.queue);
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = self.wake.wait(st).expect("service state poisoned");
+                }
+            };
+            self.run_batch(ready);
+        }
+    }
+
+    /// Runs the currently queued jobs to completion and returns (does not
+    /// wait for shutdown) — the scheduler entry point for tests.
+    pub fn drain(&self) {
+        let ready = std::mem::take(&mut self.lock().queue);
+        if !ready.is_empty() {
+            self.run_batch(ready);
+        }
+    }
+
+    fn run_batch(&self, ready: Vec<u64>) {
+        let pool = WorkPool::new(self.cfg.workers);
+        let mut next_pid = 0usize;
+        let mut pid_to_job: BTreeMap<usize, u64> = BTreeMap::new();
+        let initial = {
+            let mut st = self.lock();
+            let mut initial = Vec::new();
+            for job_id in ready {
+                stage(
+                    &mut st,
+                    job_id,
+                    &mut next_pid,
+                    &mut pid_to_job,
+                    &mut initial,
+                );
+            }
+            initial
+        };
+        if initial.is_empty() {
+            return;
+        }
+        // The hint widens the pool beyond the first batch's unit count so
+        // later-admitted jobs can still fan out over all workers.
+        let hint = 4 * initial.len().max(64);
+        pool.run()
+            .concurrency_hint(hint)
+            .jobs(initial, |pid, outcome, pool_sink| {
+                let mut st = self.lock();
+                let job_id = pid_to_job.remove(&pid).expect("unit maps to a job");
+                record_outcome(&mut st, job_id, outcome);
+                // Admission barrier: jobs submitted while the pool was busy
+                // join here, with their own priority and cancel token.
+                let newly = std::mem::take(&mut st.queue);
+                let mut continuations = Vec::new();
+                for job_id in newly {
+                    stage(
+                        &mut st,
+                        job_id,
+                        &mut next_pid,
+                        &mut pid_to_job,
+                        &mut continuations,
+                    );
+                }
+                drop(st);
+                pool_sink.submit_all(continuations);
+            });
+    }
+}
+
+/// Hands a queued job's units to the pool with the job's priority and
+/// cancel token.
+fn stage<'env>(
+    st: &mut State,
+    job_id: u64,
+    next_pid: &mut usize,
+    pid_to_job: &mut BTreeMap<usize, u64>,
+    out: &mut Vec<Job<'env, UnitResult>>,
+) {
+    let Some(entry) = st.jobs.get_mut(&job_id) else {
+        return;
+    };
+    for unit in std::mem::take(&mut entry.units) {
+        let pid = *next_pid;
+        *next_pid += 1;
+        pid_to_job.insert(pid, job_id);
+        out.push(
+            Job::new(pid, move || job::run_unit(&unit))
+                .with_priority(entry.priority)
+                .with_cancel(entry.cancel.clone()),
+        );
+    }
+}
+
+/// Books one unit outcome against its job: emits the unit's rows (log
+/// first, then client), and the `done` event when the last unit lands.
+fn record_outcome(st: &mut State, job_id: u64, outcome: JobOutcome<UnitResult>) {
+    let Some(entry) = st.jobs.get_mut(&job_id) else {
+        return;
+    };
+    match outcome {
+        JobOutcome::Cancelled => entry.units_cancelled += 1,
+        JobOutcome::Done(Ok(rows)) => {
+            for data in rows {
+                if let Some(artifact) = entry.artifact.as_mut() {
+                    artifact.push(&data);
+                }
+                let event = protocol::row(job_id, entry.rows, data);
+                entry.emit(&event);
+                entry.rows += 1;
+            }
+        }
+        JobOutcome::Done(Err(message)) => {
+            // First failure wins; retire the job's remaining units.
+            entry.error.get_or_insert(message);
+            entry.cancel.cancel();
+        }
+    }
+    entry.units_finished += 1;
+    if entry.units_finished == entry.units_total {
+        let status = if entry.error.is_some() {
+            "failed"
+        } else if entry.units_cancelled > 0 {
+            "cancelled"
+        } else {
+            "completed"
+        };
+        let done = protocol::done(job_id, entry.rows, status, entry.error.as_deref());
+        entry.emit(&done);
+        if let Some(artifact) = entry.artifact.take() {
+            artifact.finish();
+        }
+        entry.finished = true;
+        entry.sink = None;
+    }
+}

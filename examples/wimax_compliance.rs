@@ -19,45 +19,25 @@
 //! schema ([`noc_decoder::obs_export`]); `--metrics-report` prints the
 //! ASCII report.
 
+use decoder_bench::CommonFlags;
 use fec_json::{Json, StreamedRows};
 use fec_obs::{Registry, WallClock};
 use noc_decoder::{
     registry_json, run_multi_compliance_observed, run_multi_compliance_sharded, ComplianceScope,
-    DecoderConfig, Standard,
+    DecoderConfig,
 };
-use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let standard = args
-        .iter()
-        .position(|a| a == "--standard")
-        .map(|i| {
-            args.get(i + 1)
-                .expect("--standard requires a value")
-                .parse::<Standard>()
-        })
-        .transpose()?;
-    let workers: usize = args
-        .iter()
-        .position(|a| a == "--workers")
-        .map(|i| {
-            args.get(i + 1)
-                .expect("--workers requires a thread count")
-                .parse()
-                .expect("--workers takes an integer")
-        })
-        .unwrap_or(0);
-    let json_path: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--json")
-        .map(|i| PathBuf::from(args.get(i + 1).expect("--json requires a file path")));
-    let metrics_path: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--metrics")
-        .map(|i| PathBuf::from(args.get(i + 1).expect("--metrics requires a file path")));
-    let metrics_report = args.iter().any(|a| a == "--metrics-report");
+    let flags = CommonFlags::parse(std::env::args().skip(1));
+    let full = flags.rest.iter().any(|a| a == "--full");
+    if let Some(extra) = flags.rest.iter().find(|a| *a != "--full") {
+        panic!("unrecognised argument: {extra}");
+    }
+    let standard = flags.standard;
+    let workers = flags.workers;
+    let json_path = flags.json;
+    let metrics_path = flags.metrics.path.clone();
+    let metrics_report = flags.metrics.report;
 
     let scopes = match (standard, full) {
         (Some(s), true) => vec![ComplianceScope::full(s)],
